@@ -1,0 +1,280 @@
+// Package beldi is the public API of this Beldi reproduction: a library and
+// runtime for writing fault-tolerant, transactional stateful serverless
+// functions (SSFs) and composing them into workflows, after "Fault-tolerant
+// and Transactional Stateful Serverless Workflows" (OSDI 2020).
+//
+// An SSF is an ordinary function of type Body. Writing it against Env's API
+// (the paper's Figure 2: Read, Write, CondWrite, SyncInvoke, AsyncInvoke,
+// Lock, Unlock, Transaction) is all it takes: the runtime wraps every
+// invocation with intent logging and replay so that, even if instances
+// crash at any point and are re-executed arbitrarily many times by the
+// intent collector, the observable effect equals exactly one clean
+// execution. Transactions span SSF boundaries with opacity isolation.
+//
+// A minimal SSF:
+//
+//	func Counter(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
+//		v, err := e.Read("state", "counter")
+//		if err != nil {
+//			return beldi.Null, err
+//		}
+//		next := beldi.Int(v.Int() + 1)
+//		if err := e.Write("state", "counter", next); err != nil {
+//			return beldi.Null, err
+//		}
+//		return next, nil
+//	}
+//
+// Deployment pairs each SSF with its own database tables (data
+// sovereignty), an intent collector, and a garbage collector:
+//
+//	d := beldi.NewDeployment(beldi.DeploymentOptions{Store: store, Platform: plat})
+//	d.Function("counter", Counter, "state")
+//	d.StartCollectors()
+//	out, err := d.Invoke("counter", beldi.Null)
+//
+// The same Body runs unchanged in three modes — ModeBeldi (the paper's
+// system), ModeCrossTable (the §7.3 comparator that logs to a separate
+// table with cross-table transactions), and ModeBaseline (raw operations,
+// no guarantees) — which is how the evaluation figures compare them.
+package beldi
+
+import (
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+	"repro/internal/uuid"
+)
+
+// Re-exported core types. Aliases keep the public surface thin while the
+// implementation lives in internal packages.
+type (
+	// Value is the dynamic value type flowing through inputs, outputs and
+	// storage.
+	Value = dynamo.Value
+	// Env is the per-instance execution context exposing Beldi's API.
+	Env = core.Env
+	// Body is an SSF's application logic.
+	Body = core.Body
+	// Mode selects Beldi / cross-table / baseline machinery.
+	Mode = core.Mode
+	// Config tunes protocol parameters (row capacity N, lifetime bound T,
+	// collector intervals).
+	Config = core.Config
+	// Runtime is one SSF's runtime (advanced use; Deployment manages these).
+	Runtime = core.Runtime
+	// TxnMode is a transaction phase.
+	TxnMode = core.TxnMode
+	// GCStats reports one garbage-collection pass.
+	GCStats = core.GCStats
+)
+
+// Modes.
+const (
+	ModeBeldi      = core.ModeBeldi
+	ModeCrossTable = core.ModeCrossTable
+	ModeBaseline   = core.ModeBaseline
+)
+
+// Errors.
+var (
+	// ErrTxnAborted reports a wait-die death or application abort; see
+	// core.ErrTxnAborted.
+	ErrTxnAborted = core.ErrTxnAborted
+	// ErrLockUnavailable reports an exhausted lock retry budget.
+	ErrLockUnavailable = core.ErrLockUnavailable
+)
+
+// Value constructors, re-exported for ergonomic application code.
+var (
+	// Null is the NULL value (also what never-written keys read as).
+	Null = dynamo.Null
+)
+
+// Str builds a string value.
+func Str(s string) Value { return dynamo.S(s) }
+
+// Int builds an integer-valued number.
+func Int(i int64) Value { return dynamo.NInt(i) }
+
+// Num builds a number value.
+func Num(f float64) Value { return dynamo.N(f) }
+
+// BoolVal builds a boolean value.
+func BoolVal(b bool) Value { return dynamo.Bool(b) }
+
+// List builds a list value.
+func List(vs ...Value) Value { return dynamo.L(vs...) }
+
+// Map builds a map value.
+func Map(m map[string]Value) Value { return dynamo.M(m) }
+
+// Cond is a condition for CondWrite, evaluated against the item's current
+// state; build with ValueEq and friends.
+type Cond = dynamo.Cond
+
+// ValueEq holds when the item's current value equals v.
+func ValueEq(v Value) Cond { return dynamo.Eq(dynamo.A("Value"), v) }
+
+// ValueLt holds when the item's current value orders before v.
+func ValueLt(v Value) Cond { return dynamo.Lt(dynamo.A("Value"), v) }
+
+// ValueGt holds when the item's current value orders after v.
+func ValueGt(v Value) Cond { return dynamo.Gt(dynamo.A("Value"), v) }
+
+// ValueGe holds when the item's current value orders at or after v.
+func ValueGe(v Value) Cond { return dynamo.Ge(dynamo.A("Value"), v) }
+
+// ValueLe holds when the item's current value orders at or before v.
+func ValueLe(v Value) Cond { return dynamo.Le(dynamo.A("Value"), v) }
+
+// ValueAbsent holds when the key has never been written (or was written
+// Null).
+func ValueAbsent() Cond {
+	return dynamo.Or(dynamo.NotExists(dynamo.A("Value")), dynamo.Eq(dynamo.A("Value"), dynamo.Null))
+}
+
+// And combines conditions conjunctively.
+func And(cs ...Cond) Cond { return dynamo.And(cs...) }
+
+// Or combines conditions disjunctively.
+func Or(cs ...Cond) Cond { return dynamo.Or(cs...) }
+
+// Not negates a condition.
+func Not(c Cond) Cond { return dynamo.Not(c) }
+
+// DeploymentOptions configure NewDeployment.
+type DeploymentOptions struct {
+	// Store backs every function's tables. Required. Use one store per SSF
+	// for strict data sovereignty, or share one (tables are namespaced per
+	// function) as teams sharing infrastructure would (§3).
+	Store *dynamo.Store
+	// Platform hosts the functions. Required.
+	Platform *platform.Platform
+	// Mode selects the machinery; ModeBeldi by default.
+	Mode Mode
+	// Config tunes protocol parameters for every function.
+	Config Config
+	// Clock defaults to the wall clock.
+	Clock clock.Clock
+	// IDs defaults to random UUIDs.
+	IDs uuid.Source
+}
+
+// Deployment wires SSFs to their runtimes: the app-developer view of
+// Beldi's architecture (Figure 1).
+type Deployment struct {
+	opts     DeploymentOptions
+	runtimes map[string]*core.Runtime
+}
+
+// NewDeployment creates an empty deployment.
+func NewDeployment(opts DeploymentOptions) *Deployment {
+	return &Deployment{opts: opts, runtimes: make(map[string]*core.Runtime)}
+}
+
+// Function registers an SSF with its own runtime and the logical data
+// tables it owns. It panics on misconfiguration (duplicate name, bad
+// options) since registration is setup code.
+func (d *Deployment) Function(name string, body Body, tables ...string) *core.Runtime {
+	if _, ok := d.runtimes[name]; ok {
+		panic("beldi: duplicate function " + name)
+	}
+	rt := core.MustNewRuntime(core.RuntimeOptions{
+		Function: name,
+		Store:    d.opts.Store,
+		Platform: d.opts.Platform,
+		Mode:     d.opts.Mode,
+		Config:   d.opts.Config,
+		Clock:    d.opts.Clock,
+		IDs:      d.opts.IDs,
+	})
+	for _, t := range tables {
+		rt.MustCreateDataTable(t)
+	}
+	core.Register(rt, body)
+	d.runtimes[name] = rt
+	return rt
+}
+
+// Runtime returns a registered function's runtime, or nil.
+func (d *Deployment) Runtime(name string) *core.Runtime { return d.runtimes[name] }
+
+// Invoke calls a function synchronously from outside any workflow (an
+// external client request).
+func (d *Deployment) Invoke(name string, input Value) (Value, error) {
+	return d.opts.Platform.Invoke(name, core.ClientEnvelope(input))
+}
+
+// InvokeApp is Invoke on behalf of a named application (§2.2 SSF
+// reusability): the app name rides the workflow, and SSFs that registered
+// app-scoped tables ("<app>:<table>" in Function's table list) keep that
+// application's state separate; unscoped tables remain shared across
+// applications.
+func (d *Deployment) InvokeApp(name, app string, input Value) (Value, error) {
+	return d.opts.Platform.Invoke(name, core.ClientEnvelopeForApp(app, input))
+}
+
+// StartCollectors starts every function's intent- and garbage-collector
+// timers (per the configured intervals).
+func (d *Deployment) StartCollectors() {
+	for _, rt := range d.runtimes {
+		rt.StartCollectors()
+	}
+}
+
+// Stop halts all collector timers.
+func (d *Deployment) Stop() {
+	for _, rt := range d.runtimes {
+		rt.Stop()
+	}
+}
+
+// PeekState reads an SSF's current committed value for key directly from
+// its storage — an inspection aid for examples, tests and operational
+// tooling (application reads should go through an SSF, preserving data
+// sovereignty).
+func PeekState(rt *Runtime, table, key string) (Value, error) {
+	return rt.PeekState(table, key)
+}
+
+// Fsck audits an SSF's durable state against the protocol invariants
+// (well-formed DAAL chains, log-size accounting, no locks held by completed
+// intents, no leaked log rows). Run it at quiescence — after chaos tests,
+// or as an operational consistency check. A nil error means every check
+// passed.
+func Fsck(rt *Runtime) error { return core.Fsck(rt) }
+
+// FsckAll audits every function in the deployment.
+func (d *Deployment) FsckAll() error {
+	for _, rt := range d.runtimes {
+		if err := core.Fsck(rt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunAllCollectors performs one intent-collection and one garbage-
+// collection pass on every function — deterministic collection for tests
+// and benchmarks.
+func (d *Deployment) RunAllCollectors() error {
+	for _, rt := range d.runtimes {
+		if rt.Mode() == ModeBaseline {
+			continue
+		}
+		if _, err := rt.RunIntentCollector(); err != nil {
+			return err
+		}
+		if _, err := rt.RunGarbageCollector(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitForDuration is a tiny convenience used by examples to let timers fire.
+func WaitForDuration(d time.Duration) { time.Sleep(d) }

@@ -1,0 +1,160 @@
+package beldi_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+	"repro/internal/uuid"
+)
+
+func newDeployment(t *testing.T, mode beldi.Mode) (*beldi.Deployment, *platform.Platform) {
+	t.Helper()
+	store := dynamo.NewStore()
+	plat := platform.New(platform.Options{IDs: &uuid.Seq{Prefix: "req"}})
+	d := beldi.NewDeployment(beldi.DeploymentOptions{
+		Store: store, Platform: plat, Mode: mode,
+		Config: beldi.Config{T: 50 * time.Millisecond, ICMinAge: time.Millisecond},
+	})
+	return d, plat
+}
+
+func counter(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
+	v, err := e.Read("state", "hits")
+	if err != nil {
+		return beldi.Null, err
+	}
+	next := beldi.Int(v.Int() + 1)
+	if err := e.Write("state", "hits", next); err != nil {
+		return beldi.Null, err
+	}
+	return next, nil
+}
+
+func TestDeploymentLifecycle(t *testing.T) {
+	d, _ := newDeployment(t, beldi.ModeBeldi)
+	rt := d.Function("counter", counter, "state")
+	if rt == nil || d.Runtime("counter") != rt {
+		t.Fatal("runtime not registered")
+	}
+	for want := int64(1); want <= 3; want++ {
+		out, err := d.Invoke("counter", beldi.Null)
+		if err != nil || out.Int() != want {
+			t.Fatalf("invoke: %v %v", out, err)
+		}
+	}
+	v, err := beldi.PeekState(rt, "state", "hits")
+	if err != nil || v.Int() != 3 {
+		t.Errorf("PeekState = %v %v", v, err)
+	}
+	if err := d.RunAllCollectors(); err != nil {
+		t.Fatal(err)
+	}
+	d.StartCollectors()
+	d.Stop()
+}
+
+func TestDuplicateFunctionPanics(t *testing.T) {
+	d, _ := newDeployment(t, beldi.ModeBeldi)
+	d.Function("f", counter, "state")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on duplicate function")
+		}
+	}()
+	d.Function("f", counter)
+}
+
+func TestValueHelpers(t *testing.T) {
+	if beldi.Str("x").Str() != "x" || beldi.Int(7).Int() != 7 ||
+		beldi.Num(2.5).Num() != 2.5 || !beldi.BoolVal(true).BoolVal() {
+		t.Error("scalar helpers broken")
+	}
+	l := beldi.List(beldi.Int(1), beldi.Int(2))
+	if len(l.List()) != 2 {
+		t.Error("List broken")
+	}
+	m := beldi.Map(map[string]beldi.Value{"k": beldi.Str("v")})
+	if got, ok := m.MapGet("k"); !ok || got.Str() != "v" {
+		t.Error("Map broken")
+	}
+	if !beldi.Null.IsNull() {
+		t.Error("Null is not null")
+	}
+}
+
+func TestCondHelpers(t *testing.T) {
+	d, _ := newDeployment(t, beldi.ModeBeldi)
+	d.Function("claim", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		ok, err := e.CondWrite("state", "slot", in, beldi.ValueAbsent())
+		if err != nil {
+			return beldi.Null, err
+		}
+		if ok {
+			return beldi.Str("claimed"), nil
+		}
+		// Conditional overwrite with a matching guard.
+		ok, err = e.CondWrite("state", "slot", in,
+			beldi.And(beldi.Not(beldi.ValueEq(in)), beldi.ValueGe(beldi.Str(""))))
+		if err != nil {
+			return beldi.Null, err
+		}
+		return beldi.BoolVal(ok), nil
+	}, "state")
+	out, err := d.Invoke("claim", beldi.Str("a"))
+	if err != nil || out.Str() != "claimed" {
+		t.Fatalf("first: %v %v", out, err)
+	}
+	out, err = d.Invoke("claim", beldi.Str("b"))
+	if err != nil || !out.BoolVal() {
+		t.Fatalf("second: %v %v", out, err)
+	}
+}
+
+func TestTransactionThroughFacade(t *testing.T) {
+	d, _ := newDeployment(t, beldi.ModeBeldi)
+	d.Function("mv", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		err := e.Transaction(func() error {
+			if err := e.Write("state", "a", beldi.Int(1)); err != nil {
+				return err
+			}
+			if in.Str() == "abort" {
+				return errors.New("no thanks")
+			}
+			return e.Write("state", "b", beldi.Int(2))
+		})
+		if errors.Is(err, beldi.ErrTxnAborted) {
+			return beldi.Str("aborted"), nil
+		}
+		return beldi.Str("committed"), err
+	}, "state")
+	if out, _ := d.Invoke("mv", beldi.Str("abort")); out.Str() != "aborted" {
+		t.Fatalf("abort path: %v", out)
+	}
+	rt := d.Runtime("mv")
+	if v, _ := beldi.PeekState(rt, "state", "a"); !v.IsNull() {
+		t.Errorf("aborted write leaked: %v", v)
+	}
+	if out, _ := d.Invoke("mv", beldi.Null); out.Str() != "committed" {
+		t.Fatal("commit path failed")
+	}
+	if v, _ := beldi.PeekState(rt, "state", "b"); v.Int() != 2 {
+		t.Errorf("b = %v", v)
+	}
+}
+
+func TestBaselineModeThroughFacade(t *testing.T) {
+	d, _ := newDeployment(t, beldi.ModeBaseline)
+	d.Function("counter", counter, "state")
+	out, err := d.Invoke("counter", beldi.Null)
+	if err != nil || out.Int() != 1 {
+		t.Fatalf("baseline: %v %v", out, err)
+	}
+	v, err := beldi.PeekState(d.Runtime("counter"), "state", "hits")
+	if err != nil || v.Int() != 1 {
+		t.Errorf("baseline PeekState = %v %v", v, err)
+	}
+}

@@ -1,0 +1,122 @@
+package beldi_test
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/beldi"
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+	"repro/internal/uuid"
+)
+
+// Example shows the minimal Beldi program: one stateful serverless function
+// with exactly-once read-modify-write state.
+func Example() {
+	store := dynamo.NewStore()
+	plat := platform.New(platform.Options{IDs: &uuid.Seq{Prefix: "req"}})
+	d := beldi.NewDeployment(beldi.DeploymentOptions{Store: store, Platform: plat})
+
+	d.Function("counter", func(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
+		v, err := e.Read("state", "hits")
+		if err != nil {
+			return beldi.Null, err
+		}
+		next := beldi.Int(v.Int() + 1)
+		if err := e.Write("state", "hits", next); err != nil {
+			return beldi.Null, err
+		}
+		return next, nil
+	}, "state")
+
+	for i := 0; i < 3; i++ {
+		out, err := d.Invoke("counter", beldi.Null)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(out.Int())
+	}
+	// Output:
+	// 1
+	// 2
+	// 3
+}
+
+// ExampleEnv_Transaction shows a transaction spanning two SSFs: both
+// inventory decrements commit together or not at all.
+func ExampleEnv_Transaction() {
+	store := dynamo.NewStore()
+	plat := platform.New(platform.Options{IDs: &uuid.Seq{Prefix: "req"}})
+	d := beldi.NewDeployment(beldi.DeploymentOptions{Store: store, Platform: plat})
+
+	reserve := func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		if in.Str() == "seed" {
+			return beldi.Null, e.Write("inv", "capacity", beldi.Int(1))
+		}
+		cap, err := e.Read("inv", "capacity")
+		if err != nil {
+			return beldi.Null, err
+		}
+		if cap.Int() < 1 {
+			return beldi.Null, beldi.ErrTxnAborted
+		}
+		return beldi.Str("ok"), e.Write("inv", "capacity", beldi.Int(cap.Int()-1))
+	}
+	d.Function("hotel", reserve, "inv")
+	d.Function("flight", reserve, "inv")
+	d.Function("trip", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		err := e.Transaction(func() error {
+			if _, err := e.SyncInvoke("hotel", beldi.Null); err != nil {
+				return err
+			}
+			_, err := e.SyncInvoke("flight", beldi.Null)
+			return err
+		})
+		if errors.Is(err, beldi.ErrTxnAborted) {
+			return beldi.Str("aborted"), nil
+		}
+		return beldi.Str("booked"), err
+	})
+
+	for _, fn := range []string{"hotel", "flight"} {
+		if _, err := d.Invoke(fn, beldi.Str("seed")); err != nil {
+			fmt.Println("seed error:", err)
+			return
+		}
+	}
+	out, _ := d.Invoke("trip", beldi.Null)
+	fmt.Println(out.Str())
+	out, _ = d.Invoke("trip", beldi.Null) // sold out: aborts atomically
+	fmt.Println(out.Str())
+	hotelLeft, _ := beldi.PeekState(d.Runtime("hotel"), "inv", "capacity")
+	flightLeft, _ := beldi.PeekState(d.Runtime("flight"), "inv", "capacity")
+	fmt.Println(hotelLeft.Int(), flightLeft.Int())
+	// Output:
+	// booked
+	// aborted
+	// 0 0
+}
+
+// ExampleEnv_CondWrite shows a conditional write: claim a slot only if it
+// has never been taken.
+func ExampleEnv_CondWrite() {
+	store := dynamo.NewStore()
+	plat := platform.New(platform.Options{IDs: &uuid.Seq{Prefix: "req"}})
+	d := beldi.NewDeployment(beldi.DeploymentOptions{Store: store, Platform: plat})
+
+	d.Function("claim", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		ok, err := e.CondWrite("state", "owner", in, beldi.ValueAbsent())
+		if err != nil {
+			return beldi.Null, err
+		}
+		return beldi.BoolVal(ok), nil
+	}, "state")
+
+	first, _ := d.Invoke("claim", beldi.Str("alice"))
+	second, _ := d.Invoke("claim", beldi.Str("bob"))
+	owner, _ := beldi.PeekState(d.Runtime("claim"), "state", "owner")
+	fmt.Println(first.BoolVal(), second.BoolVal(), owner.Str())
+	// Output:
+	// true false alice
+}

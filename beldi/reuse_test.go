@@ -1,0 +1,154 @@
+package beldi_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+	"repro/internal/uuid"
+)
+
+// SSF reusability (§2.2): one SSF serves several applications at the same
+// time, keeping each application's state in separate tables while still
+// supporting shared cross-application state.
+
+func counterOn(table string) beldi.Body {
+	return func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		v, err := e.Read(table, "hits")
+		if err != nil {
+			return beldi.Null, err
+		}
+		next := beldi.Int(v.Int() + 1)
+		if err := e.Write(table, "hits", next); err != nil {
+			return beldi.Null, err
+		}
+		// A shared, app-agnostic counter too (cross-application state).
+		g, err := e.Read("global", "hits")
+		if err != nil {
+			return beldi.Null, err
+		}
+		if err := e.Write("global", "hits", beldi.Int(g.Int()+1)); err != nil {
+			return beldi.Null, err
+		}
+		return next, nil
+	}
+}
+
+func TestSharedSSFKeepsPerAppState(t *testing.T) {
+	store := dynamo.NewStore()
+	plat := platform.New(platform.Options{IDs: &uuid.Seq{Prefix: "req"}})
+	d := beldi.NewDeployment(beldi.DeploymentOptions{
+		Store: store, Platform: plat,
+		Config: beldi.Config{T: 50 * time.Millisecond},
+	})
+	// One SSF, registered with per-application tables for "shop" and
+	// "blog", plus an unscoped "global" table.
+	d.Function("counter", counterOn("state"),
+		"state", "shop:state", "blog:state", "global")
+
+	for i := 0; i < 3; i++ {
+		if out, err := d.InvokeApp("counter", "shop", beldi.Null); err != nil || out.Int() != int64(i+1) {
+			t.Fatalf("shop %d: %v %v", i, out, err)
+		}
+	}
+	if out, err := d.InvokeApp("counter", "blog", beldi.Null); err != nil || out.Int() != 1 {
+		t.Fatalf("blog: %v %v (state bled across applications)", out, err)
+	}
+	// An app with no scoped table falls back to the shared table, as does
+	// an app-less request.
+	if out, err := d.InvokeApp("counter", "wiki", beldi.Null); err != nil || out.Int() != 1 {
+		t.Fatalf("wiki: %v %v", out, err)
+	}
+	if out, err := d.Invoke("counter", beldi.Null); err != nil || out.Int() != 2 {
+		t.Fatalf("unscoped: %v %v", out, err)
+	}
+	// Cross-application state saw every request.
+	rt := d.Runtime("counter")
+	if g, _ := beldi.PeekState(rt, "global", "hits"); g.Int() != 6 {
+		t.Errorf("global = %v, want 6", g)
+	}
+	// Per-app state is held in distinct tables.
+	if v, _ := beldi.PeekState(rt, "shop:state", "hits"); v.Int() != 3 {
+		t.Errorf("shop = %v", v)
+	}
+	if v, _ := beldi.PeekState(rt, "blog:state", "hits"); v.Int() != 1 {
+		t.Errorf("blog = %v", v)
+	}
+	if v, _ := beldi.PeekState(rt, "state", "hits"); v.Int() != 2 {
+		t.Errorf("shared = %v", v)
+	}
+}
+
+func TestAppContextPropagatesThroughWorkflow(t *testing.T) {
+	store := dynamo.NewStore()
+	plat := platform.New(platform.Options{IDs: &uuid.Seq{Prefix: "req"}})
+	d := beldi.NewDeployment(beldi.DeploymentOptions{
+		Store: store, Platform: plat,
+		Config: beldi.Config{T: 50 * time.Millisecond},
+	})
+	d.Function("backend", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		v, err := e.Read("state", "n")
+		if err != nil {
+			return beldi.Null, err
+		}
+		if err := e.Write("state", "n", beldi.Int(v.Int()+1)); err != nil {
+			return beldi.Null, err
+		}
+		return beldi.Str(e.App()), nil
+	}, "state", "shop:state")
+	d.Function("frontend", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		return e.SyncInvoke("backend", in)
+	})
+	out, err := d.InvokeApp("frontend", "shop", beldi.Null)
+	if err != nil || out.Str() != "shop" {
+		t.Fatalf("app context lost across the hop: %v %v", out, err)
+	}
+	rt := d.Runtime("backend")
+	if v, _ := beldi.PeekState(rt, "shop:state", "n"); v.Int() != 1 {
+		t.Errorf("scoped write landed elsewhere: %v", v)
+	}
+	if v, _ := beldi.PeekState(rt, "state", "n"); !v.IsNull() {
+		t.Errorf("shared table touched: %v", v)
+	}
+}
+
+func TestAppStateSurvivesRecovery(t *testing.T) {
+	// The app context is stored with the intent's args, so collector
+	// re-executions write to the same application's tables.
+	plan := &platform.CrashOnce{Function: "backend", Label: "write:post:0.000002"}
+	store := dynamo.NewStore()
+	plat := platform.New(platform.Options{IDs: &uuid.Seq{Prefix: "req"}, Faults: plan})
+	d := beldi.NewDeployment(beldi.DeploymentOptions{
+		Store: store, Platform: plat,
+		Config: beldi.Config{T: 20 * time.Millisecond, ICMinAge: time.Millisecond},
+	})
+	d.Function("backend", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		v, err := e.Read("state", "n")
+		if err != nil {
+			return beldi.Null, err
+		}
+		return beldi.Str("ok"), e.Write("state", "n", beldi.Int(v.Int()+1))
+	}, "state", "shop:state")
+
+	d.InvokeApp("backend", "shop", beldi.Null) //nolint:errcheck // crash injected
+	deadline := time.Now().Add(5 * time.Second)
+	rt := d.Runtime("backend")
+	for {
+		time.Sleep(2 * time.Millisecond)
+		if err := d.RunAllCollectors(); err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := beldi.PeekState(rt, "shop:state", "n"); v.Int() == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			v, _ := beldi.PeekState(rt, "shop:state", "n")
+			t.Fatalf("recovery wrote %v to shop:state", v)
+		}
+	}
+	if v, _ := beldi.PeekState(rt, "state", "n"); !v.IsNull() {
+		t.Errorf("recovery leaked into the shared table: %v", v)
+	}
+}

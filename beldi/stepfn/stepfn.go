@@ -1,0 +1,192 @@
+// Package stepfn provides declarative workflow definitions — the paper's
+// "step functions" (§2.1), the alternative to hand-written driver
+// functions for composing SSFs. A workflow is a tree of states (task,
+// sequence, parallel, choice, transaction); Register compiles it into a
+// Beldi driver SSF whose interpretation is deterministic, so the whole
+// workflow inherits exactly-once semantics.
+//
+// Transactional subgraphs follow §6.2's "Supporting step functions"
+// (Figure 21): wrapping a subgraph in Txn plays the role of the 'begin'
+// and 'end' SSFs the paper has developers insert — every SSF invoked
+// inside executes under the same transaction context, and the end of the
+// subgraph kicks off the commit or abort propagation.
+//
+// Example — the travel reservation workflow of Figure 22:
+//
+//	w := stepfn.Sequence(
+//	    stepfn.Task("check-user"),
+//	    stepfn.Txn(stepfn.Sequence(
+//	        stepfn.Task("reserve-hotel"),
+//	        stepfn.Task("reserve-flight"),
+//	    )),
+//	)
+//	stepfn.Register(d, "book-trip", w)
+package stepfn
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/beldi"
+)
+
+// State is one node of a workflow definition.
+type State interface {
+	// run interprets the state. Interpretation must be deterministic: all
+	// external effects go through the Env.
+	run(e *beldi.Env, input beldi.Value) (beldi.Value, error)
+	// describe renders the state for documentation and diffing.
+	describe() string
+}
+
+// Task invokes one SSF, passing the state's input and yielding its output.
+func Task(function string) State { return taskState{fn: function} }
+
+type taskState struct{ fn string }
+
+func (s taskState) run(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
+	return e.SyncInvoke(s.fn, input)
+}
+func (s taskState) describe() string { return fmt.Sprintf("task(%s)", s.fn) }
+
+// Sequence runs states in order, feeding each state's output to the next.
+func Sequence(states ...State) State { return seqState{states} }
+
+type seqState struct{ states []State }
+
+func (s seqState) run(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
+	cur := input
+	for _, st := range s.states {
+		out, err := st.run(e, cur)
+		if err != nil {
+			return beldi.Null, err
+		}
+		cur = out
+	}
+	return cur, nil
+}
+func (s seqState) describe() string {
+	return "seq" + describeList(s.states)
+}
+
+// Parallel runs states concurrently on the same input and yields the list
+// of their outputs in declaration order (§2.1: workflows form graphs
+// because functions can be multi-threaded).
+func Parallel(states ...State) State { return parState{states} }
+
+type parState struct{ states []State }
+
+func (s parState) run(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
+	outs := make([]beldi.Value, len(s.states))
+	branches := make([]func(*beldi.Env) error, len(s.states))
+	for i, st := range s.states {
+		i, st := i, st
+		branches[i] = func(sub *beldi.Env) error {
+			out, err := st.run(sub, input)
+			if err != nil {
+				return err
+			}
+			outs[i] = out
+			return nil
+		}
+	}
+	if err := e.Parallel(branches...); err != nil {
+		return beldi.Null, err
+	}
+	return beldi.List(outs...), nil
+}
+func (s parState) describe() string { return "par" + describeList(s.states) }
+
+// Choice dispatches on a string field of the input map, falling back to the
+// default state ("" key) when no branch matches.
+func Choice(field string, branches map[string]State) State {
+	return choiceState{field: field, branches: branches}
+}
+
+type choiceState struct {
+	field    string
+	branches map[string]State
+}
+
+func (s choiceState) run(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
+	v, _ := input.MapGet(s.field)
+	st, ok := s.branches[v.Str()]
+	if !ok {
+		st, ok = s.branches[""]
+	}
+	if !ok {
+		return beldi.Null, fmt.Errorf("stepfn: no branch for %s=%q and no default", s.field, v.Str())
+	}
+	return st.run(e, input)
+}
+func (s choiceState) describe() string { return fmt.Sprintf("choice(%s)", s.field) }
+
+// Txn runs the wrapped subgraph transactionally: the paper's begin/end SSF
+// pair around a workflow region (§6.2, Fig 21). An abort anywhere inside —
+// wait-die or application ErrTxnAborted — rolls the whole subgraph back;
+// the state then yields the Aborted marker value instead of failing the
+// workflow, mirroring how the paper's 'end' SSF converts the region's
+// outcome into a signal for downstream states.
+func Txn(body State) State { return txnState{body} }
+
+// Aborted is the output a Txn state yields when its subgraph aborted.
+var Aborted = beldi.Str("stepfn:aborted")
+
+type txnState struct{ body State }
+
+func (s txnState) run(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
+	var out beldi.Value
+	err := e.Transaction(func() error {
+		var err error
+		out, err = s.body.run(e, input)
+		return err
+	})
+	if errors.Is(err, beldi.ErrTxnAborted) {
+		return Aborted, nil
+	}
+	if err != nil {
+		return beldi.Null, err
+	}
+	return out, nil
+}
+func (s txnState) describe() string { return "txn[" + s.body.describe() + "]" }
+
+// Pass transforms the flowing value with a pure function — for input
+// shaping between tasks. fn MUST be deterministic and effect-free; all
+// effects belong in Tasks.
+func Pass(name string, fn func(beldi.Value) beldi.Value) State {
+	return passState{name: name, fn: fn}
+}
+
+type passState struct {
+	name string
+	fn   func(beldi.Value) beldi.Value
+}
+
+func (s passState) run(_ *beldi.Env, input beldi.Value) (beldi.Value, error) {
+	return s.fn(input), nil
+}
+func (s passState) describe() string { return "pass(" + s.name + ")" }
+
+// Register compiles the workflow into a driver SSF named name on the
+// deployment. The returned runtime is the driver's (collectors included).
+func Register(d *beldi.Deployment, name string, w State) *beldi.Runtime {
+	return d.Function(name, func(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
+		return w.run(e, input)
+	})
+}
+
+// Describe renders a workflow definition as a one-line expression, for
+// documentation and change review.
+func Describe(w State) string { return w.describe() }
+
+func describeList(states []State) string {
+	s := "["
+	for i, st := range states {
+		if i > 0 {
+			s += " → "
+		}
+		s += st.describe()
+	}
+	return s + "]"
+}

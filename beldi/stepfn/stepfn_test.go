@@ -1,0 +1,233 @@
+package stepfn_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/beldi"
+	"repro/beldi/stepfn"
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+	"repro/internal/uuid"
+)
+
+func newDeployment(t *testing.T, faults platform.FaultPlan) *beldi.Deployment {
+	t.Helper()
+	store := dynamo.NewStore()
+	plat := platform.New(platform.Options{
+		ConcurrencyLimit: 10000, IDs: &uuid.Seq{Prefix: "req"}, Faults: faults,
+	})
+	return beldi.NewDeployment(beldi.DeploymentOptions{
+		Store: store, Platform: plat,
+		Config: beldi.Config{T: 50 * time.Millisecond, ICMinAge: time.Millisecond, LockRetryMax: 200},
+	})
+}
+
+func appendFn(letter string) beldi.Body {
+	return func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		return beldi.Str(in.Str() + letter), nil
+	}
+}
+
+func TestSequenceFeedsOutputsForward(t *testing.T) {
+	d := newDeployment(t, nil)
+	d.Function("a", appendFn("a"))
+	d.Function("b", appendFn("b"))
+	d.Function("c", appendFn("c"))
+	stepfn.Register(d, "wf", stepfn.Sequence(
+		stepfn.Task("a"), stepfn.Task("b"), stepfn.Task("c"),
+	))
+	out, err := d.Invoke("wf", beldi.Str("·"))
+	if err != nil || out.Str() != "·abc" {
+		t.Fatalf("out = %v err = %v", out, err)
+	}
+}
+
+func TestParallelCollectsInDeclarationOrder(t *testing.T) {
+	d := newDeployment(t, nil)
+	d.Function("x", appendFn("x"))
+	d.Function("y", appendFn("y"))
+	stepfn.Register(d, "wf", stepfn.Parallel(stepfn.Task("x"), stepfn.Task("y")))
+	out, err := d.Invoke("wf", beldi.Str("·"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := out.List()
+	if len(l) != 2 || l[0].Str() != "·x" || l[1].Str() != "·y" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestChoiceDispatchAndDefault(t *testing.T) {
+	d := newDeployment(t, nil)
+	d.Function("hi", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		return beldi.Str("hello"), nil
+	})
+	d.Function("bye", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		return beldi.Str("goodbye"), nil
+	})
+	stepfn.Register(d, "wf", stepfn.Choice("op", map[string]stepfn.State{
+		"greet": stepfn.Task("hi"),
+		"":      stepfn.Task("bye"),
+	}))
+	out, _ := d.Invoke("wf", beldi.Map(map[string]beldi.Value{"op": beldi.Str("greet")}))
+	if out.Str() != "hello" {
+		t.Errorf("greet → %v", out)
+	}
+	out, _ = d.Invoke("wf", beldi.Map(map[string]beldi.Value{"op": beldi.Str("other")}))
+	if out.Str() != "goodbye" {
+		t.Errorf("default → %v", out)
+	}
+}
+
+func TestChoiceWithoutDefaultErrors(t *testing.T) {
+	d := newDeployment(t, nil)
+	d.Function("hi", appendFn("h"))
+	stepfn.Register(d, "wf", stepfn.Choice("op", map[string]stepfn.State{
+		"greet": stepfn.Task("hi"),
+	}))
+	if _, err := d.Invoke("wf", beldi.Map(map[string]beldi.Value{"op": beldi.Str("x")})); err == nil {
+		t.Error("missing branch accepted")
+	}
+}
+
+func TestPassShapesInput(t *testing.T) {
+	d := newDeployment(t, nil)
+	d.Function("echo", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) { return in, nil })
+	stepfn.Register(d, "wf", stepfn.Sequence(
+		stepfn.Pass("wrap", func(v beldi.Value) beldi.Value {
+			return beldi.Map(map[string]beldi.Value{"wrapped": v})
+		}),
+		stepfn.Task("echo"),
+	))
+	out, err := d.Invoke("wf", beldi.Str("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := out.MapGet("wrapped"); !ok || v.Str() != "x" {
+		t.Errorf("out = %v", out)
+	}
+}
+
+// reserveBody decrements "inv"/"capacity", aborting when sold out; the
+// "seed" input initializes the capacity.
+func reserveBody(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+	if in.Str() == "seed" {
+		return beldi.Null, e.Write("inv", "capacity", beldi.Int(2))
+	}
+	cap, err := e.Read("inv", "capacity")
+	if err != nil {
+		return beldi.Null, err
+	}
+	if cap.Int() < 1 {
+		return beldi.Null, beldi.ErrTxnAborted
+	}
+	if err := e.Write("inv", "capacity", beldi.Int(cap.Int()-1)); err != nil {
+		return beldi.Null, err
+	}
+	return beldi.Str("ok"), nil
+}
+
+func TestTxnStateCommitsAcrossSSFs(t *testing.T) {
+	d2 := newDeployment(t, nil)
+	d2.Function("hotel", reserveBody, "inv")
+	d2.Function("flight", reserveBody, "inv")
+	stepfn.Register(d2, "trip", stepfn.Txn(stepfn.Sequence(
+		stepfn.Task("hotel"), stepfn.Task("flight"),
+	)))
+	for _, fn := range []string{"hotel", "flight"} {
+		if _, err := d2.Invoke(fn, beldi.Str("seed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Two bookings succeed; the third aborts atomically.
+	for i := 0; i < 2; i++ {
+		out, err := d2.Invoke("trip", beldi.Null)
+		if err != nil || out.Str() != "ok" {
+			t.Fatalf("trip %d: %v %v", i, out, err)
+		}
+	}
+	out, err := d2.Invoke("trip", beldi.Null)
+	if err != nil || !out.Equal(stepfn.Aborted) {
+		t.Fatalf("sold-out trip: %v %v", out, err)
+	}
+	for _, fn := range []string{"hotel", "flight"} {
+		v, err := beldi.PeekState(d2.Runtime(fn), "inv", "capacity")
+		if err != nil || v.Int() != 0 {
+			t.Errorf("%s capacity = %v (err %v)", fn, v, err)
+		}
+	}
+}
+
+func TestWorkflowSurvivesCrashSweep(t *testing.T) {
+	// Crash the compiled driver at several op boundaries; the collector
+	// must complete the workflow with all three tasks exactly-once.
+	for _, n := range []int{2, 4, 7, 10} {
+		plan := &platform.CrashNthOp{Function: "wf", N: n}
+		d := newDeployment(t, plan)
+		counterBody := func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+			v, err := e.Read("c", "n")
+			if err != nil {
+				return beldi.Null, err
+			}
+			return beldi.Null, e.Write("c", "n", beldi.Int(v.Int()+1))
+		}
+		d.Function("s1", counterBody, "c")
+		d.Function("s2", counterBody, "c")
+		stepfn.Register(d, "wf", stepfn.Sequence(stepfn.Task("s1"), stepfn.Task("s2")))
+		ev := beldi.Map(map[string]beldi.Value{
+			"Kind":       beldi.Str("call"),
+			"InstanceId": beldi.Str("wf-req"),
+			"Input":      beldi.Null,
+		})
+		d.Runtime("wf") // ensure registered
+		plat := platformOf(t, d)
+		plat.Invoke("wf", ev) //nolint:errcheck // crash expected
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			time.Sleep(2 * time.Millisecond)
+			if err := d.RunAllCollectors(); err != nil {
+				t.Fatal(err)
+			}
+			v1, _ := beldi.PeekState(d.Runtime("s1"), "c", "n")
+			v2, _ := beldi.PeekState(d.Runtime("s2"), "c", "n")
+			if v1.Int() == 1 && v2.Int() == 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("n=%d: s1=%v s2=%v", n, v1, v2)
+			}
+		}
+		v1, _ := beldi.PeekState(d.Runtime("s1"), "c", "n")
+		v2, _ := beldi.PeekState(d.Runtime("s2"), "c", "n")
+		if v1.Int() != 1 || v2.Int() != 1 {
+			t.Errorf("n=%d: duplicated effects s1=%v s2=%v", n, v1, v2)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	w := stepfn.Sequence(
+		stepfn.Task("a"),
+		stepfn.Txn(stepfn.Parallel(stepfn.Task("b"), stepfn.Task("c"))),
+	)
+	got := stepfn.Describe(w)
+	for _, want := range []string{"task(a)", "txn[", "par[", "task(b)", "task(c)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("describe %q missing %q", got, want)
+		}
+	}
+}
+
+// platformOf digs the platform out of a deployment via a registered
+// runtime (test helper).
+func platformOf(t *testing.T, d *beldi.Deployment) *platform.Platform {
+	t.Helper()
+	rt := d.Runtime("wf")
+	if rt == nil {
+		t.Fatal("wf not registered")
+	}
+	return rt.Platform()
+}

@@ -1,0 +1,136 @@
+// Command beldi-demo runs one of the case-study workflows interactively,
+// with optional fault injection — a workbench for watching Beldi's recovery
+// machinery operate.
+//
+// Usage:
+//
+//	beldi-demo -app travel -requests 40                  # drive the app
+//	beldi-demo -app media -crash media-frontend -at 5    # kill an instance at its 5th op
+//	beldi-demo -app social -mode baseline -requests 40   # no guarantees
+//
+// With -crash, the named function's first instance dies at its -at'th
+// operation boundary; the demo then drives the intent collectors until the
+// workflow completes and reports what happened.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/bench"
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "travel", "application: media, travel, social")
+		modeName = flag.String("mode", "beldi", "mode: beldi, crosstable, baseline")
+		requests = flag.Int("requests", 20, "number of requests to drive")
+		crashFn  = flag.String("crash", "", "function to kill once (platform fault injection)")
+		crashAt  = flag.Int("at", 3, "operation index to kill at")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	var mode beldi.Mode
+	switch *modeName {
+	case "beldi":
+		mode = beldi.ModeBeldi
+	case "crosstable":
+		mode = beldi.ModeCrossTable
+	case "baseline":
+		mode = beldi.ModeBaseline
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeName)
+		os.Exit(2)
+	}
+
+	sys := bench.NewSystem(bench.SystemOptions{
+		Mode: mode, Scale: 0.05, Seed: *seed, Concurrency: 10000,
+		Config: beldi.Config{T: 300 * time.Millisecond, ICMinAge: 10 * time.Millisecond},
+	})
+	workApp, err := bench.BuildApp(sys, *app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// Arm the fault plan only after seeding so the kill lands on workload
+	// traffic.
+	var plan *platform.CrashNthOp
+	if *crashFn != "" {
+		plan = &platform.CrashNthOp{Function: *crashFn, N: *crashAt}
+		sys.Plat.SetFaults(plan)
+	}
+
+	fmt.Printf("driving %d %s requests in %s mode...\n", *requests, *app, mode)
+	rng := rand.New(rand.NewSource(*seed))
+	var ok, failed int
+	start := time.Now()
+	for i := 0; i < *requests; i++ {
+		if _, err := sys.D.Invoke(workApp.Entry(), workApp.Request(rng)); err != nil {
+			failed++
+			fmt.Printf("  request %d failed: %v\n", i, err)
+		} else {
+			ok++
+		}
+	}
+	fmt.Printf("%d ok, %d failed in %s\n", ok, failed, time.Since(start).Round(time.Millisecond))
+
+	if plan != nil {
+		if !plan.Fired() {
+			fmt.Printf("note: %s never reached op %d; no crash was injected\n", *crashFn, *crashAt)
+		} else if mode == beldi.ModeBaseline {
+			fmt.Println("crash injected; baseline has no recovery — state may be corrupt")
+		} else {
+			fmt.Println("crash injected; driving intent collectors to recover ...")
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				time.Sleep(50 * time.Millisecond)
+				if err := sys.D.RunAllCollectors(); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				pending := pendingIntents(sys)
+				fmt.Printf("  pending intents: %d\n", pending)
+				if pending == 0 {
+					fmt.Println("recovered: every intent completed exactly once")
+					break
+				}
+				if time.Now().After(deadline) {
+					fmt.Println("gave up waiting for recovery")
+					os.Exit(1)
+				}
+			}
+		}
+	}
+
+	m := sys.Plat.Metrics()
+	fmt.Printf("\nplatform: %d invocations, %d crashes, %d timeouts, peak concurrency %d\n",
+		m.Invocations.Load(), m.Crashes.Load(), m.Timeouts.Load(), m.ConcurrencyHighWater.Load())
+	s := sys.Store.Metrics().Snapshot()
+	fmt.Printf("store: %d ops (%d conditional failures), %.1f KB read, %.1f KB written\n",
+		s.TotalOps(), s.CondFailures, float64(s.BytesRead)/1024, float64(s.BytesWritten)/1024)
+}
+
+// pendingIntents counts unfinished intents across all functions.
+func pendingIntents(sys *bench.System) int {
+	total := 0
+	for _, name := range sys.Store.TableNames() {
+		if len(name) < 7 || name[len(name)-7:] != ".intent" {
+			continue
+		}
+		items, err := sys.Store.Scan(name, dynamo.QueryOpts{
+			Filter: dynamo.Eq(dynamo.A("Done"), dynamo.Bool(false)),
+		})
+		if err != nil {
+			continue
+		}
+		total += len(items)
+	}
+	return total
+}

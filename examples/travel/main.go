@@ -1,0 +1,101 @@
+// Travel: the paper's cross-SSF transaction demonstrated head to head.
+//
+// The travel reservation workflow books a hotel room and a flight seat in
+// two independent SSFs. Under Beldi the booking runs as one distributed
+// transaction with opacity — both reservations commit or neither does.
+// Under the baseline the same application code runs without transactions
+// and, under concurrency and sell-outs, hotel and flight inventories drift
+// apart: the inconsistency §7.2 of the paper calls out.
+//
+//	go run ./examples/travel
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/beldi"
+	"repro/internal/apps/travel"
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+)
+
+func main() {
+	for _, mode := range []beldi.Mode{beldi.ModeBeldi, beldi.ModeBaseline} {
+		fmt.Printf("=== %s mode ===\n", mode)
+		run(mode)
+		fmt.Println()
+	}
+}
+
+func run(mode beldi.Mode) {
+	// Cloud-shaped store latency: the read-check-write races that break the
+	// baseline need a realistic window between the read and the write.
+	store := dynamo.NewStore(dynamo.WithLatency(dynamo.NewCloudLatency(0.3, 7)))
+	plat := platform.New(platform.Options{ConcurrencyLimit: 10000})
+	d := beldi.NewDeployment(beldi.DeploymentOptions{
+		Store: store, Platform: plat, Mode: mode,
+		Config: beldi.Config{LockRetryMax: 300},
+	})
+	app := travel.Build(d)
+	app.Capacity = 3 // tight inventory so bookings contend and sell out
+	if err := app.Seed(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 24 concurrent clients race to book the same hotel and flight, each
+	// retrying on abort (wait-die kills the younger transaction; real
+	// clients retry). Demand far exceeds the capacity of 3, so most must
+	// ultimately fail — and the ones that succeed must hold BOTH halves.
+	var wg sync.WaitGroup
+	results := make(chan string, 24)
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for attempt := 0; attempt < 25; attempt++ {
+				out, err := d.Invoke(travel.FnFrontend, beldi.Map(map[string]beldi.Value{
+					"op":     beldi.Str("reserve"),
+					"hotel":  beldi.Str("hotel-000"),
+					"flight": beldi.Str("flight-000"),
+				}))
+				if err == nil && out.Str() == "booked" {
+					results <- "booked"
+					return
+				}
+			}
+			results <- "gave up"
+		}()
+	}
+	wg.Wait()
+	close(results)
+	counts := map[string]int{}
+	for r := range results {
+		counts[r]++
+	}
+	fmt.Printf("client outcomes: %v\n", counts)
+
+	hotels, err := travel.AuditInventory(d, travel.FnReserveHotel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flights, err := travel.AuditInventory(d, travel.FnReserveFlight)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := int64(3 * travel.NumHotels)
+	roomsBooked, seatsBooked := total-hotels, total-flights
+	claimed := int64(counts["booked"])
+	fmt.Printf("clients who hold a booking: %d\n", claimed)
+	fmt.Printf("hotel rooms consumed:       %d (capacity was 3)\n", roomsBooked)
+	fmt.Printf("flight seats consumed:      %d (capacity was 3)\n", seatsBooked)
+	switch {
+	case claimed == roomsBooked && roomsBooked == seatsBooked && claimed <= 3:
+		fmt.Println("→ consistent: every confirmed booking holds exactly one room and one seat")
+	case claimed > roomsBooked || claimed > seatsBooked:
+		fmt.Println("→ INCONSISTENT: more confirmed bookings than inventory consumed (lost updates oversold the trip)")
+	default:
+		fmt.Println("→ INCONSISTENT: rooms and seats diverge (partial bookings)")
+	}
+}

@@ -1,0 +1,438 @@
+// Package social is the paper's social media site case study (§7.1,
+// Appendix B Figure 24): a serverless port of DeathStarBench's social
+// network. Users log in, follow each other, compose posts that mention
+// users, shorten URLs and attach media, and read home/user timelines.
+//
+// The workflow (13 SSFs):
+//
+//	client → frontend → compose-post → {unique-id, media, text → {url-shorten,
+//	                                    user-mention}, user} → post-storage
+//	                                  → social-graph → timeline-storage
+//	        frontend → home-timeline → timeline-storage → post-storage
+//	        frontend → user-timeline → timeline-storage → post-storage
+package social
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/beldi"
+)
+
+// Graph sizes.
+const (
+	NumUsers     = 300
+	MaxFollowers = 8
+	TimelineCap  = 20
+)
+
+// Function names.
+const (
+	FnFrontend     = "social-frontend"
+	FnComposePost  = "social-compose-post"
+	FnUniqueID     = "social-unique-id"
+	FnMedia        = "social-media"
+	FnText         = "social-text"
+	FnURLShorten   = "social-url-shorten"
+	FnUserMention  = "social-user-mention"
+	FnUser         = "social-user"
+	FnPostStorage  = "social-post-storage"
+	FnSocialGraph  = "social-graph"
+	FnTimeline     = "social-timeline-storage"
+	FnUserTimeline = "social-user-timeline"
+	FnHomeTimeline = "social-home-timeline"
+)
+
+// App wires the workflow.
+type App struct {
+	d *beldi.Deployment
+}
+
+// Build registers the thirteen SSFs.
+func Build(d *beldi.Deployment) *App {
+	a := &App{d: d}
+	d.Function(FnUniqueID, a.uniqueID, "seq")
+	d.Function(FnMedia, a.media, "media")
+	d.Function(FnURLShorten, a.urlShorten, "urls")
+	d.Function(FnUserMention, a.userMention, "mentions")
+	d.Function(FnText, a.text)
+	d.Function(FnUser, a.user, "users")
+	d.Function(FnPostStorage, a.postStorage, "posts")
+	d.Function(FnSocialGraph, a.socialGraph, "graph")
+	d.Function(FnTimeline, a.timeline, "timelines")
+	d.Function(FnUserTimeline, a.userTimeline)
+	d.Function(FnHomeTimeline, a.homeTimeline)
+	d.Function(FnComposePost, a.composePost)
+	d.Function(FnFrontend, a.frontend)
+	return a
+}
+
+// Seed populates users and the follower graph.
+func (a *App) Seed() error {
+	for _, fn := range []string{FnUser, FnSocialGraph} {
+		if _, err := a.d.Invoke(fn, beldi.Map(map[string]beldi.Value{
+			"op": beldi.Str("seed"),
+		})); err != nil {
+			return fmt.Errorf("social: seeding %s: %w", fn, err)
+		}
+	}
+	return nil
+}
+
+func userID(i int) string { return fmt.Sprintf("user-%03d", i) }
+
+// --- leaf SSFs --------------------------------------------------------------
+
+func (a *App) uniqueID(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+	n, err := e.Read("seq", "post")
+	if err != nil {
+		return beldi.Null, err
+	}
+	next := n.Int() + 1
+	if err := e.Write("seq", "post", beldi.Int(next)); err != nil {
+		return beldi.Null, err
+	}
+	return beldi.Str(fmt.Sprintf("post-%010d", next)), nil
+}
+
+func (a *App) media(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+	urls := in.Map()["media"]
+	if urls.IsNull() {
+		return beldi.List(), nil
+	}
+	var stored []beldi.Value
+	for i, u := range urls.List() {
+		key := fmt.Sprintf("%s-m%d", e.InstanceID(), i)
+		if err := e.Write("media", key, u); err != nil {
+			return beldi.Null, err
+		}
+		stored = append(stored, beldi.Str(key))
+	}
+	return beldi.List(stored...), nil
+}
+
+func (a *App) urlShorten(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+	var out []beldi.Value
+	for _, u := range in.Map()["urls"].List() {
+		short := fmt.Sprintf("s.ly/%08x", hash32(u.Str()))
+		if err := e.Write("urls", short, u); err != nil {
+			return beldi.Null, err
+		}
+		out = append(out, beldi.Str(short))
+	}
+	return beldi.List(out...), nil
+}
+
+func hash32(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (a *App) userMention(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+	var out []beldi.Value
+	for _, m := range in.Map()["mentions"].List() {
+		// Record the mention against the mentioned user.
+		if err := appendCapped(e, "mentions", m.Str(), in.Map()["postId"], TimelineCap); err != nil {
+			return beldi.Null, err
+		}
+		out = append(out, m)
+	}
+	return beldi.List(out...), nil
+}
+
+// text extracts URLs and @mentions and fans out to the shortener and the
+// mention service (Figure 24's Text → {UrlShorten, UserMention} edges).
+func (a *App) text(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+	body := in.Map()["text"].Str()
+	var urls, mentions []beldi.Value
+	for _, tok := range strings.Fields(body) {
+		switch {
+		case strings.HasPrefix(tok, "http://"), strings.HasPrefix(tok, "https://"):
+			urls = append(urls, beldi.Str(tok))
+		case strings.HasPrefix(tok, "@"):
+			mentions = append(mentions, beldi.Str(strings.TrimPrefix(tok, "@")))
+		}
+	}
+	var shortened, mentioned beldi.Value
+	err := e.Parallel(
+		func(sub *beldi.Env) error {
+			var err error
+			shortened, err = sub.SyncInvoke(FnURLShorten, beldi.Map(map[string]beldi.Value{
+				"urls": beldi.List(urls...),
+			}))
+			return err
+		},
+		func(sub *beldi.Env) error {
+			var err error
+			mentioned, err = sub.SyncInvoke(FnUserMention, beldi.Map(map[string]beldi.Value{
+				"mentions": beldi.List(mentions...),
+				"postId":   in.Map()["postId"],
+			}))
+			return err
+		},
+	)
+	if err != nil {
+		return beldi.Null, err
+	}
+	return beldi.Map(map[string]beldi.Value{
+		"text": beldi.Str(body), "urls": shortened, "mentions": mentioned,
+	}), nil
+}
+
+func (a *App) user(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+	m := in.Map()
+	switch m["op"].Str() {
+	case "seed":
+		for i := 0; i < NumUsers; i++ {
+			u := beldi.Map(map[string]beldi.Value{
+				"name":     beldi.Str(fmt.Sprintf("user %d", i)),
+				"password": beldi.Str(fmt.Sprintf("pw-%03d", i)),
+			})
+			if err := e.Write("users", userID(i), u); err != nil {
+				return beldi.Null, err
+			}
+		}
+		return beldi.Str("seeded"), nil
+	case "login":
+		u, err := e.Read("users", m["user"].Str())
+		if err != nil {
+			return beldi.Null, err
+		}
+		ok := !u.IsNull() && u.Map()["password"].Str() == m["password"].Str()
+		return beldi.BoolVal(ok), nil
+	default: // resolve
+		return e.Read("users", m["user"].Str())
+	}
+}
+
+func (a *App) postStorage(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+	m := in.Map()
+	switch m["op"].Str() {
+	case "store":
+		post := m["post"]
+		return beldi.Str("stored"), e.Write("posts", post.Map()["id"].Str(), post)
+	default: // fetch
+		var out []beldi.Value
+		for _, idv := range m["ids"].List() {
+			p, err := e.Read("posts", idv.Str())
+			if err != nil {
+				return beldi.Null, err
+			}
+			if !p.IsNull() {
+				out = append(out, p)
+			}
+		}
+		return beldi.List(out...), nil
+	}
+}
+
+// socialGraph stores follower lists; followers of u receive u's posts on
+// their home timelines.
+func (a *App) socialGraph(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+	m := in.Map()
+	switch m["op"].Str() {
+	case "seed":
+		for i := 0; i < NumUsers; i++ {
+			var followers []beldi.Value
+			n := 1 + i%MaxFollowers
+			for j := 1; j <= n; j++ {
+				followers = append(followers, beldi.Str(userID((i+j*17)%NumUsers)))
+			}
+			if err := e.Write("graph", userID(i), beldi.List(followers...)); err != nil {
+				return beldi.Null, err
+			}
+		}
+		return beldi.Str("seeded"), nil
+	case "follow":
+		return beldi.Str("ok"), appendCapped(e, "graph", m["followee"].Str(), m["follower"], NumUsers)
+	default: // followers
+		return e.Read("graph", m["user"].Str())
+	}
+}
+
+// timeline stores per-user timelines: "h|user" home, "u|user" own posts.
+func (a *App) timeline(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+	m := in.Map()
+	key := m["kind"].Str() + "|" + m["user"].Str()
+	switch m["op"].Str() {
+	case "append":
+		return beldi.Str("ok"), appendCapped(e, "timelines", key, m["postId"], TimelineCap)
+	default: // read
+		return e.Read("timelines", key)
+	}
+}
+
+func (a *App) userTimeline(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+	ids, err := e.SyncInvoke(FnTimeline, beldi.Map(map[string]beldi.Value{
+		"op": beldi.Str("read"), "kind": beldi.Str("u"), "user": in.Map()["user"],
+	}))
+	if err != nil {
+		return beldi.Null, err
+	}
+	return e.SyncInvoke(FnPostStorage, beldi.Map(map[string]beldi.Value{
+		"op": beldi.Str("fetch"), "ids": ids,
+	}))
+}
+
+func (a *App) homeTimeline(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+	ids, err := e.SyncInvoke(FnTimeline, beldi.Map(map[string]beldi.Value{
+		"op": beldi.Str("read"), "kind": beldi.Str("h"), "user": in.Map()["user"],
+	}))
+	if err != nil {
+		return beldi.Null, err
+	}
+	return e.SyncInvoke(FnPostStorage, beldi.Map(map[string]beldi.Value{
+		"op": beldi.Str("fetch"), "ids": ids,
+	}))
+}
+
+// composePost is Figure 24's hub: mint an id, process text/media/user in
+// parallel, store the post, then fan the post id out to the author's user
+// timeline and every follower's home timeline.
+func (a *App) composePost(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+	m := in.Map()
+	postID, err := e.SyncInvoke(FnUniqueID, beldi.Null)
+	if err != nil {
+		return beldi.Null, err
+	}
+	var textOut, mediaOut, author beldi.Value
+	err = e.Parallel(
+		func(sub *beldi.Env) error {
+			var err error
+			textOut, err = sub.SyncInvoke(FnText, beldi.Map(map[string]beldi.Value{
+				"text": m["text"], "postId": postID,
+			}))
+			return err
+		},
+		func(sub *beldi.Env) error {
+			var err error
+			mediaOut, err = sub.SyncInvoke(FnMedia, beldi.Map(map[string]beldi.Value{
+				"media": m["media"],
+			}))
+			return err
+		},
+		func(sub *beldi.Env) error {
+			var err error
+			author, err = sub.SyncInvoke(FnUser, beldi.Map(map[string]beldi.Value{
+				"op": beldi.Str("resolve"), "user": m["user"],
+			}))
+			return err
+		},
+	)
+	if err != nil {
+		return beldi.Null, err
+	}
+	post := beldi.Map(map[string]beldi.Value{
+		"id":     postID,
+		"user":   m["user"],
+		"author": author,
+		"body":   textOut,
+		"media":  mediaOut,
+	})
+	if _, err := e.SyncInvoke(FnPostStorage, beldi.Map(map[string]beldi.Value{
+		"op": beldi.Str("store"), "post": post,
+	})); err != nil {
+		return beldi.Null, err
+	}
+	// Own timeline.
+	if _, err := e.SyncInvoke(FnTimeline, beldi.Map(map[string]beldi.Value{
+		"op": beldi.Str("append"), "kind": beldi.Str("u"), "user": m["user"], "postId": postID,
+	})); err != nil {
+		return beldi.Null, err
+	}
+	// Followers' home timelines.
+	followers, err := e.SyncInvoke(FnSocialGraph, beldi.Map(map[string]beldi.Value{
+		"op": beldi.Str("followers"), "user": m["user"],
+	}))
+	if err != nil {
+		return beldi.Null, err
+	}
+	for _, fv := range followers.List() {
+		if _, err := e.SyncInvoke(FnTimeline, beldi.Map(map[string]beldi.Value{
+			"op": beldi.Str("append"), "kind": beldi.Str("h"), "user": fv, "postId": postID,
+		})); err != nil {
+			return beldi.Null, err
+		}
+	}
+	return postID, nil
+}
+
+// frontend routes client requests.
+func (a *App) frontend(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+	m := in.Map()
+	switch m["op"].Str() {
+	case "compose":
+		return e.SyncInvoke(FnComposePost, in)
+	case "home":
+		return e.SyncInvoke(FnHomeTimeline, in)
+	case "user":
+		return e.SyncInvoke(FnUserTimeline, in)
+	case "login":
+		return e.SyncInvoke(FnUser, beldi.Map(map[string]beldi.Value{
+			"op": beldi.Str("login"), "user": m["user"], "password": m["password"],
+		}))
+	case "follow":
+		return e.SyncInvoke(FnSocialGraph, in)
+	default:
+		return beldi.Null, fmt.Errorf("social: unknown op %q", m["op"].Str())
+	}
+}
+
+// appendCapped appends v to the list at key, keeping the newest limit
+// entries.
+func appendCapped(e *beldi.Env, table, key string, v beldi.Value, limit int) error {
+	cur, err := e.Read(table, key)
+	if err != nil {
+		return err
+	}
+	ids := append([]beldi.Value{}, cur.List()...)
+	ids = append(ids, v)
+	if len(ids) > limit {
+		ids = ids[len(ids)-limit:]
+	}
+	return e.Write(table, key, beldi.List(ids...))
+}
+
+// --- workload ---------------------------------------------------------------
+
+// Entry returns the workflow's entry function.
+func (a *App) Entry() string { return FnFrontend }
+
+// Request draws from the social mix: mostly timeline reads with a compose
+// and login tail.
+func (a *App) Request(r *rand.Rand) beldi.Value {
+	p := r.Float64()
+	u := userID(r.Intn(NumUsers))
+	switch {
+	case p < 0.55:
+		return beldi.Map(map[string]beldi.Value{
+			"op": beldi.Str("home"), "user": beldi.Str(u),
+		})
+	case p < 0.80:
+		return beldi.Map(map[string]beldi.Value{
+			"op": beldi.Str("user"), "user": beldi.Str(u),
+		})
+	case p < 0.90:
+		mention := userID(r.Intn(NumUsers))
+		return beldi.Map(map[string]beldi.Value{
+			"op":   beldi.Str("compose"),
+			"user": beldi.Str(u),
+			"text": beldi.Str("hello @" + mention + " see https://example.com/" + u),
+			"media": beldi.List(
+				beldi.Str("https://img.example.com/" + u + ".png"),
+			),
+		})
+	default:
+		i := r.Intn(NumUsers)
+		return beldi.Map(map[string]beldi.Value{
+			"op":       beldi.Str("login"),
+			"user":     beldi.Str(userID(i)),
+			"password": beldi.Str(fmt.Sprintf("pw-%03d", i)),
+		})
+	}
+}

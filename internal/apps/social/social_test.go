@@ -1,0 +1,195 @@
+package social
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+	"repro/internal/uuid"
+)
+
+func newDeployment(t *testing.T, mode beldi.Mode, faults platform.FaultPlan) (*beldi.Deployment, *App) {
+	t.Helper()
+	store := dynamo.NewStore()
+	plat := platform.New(platform.Options{
+		ConcurrencyLimit: 10000, IDs: &uuid.Seq{Prefix: "req"}, Faults: faults,
+	})
+	d := beldi.NewDeployment(beldi.DeploymentOptions{
+		Store: store, Platform: plat, Mode: mode,
+		Config: beldi.Config{RowCap: 8, T: 100 * time.Millisecond, ICMinAge: time.Millisecond},
+	})
+	app := Build(d)
+	if err := app.Seed(); err != nil {
+		t.Fatal(err)
+	}
+	return d, app
+}
+
+func composeReq(user, text string) beldi.Value {
+	return beldi.Map(map[string]beldi.Value{
+		"op":   beldi.Str("compose"),
+		"user": beldi.Str(user),
+		"text": beldi.Str(text),
+		"media": beldi.List(
+			beldi.Str("https://img.example.com/cat.png"),
+		),
+	})
+}
+
+func TestComposeAppearsOnUserTimeline(t *testing.T) {
+	d, _ := newDeployment(t, beldi.ModeBeldi, nil)
+	postID, err := d.Invoke(FnFrontend, composeReq("user-005", "hello world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := d.Invoke(FnFrontend, beldi.Map(map[string]beldi.Value{
+		"op": beldi.Str("user"), "user": beldi.Str("user-005"),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	posts := tl.List()
+	if len(posts) != 1 {
+		t.Fatalf("%d posts on user timeline", len(posts))
+	}
+	post := posts[0].Map()
+	if post["id"].Str() != postID.Str() {
+		t.Errorf("post id %v != %v", post["id"], postID)
+	}
+	if post["body"].Map()["text"].Str() != "hello world" {
+		t.Errorf("body = %v", post["body"])
+	}
+	if len(post["media"].List()) != 1 {
+		t.Errorf("media = %v", post["media"])
+	}
+}
+
+func TestComposeFansOutToFollowers(t *testing.T) {
+	d, _ := newDeployment(t, beldi.ModeBeldi, nil)
+	// user-000's followers per the seeded graph: 1 + 0%8 = 1 follower:
+	// user-017.
+	if _, err := d.Invoke(FnFrontend, composeReq("user-000", "fan out!")); err != nil {
+		t.Fatal(err)
+	}
+	home, err := d.Invoke(FnFrontend, beldi.Map(map[string]beldi.Value{
+		"op": beldi.Str("home"), "user": beldi.Str("user-017"),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(home.List()) != 1 {
+		t.Fatalf("follower home timeline has %d posts", len(home.List()))
+	}
+	if got := home.List()[0].Map()["user"].Str(); got != "user-000" {
+		t.Errorf("post author = %s", got)
+	}
+	// A non-follower's home timeline stays empty.
+	other, _ := d.Invoke(FnFrontend, beldi.Map(map[string]beldi.Value{
+		"op": beldi.Str("home"), "user": beldi.Str("user-123"),
+	}))
+	if len(other.List()) != 0 {
+		t.Errorf("non-follower got %d posts", len(other.List()))
+	}
+}
+
+func TestURLShorteningAndMentions(t *testing.T) {
+	d, _ := newDeployment(t, beldi.ModeBeldi, nil)
+	if _, err := d.Invoke(FnFrontend,
+		composeReq("user-001", "hey @user-002 read https://example.com/a")); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := d.Invoke(FnFrontend, beldi.Map(map[string]beldi.Value{
+		"op": beldi.Str("user"), "user": beldi.Str("user-001"),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := tl.List()[0].Map()["body"].Map()
+	urls := body["urls"].List()
+	if len(urls) != 1 || !strings.HasPrefix(urls[0].Str(), "s.ly/") {
+		t.Errorf("urls = %v", body["urls"])
+	}
+	mentions := body["mentions"].List()
+	if len(mentions) != 1 || mentions[0].Str() != "user-002" {
+		t.Errorf("mentions = %v", body["mentions"])
+	}
+}
+
+func TestLogin(t *testing.T) {
+	d, _ := newDeployment(t, beldi.ModeBeldi, nil)
+	ok, err := d.Invoke(FnFrontend, beldi.Map(map[string]beldi.Value{
+		"op": beldi.Str("login"), "user": beldi.Str("user-009"), "password": beldi.Str("pw-009"),
+	}))
+	if err != nil || !ok.BoolVal() {
+		t.Errorf("login: %v %v", ok, err)
+	}
+}
+
+func TestTimelineCapBounded(t *testing.T) {
+	d, _ := newDeployment(t, beldi.ModeBeldi, nil)
+	for i := 0; i < TimelineCap+5; i++ {
+		if _, err := d.Invoke(FnFrontend, composeReq("user-003", "post")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tl, err := d.Invoke(FnFrontend, beldi.Map(map[string]beldi.Value{
+		"op": beldi.Str("user"), "user": beldi.Str("user-003"),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.List()) != TimelineCap {
+		t.Errorf("timeline = %d posts, want cap %d", len(tl.List()), TimelineCap)
+	}
+}
+
+func TestComposeCrashRecoveryNoDuplicateFanOut(t *testing.T) {
+	// Kill compose-post mid fan-out; after recovery the post must appear
+	// exactly once on each follower's home timeline.
+	for _, n := range []int{3, 8, 15, 25} {
+		plan := &platform.CrashNthOp{Function: FnComposePost, N: n}
+		d, _ := newDeployment(t, beldi.ModeBeldi, plan)
+		_, err := d.Invoke(FnFrontend, composeReq("user-000", "crashy post"))
+		if err != nil && !errors.Is(err, platform.ErrCrashed) && !errors.Is(err, platform.ErrTimeout) {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if err := d.RunAllCollectors(); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(2 * time.Millisecond)
+			home, err := d.Invoke(FnFrontend, beldi.Map(map[string]beldi.Value{
+				"op": beldi.Str("home"), "user": beldi.Str("user-017"),
+			}))
+			if err == nil && len(home.List()) >= 1 {
+				if got := len(home.List()); got != 1 {
+					t.Fatalf("n=%d: follower saw %d copies", n, got)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("n=%d: post never reached the follower", n)
+			}
+		}
+	}
+}
+
+func TestWorkloadMixAllModes(t *testing.T) {
+	for _, mode := range []beldi.Mode{beldi.ModeBeldi, beldi.ModeCrossTable, beldi.ModeBaseline} {
+		t.Run(mode.String(), func(t *testing.T) {
+			d, app := newDeployment(t, mode, nil)
+			rng := rand.New(rand.NewSource(5))
+			for i := 0; i < 20; i++ {
+				if _, err := d.Invoke(app.Entry(), app.Request(rng)); err != nil {
+					t.Fatalf("request %d: %v", i, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,213 @@
+package travel
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+	"repro/internal/uuid"
+)
+
+func newDeployment(t *testing.T, mode beldi.Mode) (*beldi.Deployment, *App) {
+	t.Helper()
+	store := dynamo.NewStore()
+	plat := platform.New(platform.Options{ConcurrencyLimit: 10000, IDs: &uuid.Seq{Prefix: "req"}})
+	d := beldi.NewDeployment(beldi.DeploymentOptions{
+		Store: store, Platform: plat, Mode: mode,
+		Config: beldi.Config{RowCap: 8, T: 100 * time.Millisecond, LockRetryMax: 300},
+	})
+	app := Build(d)
+	app.Capacity = 50
+	if err := app.Seed(); err != nil {
+		t.Fatal(err)
+	}
+	return d, app
+}
+
+func TestSearchReturnsRatedHotels(t *testing.T) {
+	d, _ := newDeployment(t, beldi.ModeBeldi)
+	out, err := d.Invoke(FnFrontend, beldi.Map(map[string]beldi.Value{
+		"op": beldi.Str("search"), "lat": beldi.Num(0.5), "lon": beldi.Num(0.5),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotels := out.List()
+	if len(hotels) == 0 {
+		t.Fatal("no hotels returned")
+	}
+	for _, h := range hotels {
+		m := h.Map()
+		if m["hotel"].Str() == "" || m["price"].IsNull() {
+			t.Errorf("hotel entry incomplete: %v", h)
+		}
+	}
+}
+
+func TestRecommendPerCriterion(t *testing.T) {
+	d, _ := newDeployment(t, beldi.ModeBeldi)
+	for _, crit := range []string{"price", "distance", "rate"} {
+		out, err := d.Invoke(FnFrontend, beldi.Map(map[string]beldi.Value{
+			"op": beldi.Str("recommend"), "require": beldi.Str(crit),
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.List()) != 5 {
+			t.Errorf("%s: %d recommendations", crit, len(out.List()))
+		}
+	}
+}
+
+func TestLoginPaths(t *testing.T) {
+	d, _ := newDeployment(t, beldi.ModeBeldi)
+	ok, err := d.Invoke(FnFrontend, beldi.Map(map[string]beldi.Value{
+		"op": beldi.Str("login"), "user": beldi.Str("user-007"), "password": beldi.Str("pw-007"),
+	}))
+	if err != nil || !ok.BoolVal() {
+		t.Errorf("good login: %v %v", ok, err)
+	}
+	bad, err := d.Invoke(FnFrontend, beldi.Map(map[string]beldi.Value{
+		"op": beldi.Str("login"), "user": beldi.Str("user-007"), "password": beldi.Str("wrong"),
+	}))
+	if err != nil || bad.BoolVal() {
+		t.Errorf("bad login: %v %v", bad, err)
+	}
+}
+
+func TestReserveDecrementsBothInventories(t *testing.T) {
+	d, _ := newDeployment(t, beldi.ModeBeldi)
+	out, err := d.Invoke(FnFrontend, beldi.Map(map[string]beldi.Value{
+		"op":     beldi.Str("reserve"),
+		"hotel":  beldi.Str(hotelID(3)),
+		"flight": beldi.Str(flightID(4)),
+	}))
+	if err != nil || out.Str() != "booked" {
+		t.Fatalf("reserve: %v %v", out, err)
+	}
+	hot, err := AuditInventory(d, FnReserveHotel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := AuditInventory(d, FnReserveFlight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(50*NumHotels - 1)
+	if hot != want || fl != want {
+		t.Errorf("inventories hotel=%d flight=%d, want %d", hot, fl, want)
+	}
+}
+
+func TestReserveSoldOutAborts(t *testing.T) {
+	store := dynamo.NewStore()
+	plat := platform.New(platform.Options{ConcurrencyLimit: 10000, IDs: &uuid.Seq{Prefix: "req"}})
+	d := beldi.NewDeployment(beldi.DeploymentOptions{
+		Store: store, Platform: plat,
+		Config: beldi.Config{RowCap: 8, T: 100 * time.Millisecond, LockRetryMax: 300},
+	})
+	app := Build(d)
+	app.Capacity = 1
+	if err := app.Seed(); err != nil {
+		t.Fatal(err)
+	}
+	req := beldi.Map(map[string]beldi.Value{
+		"op": beldi.Str("reserve"), "hotel": beldi.Str(hotelID(0)), "flight": beldi.Str(flightID(0)),
+	})
+	if out, err := d.Invoke(FnFrontend, req); err != nil || out.Str() != "booked" {
+		t.Fatalf("first: %v %v", out, err)
+	}
+	out, err := d.Invoke(FnFrontend, req)
+	if err != nil || out.Str() != "aborted" {
+		t.Fatalf("second: %v %v", out, err)
+	}
+	// The abort must not have leaked a partial decrement anywhere.
+	hot, _ := AuditInventory(d, FnReserveHotel)
+	fl, _ := AuditInventory(d, FnReserveFlight)
+	if hot != int64(NumHotels-1) || fl != int64(NumFlights-1) {
+		t.Errorf("inventories hotel=%d flight=%d after abort", hot, fl)
+	}
+}
+
+func TestConcurrentReservationsStayConsistentUnderBeldi(t *testing.T) {
+	// The §7.2 claim, positive half: with Beldi's transactions, hotel and
+	// flight bookings always move in lockstep.
+	d, _ := newDeployment(t, beldi.ModeBeldi)
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewSource(1))
+	var mu sync.Mutex
+	for i := 0; i < 20; i++ {
+		h, fl := normalChoice(rng, NumHotels), normalChoice(rng, NumFlights)
+		wg.Add(1)
+		go func(h, fl int) {
+			defer wg.Done()
+			mu.Lock()
+			req := beldi.Map(map[string]beldi.Value{
+				"op": beldi.Str("reserve"), "hotel": beldi.Str(hotelID(h)), "flight": beldi.Str(flightID(fl)),
+			})
+			mu.Unlock()
+			d.Invoke(FnFrontend, req) //nolint:errcheck // aborts acceptable
+		}(h, fl)
+	}
+	wg.Wait()
+	hot, _ := AuditInventory(d, FnReserveHotel)
+	fl, _ := AuditInventory(d, FnReserveFlight)
+	if hot != fl {
+		t.Errorf("hotel bookings %d != flight bookings %d (consistency violated)",
+			int64(50*NumHotels)-hot, int64(50*NumFlights)-fl)
+	}
+}
+
+func TestWorkloadGeneratorCoversMix(t *testing.T) {
+	app := &App{}
+	rng := rand.New(rand.NewSource(42))
+	counts := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		req := app.Request(rng)
+		counts[req.Map()["op"].Str()]++
+	}
+	for _, op := range []string{"search", "recommend", "login", "reserve"} {
+		if counts[op] == 0 {
+			t.Errorf("mix never produced %s", op)
+		}
+	}
+	if counts["search"] < counts["reserve"] {
+		t.Errorf("mix shape off: %v", counts)
+	}
+}
+
+func TestNormalChoiceBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mid := 0
+	for i := 0; i < 5000; i++ {
+		v := normalChoice(rng, 100)
+		if v < 0 || v >= 100 {
+			t.Fatalf("out of range: %d", v)
+		}
+		if v >= 30 && v < 70 {
+			mid++
+		}
+	}
+	// A normal centred at 50 should put most mass in the middle band.
+	if mid < 3000 {
+		t.Errorf("distribution not centred: %d/5000 in middle band", mid)
+	}
+}
+
+func TestEndToEndRequestMixAllModes(t *testing.T) {
+	for _, mode := range []beldi.Mode{beldi.ModeBeldi, beldi.ModeCrossTable, beldi.ModeBaseline} {
+		t.Run(mode.String(), func(t *testing.T) {
+			d, app := newDeployment(t, mode)
+			rng := rand.New(rand.NewSource(9))
+			for i := 0; i < 25; i++ {
+				if _, err := d.Invoke(app.Entry(), app.Request(rng)); err != nil {
+					t.Fatalf("request %d: %v", i, err)
+				}
+			}
+		})
+	}
+}

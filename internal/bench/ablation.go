@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/core"
+	"repro/internal/hist"
+)
+
+// Traversal ablation (§4.1): Beldi finds a linked DAAL's tail with one
+// scan+projection round trip; the naive alternative chases NextRow pointers
+// with one read per row. The paper credits DynamoDB's scan/filter/
+// projection efficiency for keeping deep DAALs cheap (§7.5) — this ablation
+// quantifies that design choice as depth grows.
+
+// AblationRow is one (depth, strategy) measurement.
+type AblationRow struct {
+	Depth    int
+	Strategy string // "scan" or "pointer-chase"
+	Median   time.Duration
+	StoreOps float64 // store round trips per traversal
+}
+
+// AblationOptions configure the traversal ablation.
+type AblationOptions struct {
+	// Depths are the DAAL depths to measure. nil means {1, 5, 10, 20, 40}.
+	Depths []int
+	// Ops per cell. 0 means 40.
+	Ops int
+	// Scale compresses simulated latency. 0 means 0.2.
+	Scale float64
+	Seed  int64
+}
+
+// TraversalAblation measures both strategies at each depth.
+func TraversalAblation(opts AblationOptions) ([]AblationRow, error) {
+	if opts.Depths == nil {
+		opts.Depths = []int{1, 5, 10, 20, 40}
+	}
+	if opts.Ops == 0 {
+		opts.Ops = 40
+	}
+	if opts.Scale == 0 {
+		opts.Scale = 0.2
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	var out []AblationRow
+	for _, depth := range opts.Depths {
+		for _, strategy := range []string{"scan", "pointer-chase"} {
+			row, err := ablationCell(depth, strategy, opts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: ablation depth=%d %s: %w", depth, strategy, err)
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func ablationCell(depth int, strategy string, opts AblationOptions) (AblationRow, error) {
+	const rowCap = 16
+	sys := NewSystem(SystemOptions{
+		Mode: beldi.ModeBeldi, Scale: opts.Scale, Seed: opts.Seed,
+		Concurrency: 10000,
+		Config:      beldi.Config{RowCap: rowCap, T: time.Hour},
+	})
+	sys.D.Function("fill", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		for i := int64(0); i < in.Int(); i++ {
+			if err := e.Write("data", "k", beldi.Str(value16)); err != nil {
+				return beldi.Null, err
+			}
+		}
+		return beldi.Null, nil
+	}, "data")
+	fillWrites := (depth-1)*rowCap + 1
+	if _, err := sys.D.Invoke("fill", beldi.Int(int64(fillWrites))); err != nil {
+		return AblationRow{}, err
+	}
+
+	rt := sys.D.Runtime("fill")
+	h := &hist.Histogram{}
+	before := sys.Store.Metrics().Snapshot()
+	for i := 0; i < opts.Ops; i++ {
+		t0 := time.Now()
+		var err error
+		if strategy == "scan" {
+			_, err = core.TailValueByScan(rt, "data", "k")
+		} else {
+			_, err = core.TailValueByPointerChase(rt, "data", "k")
+		}
+		if err != nil {
+			return AblationRow{}, err
+		}
+		h.Record(time.Since(t0))
+	}
+	diff := sys.Store.Metrics().Snapshot().Sub(before)
+	return AblationRow{
+		Depth:    depth,
+		Strategy: strategy,
+		Median:   h.Median(),
+		StoreOps: float64(diff.TotalOps()) / float64(opts.Ops),
+	}, nil
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/beldi"
+)
+
+// Smoke tests: each experiment entry point runs end to end at tiny scale
+// and produces structurally sane output. The real measurements live in
+// cmd/figures and bench_test.go.
+
+func TestFig13Smoke(t *testing.T) {
+	rows, err := Fig13(Fig13Options{DAALRows: 3, Ops: 5, RowCap: 8, Scale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // 4 ops × 3 modes
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Median <= 0 || r.P99 < r.Median {
+			t.Errorf("%s/%s: median=%v p99=%v", r.Op, ModeLabel(r.Mode), r.Median, r.P99)
+		}
+	}
+	// Beldi reads must cost more than baseline reads (the paper's 2–4×).
+	get := func(op string, m beldi.Mode) time.Duration {
+		for _, r := range rows {
+			if r.Op == op && r.Mode == m {
+				return r.Median
+			}
+		}
+		t.Fatalf("missing %s/%v", op, m)
+		return 0
+	}
+	if get("Read", beldi.ModeBeldi) <= get("Read", beldi.ModeBaseline) {
+		t.Error("Beldi read not more expensive than baseline")
+	}
+}
+
+func TestSweepSmoke(t *testing.T) {
+	pts, err := Sweep(SweepOptions{
+		App: "media", Mode: beldi.ModeBaseline,
+		Rates:    []float64{50},
+		Duration: 300 * time.Millisecond,
+		Warmup:   50 * time.Millisecond,
+		Scale:    0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Throughput <= 0 || pts[0].P50 <= 0 {
+		t.Fatalf("point: %+v", pts)
+	}
+	if pts[0].Errors != 0 {
+		t.Errorf("%d errors at trivial load", pts[0].Errors)
+	}
+}
+
+func TestSweepAllAppsBuild(t *testing.T) {
+	for _, app := range []string{"media", "travel", "social"} {
+		sys := NewSystem(SystemOptions{Mode: beldi.ModeBeldi, Scale: 0.0001, Concurrency: 10000})
+		if _, err := BuildApp(sys, app); err != nil {
+			t.Errorf("%s: %v", app, err)
+		}
+	}
+	sys := NewSystem(SystemOptions{Scale: 0.0001})
+	if _, err := BuildApp(sys, "nope"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestFig16Smoke(t *testing.T) {
+	series, err := Fig16(Fig16Options{
+		Minutes: 4, MinuteDuration: 80 * time.Millisecond,
+		Rate: 300, RowCap: 2, Scale: 0.0005, TsMinutes: []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 { // no-GC, GC(1min), cross-table
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Median) != 4 || len(s.Rows) != 4 {
+			t.Errorf("%s: %d medians %d rows", s.Label, len(s.Median), len(s.Rows))
+		}
+	}
+	// Without GC the DAAL must end deeper than with GC (tiny row capacity
+	// and hundreds of writes force visible growth even at smoke scale).
+	if series[0].Rows[3] <= series[1].Rows[3] {
+		t.Errorf("no-GC depth %d <= GC depth %d", series[0].Rows[3], series[1].Rows[3])
+	}
+}
+
+func TestCostsSmoke(t *testing.T) {
+	rep, err := Costs(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StoreOpsPerReadBeldi <= rep.StoreOpsPerReadBaseline {
+		t.Errorf("beldi reads %f ops <= baseline %f", rep.StoreOpsPerReadBeldi, rep.StoreOpsPerReadBaseline)
+	}
+	if rep.ReadBytesBeldi <= rep.ReadBytesBaseline {
+		t.Errorf("beldi read bytes %d <= baseline %d", rep.ReadBytesBeldi, rep.ReadBytesBaseline)
+	}
+	if rep.DAALBytes20Rows <= 0 {
+		t.Error("no DAAL footprint measured")
+	}
+	if rep.StoredBytesPerOpBeldi <= 0 {
+		t.Errorf("beldi stored bytes per op = %f", rep.StoredBytesPerOpBeldi)
+	}
+}

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"time"
+
+	"repro/beldi"
+)
+
+// §7.3 "Other costs": the storage and network overhead Beldi adds on top of
+// the values themselves. The paper reports 20–36 bytes of log+metadata
+// stored per operation, ~2 KB of extra scan traffic per read against a
+// 20-row DAAL, and one extra scan+write per read / one extra scan per write
+// / one read and two writes per invocation.
+
+// CostsReport is the measured accounting.
+type CostsReport struct {
+	// StoredBytesPerOp is the net storage growth per operation, beyond the
+	// 16-byte value, for each mode.
+	StoredBytesPerOpBeldi    float64
+	StoredBytesPerOpBaseline float64
+	// ReadBytesBeldi/Baseline are response bytes for one read against a
+	// 20-row DAAL vs a single-row table.
+	ReadBytesBeldi    int64
+	ReadBytesBaseline int64
+	// StoreOpsPerRead/Write/Invoke are database round trips per API call.
+	StoreOpsPerReadBeldi      float64
+	StoreOpsPerReadBaseline   float64
+	StoreOpsPerWriteBeldi     float64
+	StoreOpsPerWriteBaseline  float64
+	StoreOpsPerInvokeBeldi    float64
+	StoreOpsPerInvokeBaseline float64
+	// DAALBytes20Rows is the 20-row DAAL's storage footprint.
+	DAALBytes20Rows int
+}
+
+// Costs measures the report. ops controls the sample size (0 = 50).
+func Costs(ops int) (*CostsReport, error) {
+	if ops == 0 {
+		ops = 50
+	}
+	rep := &CostsReport{}
+
+	for _, mode := range []beldi.Mode{beldi.ModeBeldi, beldi.ModeBaseline} {
+		sys := NewSystem(SystemOptions{
+			Mode: mode, Scale: 0.0001, Seed: 1, Concurrency: 10000,
+			Config: beldi.Config{RowCap: 64, T: time.Hour},
+		})
+		kind := "noop"
+		sys.D.Function(kind, func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+			return beldi.Null, nil
+		})
+		var doOp string
+		sys.D.Function("op", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+			switch doOp {
+			case "read":
+				_, err := e.Read("data", "k")
+				return beldi.Null, err
+			case "write":
+				return beldi.Null, e.Write("data", "k", beldi.Str(value16))
+			case "invoke":
+				_, err := e.SyncInvoke(kind, beldi.Null)
+				return beldi.Null, err
+			case "fill":
+				for i := 0; i < (20-1)*64+1; i++ {
+					if err := e.Write("data", "k", beldi.Str(value16)); err != nil {
+						return beldi.Null, err
+					}
+				}
+			}
+			return beldi.Null, nil
+		}, "data")
+
+		if mode == beldi.ModeBeldi {
+			doOp = "fill"
+			if _, err := sys.D.Invoke("op", beldi.Null); err != nil {
+				return nil, err
+			}
+			rep.DAALBytes20Rows, _ = sys.Store.TableBytes(dataTableName("op", "data"))
+		} else {
+			doOp = "write"
+			if _, err := sys.D.Invoke("op", beldi.Null); err != nil {
+				return nil, err
+			}
+		}
+
+		measure := func(what string) (opsPer float64, bytesRead int64, storedPer float64, err error) {
+			doOp = what
+			before := sys.Store.Metrics().Snapshot()
+			bytesBefore := storeBytesTotal(sys)
+			for i := 0; i < ops; i++ {
+				if _, err := sys.D.Invoke("op", beldi.Null); err != nil {
+					return 0, 0, 0, err
+				}
+			}
+			diff := sys.Store.Metrics().Snapshot().Sub(before)
+			stored := storeBytesTotal(sys) - bytesBefore
+			return float64(diff.TotalOps()) / float64(ops),
+				diff.BytesRead / int64(ops),
+				float64(stored) / float64(ops), nil
+		}
+
+		// Calibrate away the per-invocation envelope (intent check/log and
+		// done-marking) so the figures isolate the API operations
+		// themselves, like the paper's per-operation accounting.
+		nopOps, _, _, err := measure("none")
+		if err != nil {
+			return nil, err
+		}
+		readOps, readBytes, _, err := measure("read")
+		if err != nil {
+			return nil, err
+		}
+		writeOps, _, writeStored, err := measure("write")
+		if err != nil {
+			return nil, err
+		}
+		invokeOps, _, _, err := measure("invoke")
+		if err != nil {
+			return nil, err
+		}
+		readOps -= nopOps
+		writeOps -= nopOps
+		invokeOps -= nopOps
+		if mode == beldi.ModeBeldi {
+			rep.StoreOpsPerReadBeldi = readOps
+			rep.StoreOpsPerWriteBeldi = writeOps
+			rep.StoreOpsPerInvokeBeldi = invokeOps
+			rep.ReadBytesBeldi = readBytes
+			rep.StoredBytesPerOpBeldi = writeStored - float64(len(value16))
+		} else {
+			rep.StoreOpsPerReadBaseline = readOps
+			rep.StoreOpsPerWriteBaseline = writeOps
+			rep.StoreOpsPerInvokeBaseline = invokeOps
+			rep.ReadBytesBaseline = readBytes
+			rep.StoredBytesPerOpBaseline = writeStored - float64(len(value16))
+		}
+	}
+	return rep, nil
+}
+
+// storeBytesTotal sums every table's footprint.
+func storeBytesTotal(sys *System) int {
+	total := 0
+	for _, name := range sys.Store.TableNames() {
+		n, err := sys.Store.TableBytes(name)
+		if err == nil {
+			total += n
+		}
+	}
+	return total
+}

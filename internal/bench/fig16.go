@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/workload"
+)
+
+// Figure 16: median response time, over a long constant-load run against a
+// single key, of an SSF that performs one write — under no GC, GC with
+// T = 1, 10 and 30 minutes, and the cross-table-transaction layout. The GC
+// trigger fires every minute regardless of T (§7.2/§7.5: the trigger timer
+// decides when the collector runs; T decides what it may reclaim). Without
+// GC the linked DAAL grows without bound and the scan-based traversal
+// slowly pays for it; with GC the chain stays shallow for every T, which is
+// the paper's point — T matters for storage, barely for latency.
+//
+// Wall-clock minutes are simulated: one "paper minute" maps to
+// MinuteDuration of real time, preserving the write-rate : GC-period :
+// row-capacity ratios that drive the figure's shape.
+
+// Fig16Series is one line of the figure.
+type Fig16Series struct {
+	Label string
+	// Median[i] is the median response time during simulated minute i.
+	Median []time.Duration
+	// Rows[i] is the target key's physical row count at the end of minute
+	// i (the storage story behind §7.5's I/O remark).
+	Rows []int
+	// Bytes[i] is the data table's footprint at the end of minute i.
+	Bytes []int
+}
+
+// Fig16Options configure the run.
+type Fig16Options struct {
+	// Minutes is the simulated duration (60 in the paper). 0 means 30.
+	Minutes int
+	// MinuteDuration is real time per simulated minute. 0 means 300ms.
+	MinuteDuration time.Duration
+	// Rate is the offered write load in req/s. 0 means 60.
+	Rate float64
+	// RowCap keeps rows small so depth grows visibly. 0 means 8.
+	RowCap int
+	// TsMinutes are the GC lifetimes to sweep. nil means {1, 10, 30}.
+	TsMinutes []int
+	// Scale compresses simulated latency. 0 means 0.05.
+	Scale float64
+	Seed  int64
+}
+
+func (o Fig16Options) withDefaults() Fig16Options {
+	if o.Minutes == 0 {
+		o.Minutes = 30
+	}
+	if o.MinuteDuration == 0 {
+		o.MinuteDuration = 300 * time.Millisecond
+	}
+	if o.Rate == 0 {
+		o.Rate = 60
+	}
+	if o.RowCap == 0 {
+		o.RowCap = 8
+	}
+	if o.TsMinutes == nil {
+		o.TsMinutes = []int{1, 10, 30}
+	}
+	if o.Scale == 0 {
+		o.Scale = 0.05
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Fig16 runs all series.
+func Fig16(opts Fig16Options) ([]Fig16Series, error) {
+	opts = opts.withDefaults()
+	var out []Fig16Series
+	s, err := fig16Series("without GC", beldi.ModeBeldi, -1, opts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s)
+	for _, tMin := range opts.TsMinutes {
+		s, err := fig16Series(fmt.Sprintf("with GC (%d min)", tMin), beldi.ModeBeldi, tMin, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	s, err = fig16Series("cross-table txn", beldi.ModeCrossTable, 1, opts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s)
+	return out, nil
+}
+
+// fig16Series runs one line. tMinutes < 0 disables garbage collection.
+func fig16Series(label string, mode beldi.Mode, tMinutes int, opts Fig16Options) (Fig16Series, error) {
+	t := time.Hour // effectively never reclaim
+	if tMinutes > 0 {
+		t = time.Duration(tMinutes) * opts.MinuteDuration
+	}
+	sys := NewSystem(SystemOptions{
+		Mode: mode, Scale: opts.Scale, Seed: opts.Seed,
+		Concurrency: 10000,
+		Config:      beldi.Config{RowCap: opts.RowCap, T: t},
+	})
+	sys.D.Function("w", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		return beldi.Null, e.Write("data", "k", beldi.Str(value16))
+	}, "data")
+	if _, err := sys.D.Invoke("w", beldi.Null); err != nil { // warm
+		return Fig16Series{}, err
+	}
+
+	series := Fig16Series{Label: label}
+	rt := sys.D.Runtime("w")
+	for min := 0; min < opts.Minutes; min++ {
+		res := workload.Run(workload.Options{
+			Rate:     opts.Rate,
+			Duration: opts.MinuteDuration,
+			Seed:     opts.Seed + int64(min),
+		}, func(r *rand.Rand) error {
+			_, err := sys.D.Invoke("w", beldi.Null)
+			return err
+		})
+		series.Median = append(series.Median, res.Latency.Median())
+
+		// Minute boundary: the 1-minute GC trigger (§7.2).
+		if tMinutes > 0 {
+			if _, err := rt.RunGarbageCollector(); err != nil {
+				return Fig16Series{}, err
+			}
+		}
+		rows, err := sys.Store.TableItemCount(dataTableName("w", "data"))
+		if err != nil {
+			return Fig16Series{}, err
+		}
+		bytes, err := sys.Store.TableBytes(dataTableName("w", "data"))
+		if err != nil {
+			return Fig16Series{}, err
+		}
+		series.Rows = append(series.Rows, rows)
+		series.Bytes = append(series.Bytes, bytes)
+	}
+	return series, nil
+}
+
+// dataTableName mirrors the runtime's physical naming (fn.data.logical).
+func dataTableName(fn, logical string) string { return fn + ".data." + logical }

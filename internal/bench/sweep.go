@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/apps/media"
+	"repro/internal/apps/social"
+	"repro/internal/apps/travel"
+	"repro/internal/workload"
+)
+
+// Figures 14 (movie review), 15 (travel reservation) and 26 (social media):
+// median and 99th-percentile response time versus offered throughput, Beldi
+// against the baseline, under the DeathStarBench-derived request mixes. The
+// paper sweeps 100→800 req/s on AWS, saturating at the 1,000-concurrent-
+// Lambda account limit; the harness recreates the same knee by scaling the
+// platform's concurrency ceiling along with its latency model.
+
+// workloadApp is the slice of an application the sweep needs.
+type workloadApp interface {
+	Entry() string
+	Request(r *rand.Rand) beldi.Value
+}
+
+// BuildApp wires the named app ("media", "travel", "travel-notxn" or
+// "social") onto a system and seeds it. "travel-notxn" is the §7.4 ablation:
+// Beldi fault tolerance without the reservation transaction.
+func BuildApp(sys *System, name string) (workloadApp, error) {
+	switch name {
+	case "media":
+		app := media.Build(sys.D)
+		return app, app.Seed()
+	case "travel":
+		app := travel.Build(sys.D)
+		return app, app.Seed()
+	case "travel-notxn":
+		app := travel.Build(sys.D)
+		app.DisableTxn = true
+		return app, app.Seed()
+	case "social":
+		app := social.Build(sys.D)
+		return app, app.Seed()
+	default:
+		return nil, fmt.Errorf("bench: unknown app %q", name)
+	}
+}
+
+// SweepPoint is one x-position of a latency-throughput figure.
+type SweepPoint struct {
+	Rate       float64
+	Throughput float64
+	P50, P99   time.Duration
+	Errors     int64
+	Dropped    int64
+}
+
+// SweepOptions configure a latency-throughput sweep.
+type SweepOptions struct {
+	App  string
+	Mode beldi.Mode
+	// Rates are the offered loads (req/s). nil means 100..800 step 100,
+	// matching the paper's x-axis.
+	Rates []float64
+	// Duration per point (the paper uses 5 minutes; scaled runs use
+	// seconds). 0 means 3s.
+	Duration time.Duration
+	// Warmup per point. 0 means Duration/4.
+	Warmup time.Duration
+	// Scale compresses simulated latency; 0 means 0.1.
+	Scale float64
+	// Concurrency is the platform limit; 0 derives a knee near the top of
+	// the rate range.
+	Concurrency int
+	Seed        int64
+}
+
+func (o SweepOptions) withDefaults() SweepOptions {
+	if o.Rates == nil {
+		o.Rates = []float64{100, 200, 300, 400, 500, 600, 700, 800}
+	}
+	if o.Duration == 0 {
+		o.Duration = 3 * time.Second
+	}
+	if o.Warmup == 0 {
+		o.Warmup = o.Duration / 4
+	}
+	if o.Scale == 0 {
+		o.Scale = 0.1
+	}
+	if o.Concurrency == 0 {
+		// The paper's 1,000-Lambda ceiling produces a knee around 800 req/s
+		// for these apps; with latencies compressed by Scale each instance
+		// holds its slot for ~Scale× as long, so the equivalent ceiling
+		// scales accordingly. The constant is calibrated so the Beldi curve
+		// saturates near the top of the default 100–800 req/s range, like
+		// the paper's.
+		o.Concurrency = int(3300 * o.Scale)
+		if o.Concurrency < 8 {
+			o.Concurrency = 8
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Sweep runs one latency-throughput curve.
+func Sweep(opts SweepOptions) ([]SweepPoint, error) {
+	opts = opts.withDefaults()
+	sys := NewSystem(SystemOptions{
+		Mode: opts.Mode, Scale: opts.Scale, Seed: opts.Seed,
+		Concurrency: opts.Concurrency,
+		Config: beldi.Config{
+			RowCap: 16,
+			T:      2 * time.Second,
+		},
+	})
+	app, err := BuildApp(sys, opts.App)
+	if err != nil {
+		return nil, err
+	}
+	var out []SweepPoint
+	for _, rate := range opts.Rates {
+		res := workload.Run(workload.Options{
+			Rate:     rate,
+			Duration: opts.Duration,
+			Warmup:   opts.Warmup,
+			Seed:     opts.Seed,
+		}, func(r *rand.Rand) error {
+			_, err := sys.D.Invoke(app.Entry(), app.Request(r))
+			return err
+		})
+		out = append(out, SweepPoint{
+			Rate:       rate,
+			Throughput: res.Throughput(),
+			P50:        res.Latency.Median(),
+			P99:        res.Latency.P99(),
+			Errors:     res.Errors,
+			Dropped:    res.Dropped,
+		})
+		// Collect between points so log growth from one point does not
+		// bleed into the next (the paper's collectors run on 1-minute
+		// timers throughout).
+		if err := sys.D.RunAllCollectors(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

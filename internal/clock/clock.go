@@ -1,0 +1,101 @@
+// Package clock abstracts time so Beldi's timer-driven components (the
+// intent collector and garbage collector, §3.3/§5 of the paper) can be
+// driven by a manual clock in tests and by real time in benchmarks.
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and sleeping. Implementations must be safe
+// for concurrent use.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the then-current time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Manual is a test clock that only moves when Advance is called. Sleepers
+// and After-waiters wake when the clock passes their deadline.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*waiter
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewManual returns a Manual clock starting at start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Sleep implements Clock. It blocks until Advance moves the clock past the
+// deadline.
+func (m *Manual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-m.After(d)
+}
+
+// After implements Clock.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	deadline := m.now.Add(d)
+	if d <= 0 {
+		ch <- m.now
+		return ch
+	}
+	m.waiters = append(m.waiters, &waiter{deadline: deadline, ch: ch})
+	sort.Slice(m.waiters, func(i, j int) bool {
+		return m.waiters[i].deadline.Before(m.waiters[j].deadline)
+	})
+	return ch
+}
+
+// Advance moves the clock forward by d, waking any waiter whose deadline has
+// passed.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	now := m.now
+	var rest []*waiter
+	for _, w := range m.waiters {
+		if !w.deadline.After(now) {
+			w.ch <- now
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	m.waiters = rest
+	m.mu.Unlock()
+}

@@ -1,0 +1,99 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockMonotone(t *testing.T) {
+	var c Real
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	b := c.Now()
+	if !b.After(a) {
+		t.Errorf("time went backwards: %v then %v", a, b)
+	}
+}
+
+func TestManualNowAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	m := NewManual(start)
+	if !m.Now().Equal(start) {
+		t.Fatal("wrong start")
+	}
+	m.Advance(5 * time.Second)
+	if got := m.Now(); !got.Equal(start.Add(5 * time.Second)) {
+		t.Errorf("Now = %v", got)
+	}
+}
+
+func TestManualAfterFires(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	ch := m.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("fired early")
+	default:
+	}
+	m.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("fired at 9s")
+	default:
+	}
+	m.Advance(time.Second)
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("never fired")
+	}
+}
+
+func TestManualAfterNonPositive(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	select {
+	case <-m.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestManualSleepWakes(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		m.Sleep(3 * time.Second)
+		close(done)
+	}()
+	// Give the sleeper a moment to register.
+	time.Sleep(10 * time.Millisecond)
+	m.Advance(3 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("sleeper never woke")
+	}
+}
+
+func TestManualMultipleWaitersOrdering(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	early := m.After(time.Second)
+	late := m.After(time.Minute)
+	m.Advance(2 * time.Second)
+	select {
+	case <-early:
+	default:
+		t.Fatal("early waiter not woken")
+	}
+	select {
+	case <-late:
+		t.Fatal("late waiter woken too soon")
+	default:
+	}
+	m.Advance(time.Hour)
+	select {
+	case <-late:
+	default:
+		t.Fatal("late waiter never woken")
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+)
+
+// The intent collector (§3.3): a timer-triggered serverless function that
+// finds this SSF's unfinished intents and re-executes them with their
+// original instance id and arguments. Restarting a still-running instance
+// is safe — every step is at-most-once — so the collector needs no failure
+// detector; it only rate-limits restarts (ICMinAge) and pages its scan
+// (ICPageLimit) to bound its own execution time (Appendix A).
+
+// icHandler is the collector's body, registered as "<fn>.ic".
+func (rt *Runtime) icHandler(inv *platform.Invocation, _ Value) (Value, error) {
+	n, err := rt.RunIntentCollector()
+	if err != nil {
+		return dynamo.Null, err
+	}
+	return dynamo.NInt(int64(n)), nil
+}
+
+// RunIntentCollector performs one collection pass, returning how many
+// instances it restarted. Exposed for tests and for deployments that drive
+// collection themselves.
+func (rt *Runtime) RunIntentCollector() (int, error) {
+	items, err := rt.store.QueryIndex(rt.intentTable, indexPending, dynamo.S(pendingMarker),
+		dynamo.QueryOpts{Limit: rt.cfg.ICPageLimit})
+	if err != nil {
+		return 0, err
+	}
+	now := rt.now()
+	minAge := rt.cfg.ICMinAge.Microseconds()
+	restarted := 0
+	for _, it := range items {
+		rec := decodeIntent(it)
+		if now-rec.lastLaunch < minAge {
+			continue // launched recently; give it time (first IC optimization)
+		}
+		claimed, err := rt.touchLaunch(rec.id, rec.lastLaunch, now)
+		if err != nil {
+			return restarted, err
+		}
+		if !claimed {
+			continue // a concurrent collector (or the done-marking) won
+		}
+		ev := rec.args
+		ev.InstanceID = rec.id
+		if err := rt.plat.InvokeAsyncInternal(rt.fn, ev.encode()); err != nil {
+			return restarted, err
+		}
+		rt.stats.Restarts.Add(1)
+		restarted++
+	}
+	return restarted, nil
+}
+
+// StartCollectors begins the timer loops that trigger the intent collector
+// and garbage collector through the platform (the paper triggers both every
+// minute, AWS's finest timer resolution). Stop() ends them.
+func (rt *Runtime) StartCollectors() {
+	if rt.cfg.ICInterval > 0 {
+		go rt.timerLoop(rt.cfg.ICInterval, rt.fn+".ic")
+	}
+	if rt.cfg.GCInterval > 0 {
+		go rt.timerLoop(rt.cfg.GCInterval, rt.fn+".gc")
+	}
+}
+
+func (rt *Runtime) timerLoop(period time.Duration, fn string) {
+	for {
+		select {
+		case <-rt.stopCh:
+			return
+		case <-rt.clk.After(period):
+		}
+		// Collector failures are retried on the next tick; both collectors
+		// are at-least-once by design (§5).
+		rt.plat.InvokeInternal(fn, dynamo.Null) //nolint:errcheck
+	}
+}

@@ -1,0 +1,435 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/dynamo"
+)
+
+// This file implements the linked DAAL (§4.1, Figure 4): a per-item linked
+// list of rows, each row holding the item's key, a value, lock-owner
+// metadata, a bounded write log, and a pointer to the next row. Log/update
+// pairs are applied atomically within one row — the store's atomicity scope
+// — and new rows are appended when the tail's log fills, so the structure
+// works on databases whose atomicity scope is far smaller than Olive's
+// DAAL assumed.
+//
+// Row ids are deterministic ("r00000000" for the head, then r00000001, ...):
+// concurrent appenders race to create the *same* successor row with a
+// conditional put, so a lost race leaves no orphan rows behind. The paper
+// tolerates orphans from failed appends (§4.1); deterministic ids make them
+// impossible while preserving every observable property the protocols rely
+// on, and the GC stays exactly as described.
+
+// headRowID is the special row id of the never-collected head row.
+const headRowID = "r00000000"
+
+// nextRowID returns the deterministic successor id.
+func nextRowID(id string) string {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "r"))
+	if err != nil {
+		// Corrupt row id: surface loudly, this is a programming error.
+		panic(fmt.Sprintf("core: malformed DAAL row id %q", id))
+	}
+	return fmt.Sprintf("r%08d", n+1)
+}
+
+// daal operates on one physical linked-DAAL table.
+type daal struct {
+	rt    *Runtime
+	table string
+}
+
+// daalRow is a decoded row.
+type daalRow struct {
+	key      string
+	rowID    string
+	value    Value
+	lock     Value // Null or M{Id, Start}
+	logSize  int
+	recent   map[string]Value // logKey -> outcome
+	recycled map[string]bool  // logKey -> marked recyclable by the GC
+	next     string           // "" when this row is the tail
+	dangle   int64            // 0 when not dangling
+}
+
+func decodeDAALRow(it dynamo.Item) daalRow {
+	r := daalRow{
+		key:   it[attrKey].Str(),
+		rowID: it[attrRowID].Str(),
+		value: it[attrValue],
+		lock:  it[attrLockOwner],
+	}
+	r.logSize = int(it[attrLogSize].Int())
+	if m := it[attrRecent].Map(); m != nil {
+		r.recent = make(map[string]Value, len(m))
+		for k, v := range m {
+			r.recent[k] = v
+		}
+	}
+	if m := it[attrRecycled].Map(); m != nil {
+		r.recycled = make(map[string]bool, len(m))
+		for k := range m {
+			r.recycled[k] = true
+		}
+	}
+	if v, ok := it[attrNextRow]; ok && !v.IsNull() {
+		r.next = v.Str()
+	}
+	if v, ok := it[attrDangleTime]; ok {
+		r.dangle = v.Int()
+	}
+	return r
+}
+
+// mutation describes what a logged conditional write does to the row: an
+// optional guard over the row's Value/LockOwner and new values for either.
+// Plain writes set value with a True guard; lock operations guard and set
+// LockOwner (§6.1 stores lock ownership "alongside the data and logs").
+type mutation struct {
+	cond    dynamo.Cond // nil means unconditional
+	setVal  *Value
+	setLock *Value
+}
+
+func (m mutation) guard() dynamo.Cond {
+	if m.cond == nil {
+		return dynamo.True()
+	}
+	return m.cond
+}
+
+func (m mutation) updates() []dynamo.Update {
+	var ups []dynamo.Update
+	if m.setVal != nil {
+		ups = append(ups, dynamo.Set(dynamo.A(attrValue), *m.setVal))
+	}
+	if m.setLock != nil {
+		ups = append(ups, dynamo.Set(dynamo.A(attrLockOwner), *m.setLock))
+	}
+	return ups
+}
+
+// skeleton is the locally reconstructed structure of a linked DAAL from one
+// scan+projection round trip (§4.1): row ids, next pointers, and — when the
+// scan projected a write-log entry — where that entry lives.
+type skeleton struct {
+	rows map[string]skelRow
+}
+
+type skelRow struct {
+	next    string
+	outcome Value
+	hasLog  bool
+}
+
+// scanSkeleton queries every row of key's DAAL, projecting only RowId and
+// NextRow (256 bits per row, §4.1) plus, when logKey is non-empty, that
+// single write-log entry — the write path's "has this step already
+// executed anywhere" check (§4.3).
+func (d *daal) scanSkeleton(key, logKey string) (skeleton, error) {
+	proj := []dynamo.Path{dynamo.A(attrRowID), dynamo.A(attrNextRow)}
+	if logKey != "" {
+		proj = append(proj, dynamo.AK(attrRecent, logKey))
+	}
+	items, err := d.rt.store.Query(d.table, dynamo.S(key), dynamo.QueryOpts{Projection: proj})
+	if err != nil {
+		return skeleton{}, err
+	}
+	sk := skeleton{rows: make(map[string]skelRow, len(items))}
+	for _, it := range items {
+		row := skelRow{}
+		if v, ok := it[attrNextRow]; ok && !v.IsNull() {
+			row.next = v.Str()
+		}
+		if out, ok := it.Get(dynamo.AK(attrRecent, logKey)); logKey != "" && ok {
+			row.outcome = out
+			row.hasLog = true
+		}
+		sk.rows[it[attrRowID].Str()] = row
+	}
+	return sk, nil
+}
+
+// tail walks the skeleton from the head to the first row without a next
+// pointer. ok is false when the DAAL has no head yet (never-written key).
+// Rows disconnected by the GC are unreachable from the head and therefore
+// ignored, per §5.
+func (sk skeleton) tail() (string, bool) {
+	cur, ok := sk.rows[headRowID]
+	if !ok {
+		return "", false
+	}
+	id := headRowID
+	for cur.next != "" {
+		next, ok := sk.rows[cur.next]
+		if !ok {
+			// The pointer's target is missing from the snapshot; the store
+			// scan is a consistent snapshot so this indicates the target was
+			// GC-deleted — treat the current row as the effective end; the
+			// conditional-write case analysis self-corrects from there.
+			break
+		}
+		id, cur = cur.next, next
+	}
+	return id, true
+}
+
+// findLog reports whether logKey appeared in any scanned (reachable or
+// orphaned) row, and its recorded outcome. Scans may return disconnected
+// rows; finding the entry in any of them is sufficient for case A, because
+// log entries are never moved between rows.
+func (sk skeleton) findLog() (Value, bool) {
+	for _, r := range sk.rows {
+		if r.hasLog {
+			return r.outcome, true
+		}
+	}
+	return dynamo.Null, false
+}
+
+// readRow fetches one full row.
+func (d *daal) readRow(key, rowID string) (daalRow, bool, error) {
+	it, ok, err := d.rt.store.Get(d.table, dynamo.HSK(dynamo.S(key), dynamo.S(rowID)))
+	if err != nil || !ok {
+		return daalRow{}, false, err
+	}
+	return decodeDAALRow(it), true, nil
+}
+
+// ensureHead creates key's head row if missing. Losing the creation race is
+// fine — the head then exists either way.
+func (d *daal) ensureHead(key string) error {
+	err := d.rt.store.Put(d.table, dynamo.Item{
+		attrKey:     dynamo.S(key),
+		attrRowID:   dynamo.S(headRowID),
+		attrValue:   dynamo.Null,
+		attrLogSize: dynamo.N(0),
+	}, dynamo.NotExists(dynamo.A(attrKey)))
+	if err != nil && !errors.Is(err, dynamo.ErrConditionFailed) {
+		return err
+	}
+	return nil
+}
+
+// appendRow extends the DAAL past a full row (case D, §4.3). The new row
+// carries the full row's value and lock owner — both immutable once the row
+// filled, since every mutation is guarded by LogSize < N — so the tail
+// always holds the item's most recent state.
+func (d *daal) appendRow(prev daalRow) (string, error) {
+	newID := nextRowID(prev.rowID)
+	item := dynamo.Item{
+		attrKey:     dynamo.S(prev.key),
+		attrRowID:   dynamo.S(newID),
+		attrValue:   prev.value,
+		attrLogSize: dynamo.N(0),
+	}
+	if !prev.lock.IsNull() {
+		item[attrLockOwner] = prev.lock
+	}
+	err := d.rt.store.Put(d.table, item, dynamo.NotExists(dynamo.A(attrKey)))
+	if err != nil && !errors.Is(err, dynamo.ErrConditionFailed) {
+		return "", err
+	}
+	// Link the predecessor. A conditional failure means a concurrent
+	// appender already linked it — to the same deterministic id.
+	err = d.rt.store.Update(d.table,
+		dynamo.HSK(dynamo.S(prev.key), dynamo.S(prev.rowID)),
+		dynamo.NotExists(dynamo.A(attrNextRow)),
+		dynamo.Set(dynamo.A(attrNextRow), dynamo.S(newID)))
+	if err != nil && !errors.Is(err, dynamo.ErrConditionFailed) {
+		return "", err
+	}
+	return newID, nil
+}
+
+// loggedWrite performs the lock-free logged conditional write of §4.3/§4.4
+// (Figures 6, 7, 17, 18): find the tail, check whether logKey already
+// executed, atomically apply-and-log, appending rows as needed. It returns
+// the operation's outcome — true when the mutation's guard held and the
+// mutation was applied (now or by a previous execution of this step), false
+// when the guard failed (recorded as a false conditional, case B2).
+func (d *daal) loggedWrite(key, logKey string, mut mutation) (bool, error) {
+	sk, err := d.scanSkeleton(key, logKey)
+	if err != nil {
+		return false, err
+	}
+	if out, found := sk.findLog(); found {
+		d.rt.stats.Replays.Add(1)
+		return out.BoolVal(), nil // case A, resolved by the scan
+	}
+	tailID, ok := sk.tail()
+	if !ok {
+		if err := d.ensureHead(key); err != nil {
+			return false, err
+		}
+		tailID = headRowID
+	}
+	return d.tryWrite(key, logKey, tailID, mut, 0)
+}
+
+// maxChainHops bounds tryWrite's walk; a DAAL under GC stays shallow, and a
+// walk this long indicates a livelock-grade anomaly worth surfacing.
+const maxChainHops = 1 << 16
+
+func (d *daal) tryWrite(key, logKey, rowID string, mut mutation, depth int) (bool, error) {
+	if depth > maxChainHops {
+		return false, fmt.Errorf("core: %s/%s: DAAL chain walk exceeded %d hops", d.table, key, maxChainHops)
+	}
+	rowKey := dynamo.HSK(dynamo.S(key), dynamo.S(rowID))
+	roomLeft := dynamo.And(
+		dynamo.NotExists(dynamo.AK(attrRecent, logKey)),
+		dynamo.Lt(dynamo.A(attrLogSize), dynamo.N(float64(d.rt.cfg.RowCap))),
+		dynamo.NotExists(dynamo.A(attrNextRow)),
+	)
+
+	// Case B1: guard holds, space available — apply and log atomically.
+	ups := append(mut.updates(),
+		dynamo.Add(dynamo.A(attrLogSize), 1),
+		dynamo.Set(dynamo.AK(attrRecent, logKey), dynamo.Bool(true)),
+	)
+	err := d.rt.store.Update(d.table, rowKey, dynamo.And(mut.guard(), roomLeft), ups...)
+	if err == nil {
+		return true, nil
+	}
+	if !errors.Is(err, dynamo.ErrConditionFailed) {
+		return false, err
+	}
+
+	// Case B2: space available but the guard failed — record the false
+	// conditional. Serialization point is the B1 attempt (§ Appendix A).
+	// Skipped for unconditional mutations, whose guard cannot fail.
+	if mut.cond != nil {
+		err = d.rt.store.Update(d.table, rowKey, roomLeft,
+			dynamo.Add(dynamo.A(attrLogSize), 1),
+			dynamo.Set(dynamo.AK(attrRecent, logKey), dynamo.Bool(false)))
+		if err == nil {
+			return false, nil
+		}
+		if !errors.Is(err, dynamo.ErrConditionFailed) {
+			return false, err
+		}
+	}
+
+	// Cases A, C, D: inspect the row.
+	row, ok, err := d.readRow(key, rowID)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		// The row vanished (GC of a dangling row we held a stale reference
+		// to). Restart from a fresh scan; terminates because the chain only
+		// grows forward.
+		return d.loggedWrite(key, logKey, mut)
+	}
+	if out, done := row.recent[logKey]; done {
+		d.rt.stats.Replays.Add(1)
+		return out.BoolVal(), nil // case A
+	}
+	next := row.next
+	if next == "" { // case D: full tail — extend
+		id, err := d.appendRow(row)
+		if err != nil {
+			return false, err
+		}
+		next = id
+	}
+	return d.tryWrite(key, logKey, next, mut, depth+1) // case C
+}
+
+// tailByPointerChase walks NextRow pointers with one read per row — the
+// naive traversal §4.1 describes before introducing the scan+projection
+// optimization. Kept as the ablation comparator (cost grows linearly with
+// chain depth, one full-row round trip per hop, versus one scan).
+func (d *daal) tailByPointerChase(key string) (daalRow, bool, error) {
+	row, ok, err := d.readRow(key, headRowID)
+	if err != nil || !ok {
+		return daalRow{}, false, err
+	}
+	for hops := 0; row.next != ""; hops++ {
+		if hops > maxChainHops {
+			return daalRow{}, false, fmt.Errorf("core: %s/%s: pointer chase exceeded %d hops", d.table, key, maxChainHops)
+		}
+		next, ok, err := d.readRow(key, row.next)
+		if err != nil {
+			return daalRow{}, false, err
+		}
+		if !ok {
+			// The successor was collected mid-walk; the row we hold is the
+			// effective end of what we can see. Restart from the head.
+			return d.tailByPointerChase(key)
+		}
+		row = next
+	}
+	return row, true, nil
+}
+
+// currentRow returns the tail row (the item's current state). ok is false
+// for never-written keys.
+func (d *daal) currentRow(key string) (daalRow, bool, error) {
+	sk, err := d.scanSkeleton(key, "")
+	if err != nil {
+		return daalRow{}, false, err
+	}
+	tailID, ok := sk.tail()
+	if !ok {
+		return daalRow{}, false, nil
+	}
+	row, ok, err := d.readRow(key, tailID)
+	if err != nil {
+		return daalRow{}, false, err
+	}
+	if !ok {
+		// Snapshot raced with GC deletion of a dangling row; retry once via
+		// a fresh scan.
+		return d.currentRow(key)
+	}
+	return row, true, nil
+}
+
+// chain returns key's rows indexed by id plus the head-reachable order —
+// the GC's working view (§5). Full rows, not a projection: the GC inspects
+// log contents.
+func (d *daal) chain(key string) (map[string]daalRow, []string, error) {
+	items, err := d.rt.store.Query(d.table, dynamo.S(key), dynamo.QueryOpts{})
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make(map[string]daalRow, len(items))
+	for _, it := range items {
+		r := decodeDAALRow(it)
+		rows[r.rowID] = r
+	}
+	var order []string
+	seen := make(map[string]bool)
+	for id := headRowID; id != "" && !seen[id]; {
+		r, ok := rows[id]
+		if !ok {
+			break
+		}
+		order = append(order, id)
+		seen[id] = true
+		id = r.next
+	}
+	return rows, order, nil
+}
+
+// keys lists the distinct item keys in this table (head rows only) — the
+// GC's getAllDataKeys (Figure 10).
+func (d *daal) keys() ([]string, error) {
+	items, err := d.rt.store.Scan(d.table, dynamo.QueryOpts{
+		Filter:     dynamo.Eq(dynamo.A(attrRowID), dynamo.S(headRowID)),
+		Projection: []dynamo.Path{dynamo.A(attrKey)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		out = append(out, it[attrKey].Str())
+	}
+	return out, nil
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+)
+
+// Errors surfaced by Env operations.
+var (
+	// ErrTxnAborted reports that the enclosing transaction died under
+	// wait-die (§6.2) or was aborted by the application. Operation results
+	// accompanying it are meaningless; the body should return it promptly.
+	ErrTxnAborted = errors.New("core: transaction aborted")
+	// ErrLockUnavailable reports that a standalone Lock exhausted its retry
+	// budget.
+	ErrLockUnavailable = errors.New("core: lock unavailable")
+	// ErrAsyncInTxn reports AsyncInvoke inside a transaction, which Beldi
+	// does not support (§6.2).
+	ErrAsyncInTxn = errors.New("core: asyncInvoke is not supported inside transactions")
+)
+
+// Body is an SSF's application logic, written against Env's API exactly as a
+// bare handler would be written against the provider SDK (§3.2). Bodies must
+// be deterministic given their logged operation results.
+type Body func(e *Env, input Value) (Value, error)
+
+// Env is the per-instance execution context: Beldi's API (Figure 2). An Env
+// carries the instance id and a step counter so every external operation
+// gets the unique, deterministic (instance, step) log key that the replay
+// protocols key on (§3.1).
+type Env struct {
+	rt         *Runtime
+	inv        *platform.Invocation
+	instanceID string
+	branch     string
+	steps      atomic.Int64
+	children   int // sequential Parallel groups spawned by this branch
+	intent     *intentRecord
+	shared     *envShared
+}
+
+// envShared is instance-level state shared across Parallel branches.
+type envShared struct {
+	txn      *TxnContext
+	txnOwner bool
+	app      string // requesting application (§2.2 SSF reusability)
+}
+
+// table resolves a body-level table name for the requesting application.
+func (e *Env) table(logical string) string {
+	return e.rt.resolveLogical(e.shared.app, logical)
+}
+
+// App returns the requesting application's name, or "" for unscoped
+// requests.
+func (e *Env) App() string { return e.shared.app }
+
+// InstanceID returns the instance id Beldi assigned to this execution intent
+// (§3.3).
+func (e *Env) InstanceID() string { return e.instanceID }
+
+// Runtime returns the SSF's runtime.
+func (e *Env) Runtime() *Runtime { return e.rt }
+
+// TxnID returns the enclosing transaction id, or "" outside transactions.
+func (e *Env) TxnID() string {
+	if e.shared.txn == nil {
+		return ""
+	}
+	return e.shared.txn.ID
+}
+
+// nextStepKey allocates this branch's next step key ("branch.step"), the
+// sort-key half of a log key.
+func (e *Env) nextStepKey() string {
+	n := e.steps.Add(1)
+	return fmt.Sprintf("%s.%06d", e.branch, n)
+}
+
+// logKey forms the full log key for a step.
+func (e *Env) logKey(stepKey string) string { return e.instanceID + "#" + stepKey }
+
+// crash marks an operation boundary for fault injection and timeout
+// enforcement.
+func (e *Env) crash(label string) {
+	if e.inv != nil {
+		e.inv.CrashPoint(label)
+	}
+}
+
+// inExecute reports whether operations must follow transactional semantics.
+func (e *Env) inExecute() bool {
+	return e.shared.txn != nil && e.shared.txn.Mode == TxExecute
+}
+
+// Read returns the current value of key in the SSF's logical table (Fig 5).
+// Never-written keys read as Null. Inside a transaction the key is locked
+// and the transaction's own writes are visible (§6.2).
+func (e *Env) Read(table, key string) (Value, error) {
+	e.rt.stats.Reads.Add(1)
+	table = e.table(table)
+	if e.rt.mode == ModeBaseline {
+		return e.baselineRead(table, key)
+	}
+	if e.inExecute() {
+		return e.txnRead(table, key)
+	}
+	return e.loggedRead(e.rt.layer(), table, key)
+}
+
+// loggedRead implements Figure 5: fetch the current value, then log it in
+// the ReadLog with an atomic conditional insert; a conflict means this step
+// already ran, so its logged value is returned instead (the read itself has
+// no external effect, so re-reading before the log is harmless).
+func (e *Env) loggedRead(layer kvLayer, table, key string) (Value, error) {
+	stepKey := e.nextStepKey()
+	e.crash("read:pre:" + stepKey)
+	val, _, _, err := layer.stateRead(table, key)
+	if err != nil {
+		return dynamo.Null, err
+	}
+	e.crash("read:mid:" + stepKey)
+	out, err := e.logRead(stepKey, val)
+	e.crash("read:post:" + stepKey)
+	return out, err
+}
+
+// logRead records val for this step, returning the previously recorded
+// value on replay.
+func (e *Env) logRead(stepKey string, val Value) (Value, error) {
+	lk := dynamo.HSK(dynamo.S(e.instanceID), dynamo.S(stepKey))
+	err := e.rt.store.Update(e.rt.readLog, lk,
+		dynamo.NotExists(dynamo.A(attrID)),
+		dynamo.Set(dynamo.A(attrValue), val))
+	if err == nil {
+		return val, nil
+	}
+	if !errors.Is(err, dynamo.ErrConditionFailed) {
+		return dynamo.Null, err
+	}
+	e.rt.stats.Replays.Add(1)
+	it, ok, err := e.rt.store.Get(e.rt.readLog, lk)
+	if err != nil {
+		return dynamo.Null, err
+	}
+	if !ok {
+		return dynamo.Null, fmt.Errorf("core: read log row vanished: %s %s", e.instanceID, stepKey)
+	}
+	return it[attrValue], nil
+}
+
+// Write stores v at key with exactly-once semantics (Fig 6). Inside a
+// transaction the write goes to the transaction's shadow copy.
+func (e *Env) Write(table, key string, v Value) error {
+	e.rt.stats.Writes.Add(1)
+	table = e.table(table)
+	if e.rt.mode == ModeBaseline {
+		return e.baselineWrite(table, key, v)
+	}
+	if e.inExecute() {
+		return e.txnWrite(table, key, v)
+	}
+	stepKey := e.nextStepKey()
+	e.crash("write:pre:" + stepKey)
+	_, err := e.rt.layer().loggedMutate(table, key, e.logKey(stepKey), mutation{setVal: &v})
+	e.crash("write:post:" + stepKey)
+	return err
+}
+
+// CondWrite stores v at key only if cond holds against the item's current
+// row at write time (§4.4). cond is a condition over the attribute "Value"
+// (use dynamo.Eq(dynamo.A("Value"), ...) and friends). It reports whether
+// the write took effect; replays report the originally recorded outcome.
+func (e *Env) CondWrite(table, key string, v Value, cond dynamo.Cond) (bool, error) {
+	e.rt.stats.CondWrites.Add(1)
+	table = e.table(table)
+	if e.rt.mode == ModeBaseline {
+		return e.baselineCondWrite(table, key, v, cond)
+	}
+	if e.inExecute() {
+		return e.txnCondWrite(table, key, v, cond)
+	}
+	stepKey := e.nextStepKey()
+	e.crash("condwrite:pre:" + stepKey)
+	ok, err := e.rt.layer().loggedMutate(table, key, e.logKey(stepKey), mutation{cond: cond, setVal: &v})
+	e.crash("condwrite:post:" + stepKey)
+	return ok, err
+}
+
+// lockOwnerValue builds the lock-owner column value: the owning intent and
+// its creation time (wait-die priority).
+func lockOwnerValue(id string, start int64) Value {
+	return dynamo.M(map[string]Value{
+		attrID:  dynamo.S(id),
+		"Start": dynamo.NInt(start),
+	})
+}
+
+// lockCond is the §6.1 acquisition guard: free, or already owned by this
+// intent (locks are owned by intents, so a re-executed instance re-entering
+// Lock sees its own ownership and continues).
+func lockCond(ownerID string) dynamo.Cond {
+	return dynamo.IsNullOr(dynamo.A(attrLockOwner),
+		dynamo.Eq(dynamo.AK(attrLockOwner, attrID), dynamo.S(ownerID)))
+}
+
+// Lock acquires the mutual-exclusion lock on key, owned by this intent
+// (§6.1, "locks with intent"): if the instance crashes while holding it,
+// its re-execution resumes ownership rather than deadlocking. Standalone
+// locks retry with backoff up to the configured budget. Inside transactions
+// use Transaction, which locks implicitly with wait-die.
+func (e *Env) Lock(table, key string) error {
+	e.rt.stats.Locks.Add(1)
+	table = e.table(table)
+	if e.rt.mode == ModeBaseline {
+		return nil // baseline offers no synchronization (§7.2)
+	}
+	ownerID := e.instanceID
+	start := e.intent.startTime
+	if e.inExecute() {
+		return e.txnLock(table, key)
+	}
+	owner := lockOwnerValue(ownerID, start)
+	backoff := e.rt.cfg.LockRetryBase
+	for attempt := 0; attempt < e.rt.cfg.LockRetryMax; attempt++ {
+		stepKey := e.nextStepKey()
+		e.crash("lock:pre:" + stepKey)
+		ok, err := e.rt.layer().loggedMutate(table, key, e.logKey(stepKey),
+			mutation{cond: lockCond(ownerID), setLock: &owner})
+		e.crash("lock:post:" + stepKey)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		e.rt.clk.Sleep(backoff)
+		if backoff < 128*e.rt.cfg.LockRetryBase {
+			backoff *= 2
+		}
+	}
+	return fmt.Errorf("%w: %s/%s after %d attempts", ErrLockUnavailable, table, key, e.rt.cfg.LockRetryMax)
+}
+
+// Unlock releases a lock held by this intent. Releasing an already-released
+// lock is a no-op (the recorded false outcome), which makes replayed
+// unlocks safe even after another intent has re-acquired the lock (§6.1).
+func (e *Env) Unlock(table, key string) error {
+	e.rt.stats.Unlocks.Add(1)
+	table = e.table(table)
+	if e.rt.mode == ModeBaseline {
+		return nil
+	}
+	ownerID := e.instanceID
+	if e.shared.txn != nil {
+		ownerID = e.shared.txn.ID
+	}
+	return e.unlockAs(e.rt.layer(), table, key, ownerID)
+}
+
+func (e *Env) unlockAs(layer kvLayer, table, key, ownerID string) error {
+	stepKey := e.nextStepKey()
+	e.crash("unlock:pre:" + stepKey)
+	null := dynamo.Null
+	_, err := layer.loggedMutate(table, key, e.logKey(stepKey), mutation{
+		cond:    dynamo.Eq(dynamo.AK(attrLockOwner, attrID), dynamo.S(ownerID)),
+		setLock: &null,
+	})
+	e.crash("unlock:post:" + stepKey)
+	return err
+}
+
+// Parallel runs branches concurrently, each with its own Env whose step
+// keys live in a distinct, deterministic namespace — the §6.2 provision for
+// SSFs that spawn threads issuing invocations. It waits for all branches
+// and returns the first error (ErrTxnAborted wins over other errors so
+// abort propagation is never masked).
+func (e *Env) Parallel(branches ...func(*Env) error) error {
+	errs := make([]error, len(branches))
+	crashes := make([]any, len(branches))
+	var wg sync.WaitGroup
+	e.children++
+	group := e.children
+	for i, fn := range branches {
+		// Branch names derive from declaration order within this branch's
+		// own namespace, never from scheduling, so step keys replay
+		// identically across re-executions.
+		sub := &Env{
+			rt:         e.rt,
+			inv:        e.inv,
+			instanceID: e.instanceID,
+			branch:     fmt.Sprintf("%s-%d-%d", e.branch, group, i),
+			intent:     e.intent,
+			shared:     e.shared,
+		}
+		wg.Add(1)
+		go func(i int, fn func(*Env) error, sub *Env) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if platform.IsInjectedCrash(r) {
+						// The worker is being killed; park the signal and
+						// re-raise it on the parent goroutine after the
+						// join, so the whole instance dies as one worker
+						// would.
+						crashes[i] = r
+						return
+					}
+					errs[i] = fmt.Errorf("core: parallel branch panic: %v", r)
+				}
+			}()
+			errs[i] = fn(sub)
+		}(i, fn, sub)
+	}
+	wg.Wait()
+	for _, c := range crashes {
+		if c != nil {
+			panic(c)
+		}
+	}
+	var first error
+	for _, err := range errs {
+		if errors.Is(err, ErrTxnAborted) {
+			return err
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Sleep pauses the body (test/demo aid; uses the runtime clock).
+func (e *Env) Sleep(d time.Duration) { e.rt.clk.Sleep(d) }

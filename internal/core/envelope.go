@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dynamo"
+)
+
+// envelope is the wire format Beldi wraps around every invocation payload.
+// It carries the callee's instance id (assigned by the caller, §3.3), the
+// caller coordinates a callback must be routed to (§4.5), and the
+// transaction context (§6.2). It is encoded as a plain map Value so it
+// survives any serverless transport.
+type envelope struct {
+	Kind       string // "call", "callback", "asyncRegister", "asyncRun"
+	InstanceID string // callee instance id ("" = adopt the platform request id)
+	Input      Value
+	Async      bool
+
+	// App names the application the request belongs to (§2.2 SSF
+	// reusability: one SSF serving several applications keeps each
+	// application's state in separate tables). Propagated to callees.
+	App string
+
+	// Caller coordinates, for callbacks. CallerStep is the caller's invoke
+	// log key step (string, branch-qualified).
+	CallerFn       string
+	CallerInstance string
+	CallerStep     string
+
+	// Callback payload.
+	CalleeID string
+	Result   Value
+	HasRes   bool
+
+	// Transaction context; nil when outside any transaction.
+	Txn *TxnContext
+}
+
+// Envelope kinds.
+const (
+	kindCall          = "call"
+	kindCallback      = "callback"
+	kindAsyncRegister = "asyncRegister"
+	kindAsyncRun      = "asyncRun"
+)
+
+// encode marshals the envelope to a map Value.
+func (ev envelope) encode() Value {
+	m := map[string]Value{
+		"Kind":  dynamo.S(ev.Kind),
+		"Input": ev.Input,
+	}
+	if ev.InstanceID != "" {
+		m["InstanceId"] = dynamo.S(ev.InstanceID)
+	}
+	if ev.Async {
+		m["Async"] = dynamo.Bool(true)
+	}
+	if ev.App != "" {
+		m["App"] = dynamo.S(ev.App)
+	}
+	if ev.CallerFn != "" {
+		m["CallerFn"] = dynamo.S(ev.CallerFn)
+	}
+	if ev.CallerInstance != "" {
+		m["CallerInstance"] = dynamo.S(ev.CallerInstance)
+		m["CallerStep"] = dynamo.S(ev.CallerStep)
+	}
+	if ev.CalleeID != "" {
+		m["CalleeId"] = dynamo.S(ev.CalleeID)
+	}
+	if ev.HasRes {
+		m["Result"] = ev.Result
+	}
+	if ev.Txn != nil {
+		m["Txn"] = ev.Txn.encode()
+	}
+	return dynamo.M(m)
+}
+
+// ClientEnvelope wraps a raw client payload as a call envelope — how
+// external requests enter a workflow. (Raw payloads are also accepted;
+// this just makes the intent explicit.)
+func ClientEnvelope(input Value) Value {
+	return envelope{Kind: kindCall, Input: input}.encode()
+}
+
+// ClientEnvelopeForApp is ClientEnvelope carrying an application name, for
+// SSFs serving several applications with separated state (§2.2).
+func ClientEnvelopeForApp(app string, input Value) Value {
+	return envelope{Kind: kindCall, Input: input, App: app}.encode()
+}
+
+// decodeEnvelope unmarshals an invocation payload. Raw payloads that are not
+// envelopes (external clients invoking the workflow directly) are treated as
+// kindCall with the payload as Input, so Beldi SSFs remain directly
+// invokable.
+func decodeEnvelope(raw Value) envelope {
+	m := raw.Map()
+	if m == nil {
+		return envelope{Kind: kindCall, Input: raw}
+	}
+	kindV, ok := m["Kind"]
+	if !ok {
+		return envelope{Kind: kindCall, Input: raw}
+	}
+	ev := envelope{Kind: kindV.Str()}
+	ev.Input = m["Input"]
+	if v, ok := m["InstanceId"]; ok {
+		ev.InstanceID = v.Str()
+	}
+	if v, ok := m["Async"]; ok {
+		ev.Async = v.BoolVal()
+	}
+	if v, ok := m["App"]; ok {
+		ev.App = v.Str()
+	}
+	if v, ok := m["CallerFn"]; ok {
+		ev.CallerFn = v.Str()
+	}
+	if v, ok := m["CallerInstance"]; ok {
+		ev.CallerInstance = v.Str()
+		ev.CallerStep = m["CallerStep"].Str()
+	}
+	if v, ok := m["CalleeId"]; ok {
+		ev.CalleeID = v.Str()
+	}
+	if v, ok := m["Result"]; ok {
+		ev.Result = v
+		ev.HasRes = true
+	}
+	if v, ok := m["Txn"]; ok {
+		ev.Txn = decodeTxnContext(v)
+	}
+	return ev
+}
+
+// TxnMode is a transaction context's phase (§6.2).
+type TxnMode string
+
+// Transaction phases.
+const (
+	TxExecute TxnMode = "execute"
+	TxCommit  TxnMode = "commit"
+	TxAbort   TxnMode = "abort"
+)
+
+// TxnContext identifies a top-level transaction: its id, phase, and the
+// intent-creation time of the SSF that began it (the wait-die priority,
+// Fig 11). Contexts are passed along with every invocation made inside the
+// transaction.
+type TxnContext struct {
+	ID    string
+	Mode  TxnMode
+	Start int64 // microseconds; older (smaller) wins under wait-die
+}
+
+func (tc *TxnContext) encode() Value {
+	return dynamo.M(map[string]Value{
+		"Id":    dynamo.S(tc.ID),
+		"Mode":  dynamo.S(string(tc.Mode)),
+		"Start": dynamo.NInt(tc.Start),
+	})
+}
+
+func decodeTxnContext(v Value) *TxnContext {
+	m := v.Map()
+	if m == nil {
+		return nil
+	}
+	return &TxnContext{
+		ID:    m["Id"].Str(),
+		Mode:  TxnMode(m["Mode"].Str()),
+		Start: m["Start"].Int(),
+	}
+}
+
+// String renders the context for diagnostics.
+func (tc *TxnContext) String() string {
+	return fmt.Sprintf("txn(%s,%s,%d)", tc.ID, tc.Mode, tc.Start)
+}

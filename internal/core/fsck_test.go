@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+)
+
+func TestFsckCleanStatePasses(t *testing.T) {
+	f := newFixture(t)
+	f.fn("w", counterBody, "counter")
+	for i := 0; i < 10; i++ {
+		f.mustInvoke("w", dynamo.S("k"))
+	}
+	if err := Fsck(f.rts["w"]); err != nil {
+		t.Errorf("clean state flagged: %v", err)
+	}
+}
+
+func TestFsckPassesAfterChaosAndGC(t *testing.T) {
+	plan := &platform.CrashProb{P: 0.02, Seed: 5}
+	f := newFixture(t, withFaults(plan), withConfig(Config{
+		RowCap: 4, T: 10 * time.Millisecond, ICMinAge: time.Millisecond,
+	}))
+	f.fn("w", counterBody, "counter")
+	for i := 0; i < 25; i++ {
+		f.invoke("w", dynamo.S("k")) //nolint:errcheck
+	}
+	plan.P = 0
+	f.recoverAll()
+	for pass := 0; pass < 3; pass++ {
+		time.Sleep(12 * time.Millisecond)
+		f.gcAll()
+	}
+	if err := Fsck(f.rts["w"]); err != nil {
+		t.Errorf("post-chaos state flagged: %v", err)
+	}
+}
+
+func TestFsckPassesAfterTransactions(t *testing.T) {
+	f := newFixture(t, withConfig(Config{RowCap: 4, T: 5 * time.Millisecond, ICMinAge: time.Millisecond}))
+	f.fn("bank", transferBody, "acct")
+	seedAccounts(t, f, "bank", map[string]int64{"a": 100, "b": 100})
+	for i := 0; i < 6; i++ {
+		f.mustInvoke("bank", dynamo.M(map[string]Value{
+			"from": dynamo.S("a"), "to": dynamo.S("b"), "amount": dynamo.NInt(5),
+		}))
+	}
+	for pass := 0; pass < 3; pass++ {
+		time.Sleep(8 * time.Millisecond)
+		f.gcAll()
+	}
+	if err := Fsck(f.rts["bank"]); err != nil {
+		t.Errorf("post-txn state flagged: %v", err)
+	}
+}
+
+func TestFsckDetectsCorruption(t *testing.T) {
+	f := newFixture(t)
+	f.fn("w", counterBody, "counter")
+	for i := 0; i < 10; i++ { // fill > 1 row at cap 4
+		f.mustInvoke("w", dynamo.S("k"))
+	}
+	rt := f.rts["w"]
+	table := rt.dataTable("counter")
+
+	// Corruption 1: break the LogSize invariant on the head.
+	if err := f.store.Update(table, dynamo.HSK(dynamo.S("k"), dynamo.S(headRowID)), nil,
+		dynamo.Set(dynamo.A(attrLogSize), dynamo.N(99))); err != nil {
+		t.Fatal(err)
+	}
+	err := Fsck(rt)
+	if err == nil || !strings.Contains(err.Error(), "LogSize") {
+		t.Errorf("LogSize corruption not flagged: %v", err)
+	}
+	// Repair.
+	if err := f.store.Update(table, dynamo.HSK(dynamo.S("k"), dynamo.S(headRowID)), nil,
+		dynamo.Set(dynamo.A(attrLogSize), dynamo.N(4))); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fsck(rt); err != nil {
+		t.Fatalf("state not clean after repair: %v", err)
+	}
+
+	// Corruption 2: a lock held by a completed intent.
+	items, _ := f.store.Scan(rt.intentTable, dynamo.QueryOpts{})
+	doneID := items[0][attrInstanceID].Str()
+	if err := f.store.Update(table, dynamo.HSK(dynamo.S("k"), dynamo.S(headRowID)), nil,
+		dynamo.Set(dynamo.A(attrLockOwner), lockOwnerValue(doneID, 1))); err != nil {
+		t.Fatal(err)
+	}
+	err = Fsck(rt)
+	if err == nil || !strings.Contains(err.Error(), "lock held by completed intent") {
+		t.Errorf("stale lock not flagged: %v", err)
+	}
+}
+
+func TestFsckDetectsLogLeak(t *testing.T) {
+	f := newFixture(t)
+	f.fn("w", counterBody, "counter")
+	f.mustInvoke("w", dynamo.S("k"))
+	rt := f.rts["w"]
+	// Simulate a GC bug: drop the intent but keep its read log.
+	items, _ := f.store.Scan(rt.intentTable, dynamo.QueryOpts{})
+	id := items[0][attrInstanceID].Str()
+	if err := f.store.Delete(rt.intentTable, dynamo.HK(dynamo.S(id)), nil); err != nil {
+		t.Fatal(err)
+	}
+	err := Fsck(rt)
+	if err == nil || !strings.Contains(err.Error(), "leaked") {
+		t.Errorf("log leak not flagged: %v", err)
+	}
+}
+
+func TestFsckBaselineIsVacuous(t *testing.T) {
+	f := newFixture(t, withMode(ModeBaseline))
+	f.fn("w", counterBody, "counter")
+	f.mustInvoke("w", dynamo.S("k"))
+	if err := Fsck(f.rts["w"]); err != nil {
+		t.Errorf("baseline fsck: %v", err)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dynamo"
+)
+
+// The intent table (§3.3, Figure 3) records every instance an SSF intends
+// to execute: instance id, completion status, the full invocation envelope
+// (so the intent collector can re-issue it verbatim), the return value, and
+// timestamps. The "Pending" attribute exists only while the intent is
+// unfinished, forming the sparse secondary index the collector queries
+// (the paper's second IC optimization).
+
+// pendingMarker is the index hash value for unfinished intents.
+const pendingMarker = "1"
+
+// intentRecord is a decoded intent row.
+type intentRecord struct {
+	id         string
+	done       bool
+	async      bool
+	args       envelope
+	ret        Value
+	startTime  int64
+	lastLaunch int64
+	finishTime int64
+	hasFinish  bool
+}
+
+func decodeIntent(it dynamo.Item) *intentRecord {
+	r := &intentRecord{
+		id:         it[attrInstanceID].Str(),
+		done:       it[attrDone].BoolVal(),
+		async:      it[attrAsync].BoolVal(),
+		ret:        it[attrRet],
+		startTime:  it[attrStartTime].Int(),
+		lastLaunch: it[attrLastLaunch].Int(),
+	}
+	if v, ok := it[attrArgs]; ok {
+		r.args = decodeEnvelope(v)
+	}
+	if v, ok := it[attrFinishTime]; ok {
+		r.finishTime = v.Int()
+		r.hasFinish = true
+	}
+	return r
+}
+
+// ensureIntent makes the instance's intent row exist, creating it on first
+// execution and reading it back on re-execution (the first operation of
+// every Beldi SSF, §3.3). The returned record carries the authoritative
+// start time — the wait-die priority — which is the *original* execution's,
+// not the re-execution's.
+func (rt *Runtime) ensureIntent(id string, ev envelope) (*intentRecord, error) {
+	now := rt.now()
+	item := dynamo.Item{
+		attrInstanceID: dynamo.S(id),
+		attrDone:       dynamo.Bool(false),
+		attrPending:    dynamo.S(pendingMarker),
+		attrArgs:       ev.encode(),
+		attrAsync:      dynamo.Bool(ev.Async),
+		attrStartTime:  dynamo.NInt(now),
+		attrLastLaunch: dynamo.NInt(now),
+	}
+	err := rt.store.Put(rt.intentTable, item, dynamo.NotExists(dynamo.A(attrInstanceID)))
+	if err == nil {
+		rt.stats.IntentsStarted.Add(1)
+		return &intentRecord{id: id, args: ev, async: ev.Async, startTime: now, lastLaunch: now}, nil
+	}
+	if !errors.Is(err, dynamo.ErrConditionFailed) {
+		return nil, err
+	}
+	it, ok, err := rt.store.Get(rt.intentTable, dynamo.HK(dynamo.S(id)))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: %s: intent %s existed then vanished (GC raced a live instance?)", rt.fn, id)
+	}
+	return decodeIntent(it), nil
+}
+
+// markIntentDone finalizes the intent with its return value and drops it
+// from the pending index, after which no collector will restart it (§5).
+func (rt *Runtime) markIntentDone(id string, ret Value) error {
+	rt.stats.IntentsCompleted.Add(1)
+	return rt.store.Update(rt.intentTable, dynamo.HK(dynamo.S(id)), nil,
+		dynamo.Set(dynamo.A(attrDone), dynamo.Bool(true)),
+		dynamo.Set(dynamo.A(attrRet), ret),
+		dynamo.Remove(dynamo.A(attrPending)),
+	)
+}
+
+// touchLaunch conditionally advances LastLaunch from its observed value —
+// the claim step that keeps concurrent intent collectors from double-
+// restarting the same instance.
+func (rt *Runtime) touchLaunch(id string, observed, now int64) (bool, error) {
+	err := rt.store.Update(rt.intentTable, dynamo.HK(dynamo.S(id)),
+		dynamo.And(
+			dynamo.Eq(dynamo.A(attrLastLaunch), dynamo.NInt(observed)),
+			dynamo.Eq(dynamo.A(attrDone), dynamo.Bool(false)),
+		),
+		dynamo.Set(dynamo.A(attrLastLaunch), dynamo.NInt(now)))
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, dynamo.ErrConditionFailed) {
+		return false, nil
+	}
+	return false, err
+}
+
+// intentDone reads an intent's completion state (tests and the async-run
+// stub use it).
+func (rt *Runtime) intentDone(id string) (exists, done bool, ret Value, err error) {
+	it, ok, err := rt.store.Get(rt.intentTable, dynamo.HK(dynamo.S(id)))
+	if err != nil || !ok {
+		return false, false, dynamo.Null, err
+	}
+	return true, it[attrDone].BoolVal(), it[attrRet], nil
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dynamo"
+)
+
+// This file implements SSF invocation with exactly-once semantics (§4.5,
+// Figures 8, 9, 19, 20). The caller logs each invocation in its invoke log
+// keyed by (instance, step), assigning the callee a fresh instance id the
+// first time and reusing it on every re-execution. The callee, before
+// marking its own intent done, issues a *callback* — a second invocation,
+// addressed to the caller SSF — that records the result in the caller's
+// invoke log. Only then may the callee complete: this closes the Figure 9
+// window in which the callee's garbage collector could prune the intent
+// before the caller ever saw the result, which would cause a re-execution
+// and a duplicated effect.
+
+// SyncInvoke calls another Beldi-enabled SSF and returns its result, with
+// exactly-once semantics end to end. Inside a transaction, the transaction
+// context rides along and the callee is recorded for commit/abort
+// propagation (§6.2).
+func (e *Env) SyncInvoke(callee string, input Value) (Value, error) {
+	e.rt.stats.SyncCalls.Add(1)
+	if e.rt.mode == ModeBaseline {
+		return e.baselineSyncInvoke(callee, input)
+	}
+	if e.inExecute() {
+		if err := e.recordTxnCallee(callee); err != nil {
+			return dynamo.Null, err
+		}
+	}
+	return e.syncInvoke(callee, input, e.shared.txn)
+}
+
+func (e *Env) syncInvoke(callee string, input Value, txn *TxnContext) (Value, error) {
+	stepKey := e.nextStepKey()
+	logKey := dynamo.HSK(dynamo.S(e.instanceID), dynamo.S(stepKey))
+
+	// Log the invocation intent, minting the callee id exactly once.
+	calleeID := e.rt.ids.NewString()
+	e.crash("invoke:pre:" + stepKey)
+	err := e.rt.store.Update(e.rt.invokeLog, logKey,
+		dynamo.NotExists(dynamo.A(attrID)),
+		dynamo.Set(dynamo.A(attrCalleeID), dynamo.S(calleeID)))
+	if err != nil {
+		if !errors.Is(err, dynamo.ErrConditionFailed) {
+			return dynamo.Null, err
+		}
+		// Replay: reuse the recorded callee id; if the result already
+		// arrived, return it without re-invoking (Fig 8).
+		rec, ok, gerr := e.rt.store.Get(e.rt.invokeLog, logKey)
+		if gerr != nil {
+			return dynamo.Null, gerr
+		}
+		if !ok {
+			return dynamo.Null, fmt.Errorf("core: invoke log row vanished: %s %s", e.instanceID, stepKey)
+		}
+		e.rt.stats.Replays.Add(1)
+		calleeID = rec[attrCalleeID].Str()
+		if res, has := rec[attrResult]; has {
+			return txnResult(res, txn)
+		}
+	}
+	e.crash("invoke:mid:" + stepKey)
+
+	ev := envelope{
+		Kind:           kindCall,
+		InstanceID:     calleeID,
+		Input:          input,
+		App:            e.shared.app,
+		CallerFn:       e.rt.fn,
+		CallerInstance: e.instanceID,
+		CallerStep:     stepKey,
+		Txn:            txn,
+	}
+	// A callee crash is a delay, not a failure: re-invoke it with the SAME
+	// callee id — its intent replays deterministically, so the retries are
+	// harmless and mask transient deaths in place (the caller-side
+	// equivalent of what the callee's intent collector would eventually
+	// do). If the budget runs out, fail this instance and leave the rest
+	// to the collectors.
+	var out Value
+	var callErr error
+	for attempt := 0; attempt < syncInvokeRetries; attempt++ {
+		out, callErr = e.rt.plat.InvokeInternal(callee, ev.encode())
+		e.crash("invoke:post:" + stepKey)
+		if callErr == nil {
+			// The callee completed, which means its callback already
+			// deposited the result in this invoke log (Fig 9's ordering);
+			// the direct response equals the durable record and is used as
+			// the §4.5 optimization — no extra round trip (Fig 8 returns
+			// rawSyncInvoke's value directly).
+			return txnResult(out, txn)
+		}
+		// The callee died mid-flight. Its callback may still have made it;
+		// consult the durable record before retrying.
+		rec, ok, gerr := e.rt.store.Get(e.rt.invokeLog, logKey)
+		if gerr == nil && ok {
+			if res, has := rec[attrResult]; has {
+				return txnResult(res, txn)
+			}
+		}
+	}
+	return dynamo.Null, fmt.Errorf("core: syncInvoke %s: %w", callee, callErr)
+}
+
+// syncInvokeRetries bounds in-place re-invocations of a crashed callee.
+const syncInvokeRetries = 4
+
+// txnResult decodes a callee result, translating the abort marker into
+// ErrTxnAborted so wait-die deaths propagate up the workflow (§6.2).
+func txnResult(res Value, txn *TxnContext) (Value, error) {
+	if txn != nil && isAbortMarker(res) {
+		return dynamo.Null, ErrTxnAborted
+	}
+	return res, nil
+}
+
+// abortMarker is the result value an SSF returns when its part of a
+// transaction died under wait-die; the caller converts it back into
+// ErrTxnAborted.
+func abortMarker() Value {
+	return dynamo.M(map[string]Value{"__beldi_abort": dynamo.Bool(true)})
+}
+
+func isAbortMarker(v Value) bool {
+	mv, ok := v.MapGet("__beldi_abort")
+	return ok && mv.BoolVal()
+}
+
+// AsyncInvoke starts another Beldi-enabled SSF without waiting for it,
+// still with exactly-once semantics (§4.5, Fig 20): first a synchronous
+// registration call makes the callee log the intent and confirm via
+// callback; then the actual asynchronous invocation fires. Either this
+// instance or the callee's own intent collector will eventually run the
+// registered intent exactly once.
+func (e *Env) AsyncInvoke(callee string, input Value) error {
+	e.rt.stats.AsyncCalls.Add(1)
+	if e.rt.mode == ModeBaseline {
+		return e.baselineAsyncInvoke(callee, input)
+	}
+	if e.inExecute() {
+		return ErrAsyncInTxn
+	}
+	stepKey := e.nextStepKey()
+	logKey := dynamo.HSK(dynamo.S(e.instanceID), dynamo.S(stepKey))
+
+	calleeID := e.rt.ids.NewString()
+	e.crash("ainvoke:pre:" + stepKey)
+	registered := false
+	err := e.rt.store.Update(e.rt.invokeLog, logKey,
+		dynamo.NotExists(dynamo.A(attrID)),
+		dynamo.Set(dynamo.A(attrCalleeID), dynamo.S(calleeID)))
+	if err != nil {
+		if !errors.Is(err, dynamo.ErrConditionFailed) {
+			return err
+		}
+		rec, ok, gerr := e.rt.store.Get(e.rt.invokeLog, logKey)
+		if gerr != nil {
+			return gerr
+		}
+		if !ok {
+			return fmt.Errorf("core: invoke log row vanished: %s %s", e.instanceID, stepKey)
+		}
+		calleeID = rec[attrCalleeID].Str()
+		_, registered = rec[attrResult]
+	}
+
+	if !registered {
+		// Step 1: synchronous registration; the callee logs the intent and
+		// confirms through the callback path before we may fire the run.
+		reg := envelope{
+			Kind:           kindAsyncRegister,
+			InstanceID:     calleeID,
+			Input:          input,
+			Async:          true,
+			App:            e.shared.app,
+			CallerFn:       e.rt.fn,
+			CallerInstance: e.instanceID,
+			CallerStep:     stepKey,
+		}
+		if _, err := e.rt.plat.InvokeInternal(callee, reg.encode()); err != nil {
+			return fmt.Errorf("core: asyncInvoke %s: registration: %w", callee, err)
+		}
+		rec, ok, gerr := e.rt.store.Get(e.rt.invokeLog, logKey)
+		if gerr != nil {
+			return gerr
+		}
+		if !ok || !func() bool { _, has := rec[attrResult]; return has }() {
+			return fmt.Errorf("core: asyncInvoke %s: registration not confirmed", callee)
+		}
+	}
+	e.crash("ainvoke:mid:" + stepKey)
+
+	// Step 2: the actual asynchronous invocation. At-least-once is enough:
+	// the run stub skips intents that are missing (GC'd) or complete.
+	run := envelope{Kind: kindAsyncRun, InstanceID: calleeID, Input: input, Async: true, App: e.shared.app}
+	if err := e.rt.plat.InvokeAsyncInternal(callee, run.encode()); err != nil {
+		return fmt.Errorf("core: asyncInvoke %s: run: %w", callee, err)
+	}
+	e.crash("ainvoke:post:" + stepKey)
+	return nil
+}
+
+// issueCallback delivers result to the caller SSF's invoke log (§4.5). It
+// targets "some instance" of the caller function — request routing is
+// stateless — and needs only at-least-once semantics.
+func (rt *Runtime) issueCallback(callerFn, callerInstance, callerStep, calleeID string, result Value) error {
+	cb := envelope{
+		Kind:           kindCallback,
+		CallerInstance: callerInstance,
+		CallerStep:     callerStep,
+		CalleeID:       calleeID,
+		Result:         result,
+		HasRes:         true,
+	}
+	_, err := rt.plat.InvokeInternal(callerFn, cb.encode())
+	return err
+}
+
+// handleCallback is the caller-side callback handler: record the result for
+// the (instance, step) invoke-log entry, guarded by the callee id so a
+// spurious callback from a zombie re-execution of an already-collected
+// intent is detected and ignored (§4.5).
+func (rt *Runtime) handleCallback(ev envelope) (Value, error) {
+	lk := dynamo.HSK(dynamo.S(ev.CallerInstance), dynamo.S(ev.CallerStep))
+	rt.stats.CallbacksIn.Add(1)
+	err := rt.store.Update(rt.invokeLog, lk,
+		dynamo.And(
+			dynamo.Exists(dynamo.A(attrID)),
+			dynamo.Eq(dynamo.A(attrCalleeID), dynamo.S(ev.CalleeID)),
+		),
+		dynamo.Set(dynamo.A(attrResult), ev.Result))
+	if err != nil {
+		if !errors.Is(err, dynamo.ErrConditionFailed) {
+			return dynamo.Null, err
+		}
+		rt.stats.SpuriousCallback.Add(1)
+	}
+	// Conditional failure = the invoke-log entry no longer exists (or names
+	// a different callee): a spurious callback; ignore it.
+	return dynamo.Null, nil
+}

@@ -1,0 +1,418 @@
+// Package core implements Beldi: exactly-once stateful serverless functions
+// (SSFs) with locks and cross-SSF transactions, per "Fault-tolerant and
+// Transactional Stateful Serverless Workflows" (OSDI 2020).
+//
+// Each SSF gets a Runtime bundling its own database tables (intent table,
+// read log, invoke log, data tables stored as linked DAALs) and two
+// timer-driven companions: an intent collector that re-executes unfinished
+// instances and a garbage collector that prunes logs and DAAL rows. Data
+// sovereignty (§2.2) falls out of the layout: every table belongs to exactly
+// one SSF, and other SSFs interact with it only by invocation.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+	"repro/internal/uuid"
+)
+
+// Value aliases the store's value type; it flows end to end (inputs,
+// outputs, stored state).
+type Value = dynamo.Value
+
+// Mode selects the storage/consistency machinery an SSF runs with. The
+// paper's evaluation compares all three (§7.2–§7.3).
+type Mode int
+
+const (
+	// ModeBeldi is the paper's system: linked-DAAL logging, exactly-once.
+	ModeBeldi Mode = iota
+	// ModeCrossTable logs writes to a separate table with cross-table
+	// transactions instead of a linked DAAL (the §7.3 comparator). Same
+	// guarantees, different cost profile.
+	ModeCrossTable
+	// ModeBaseline runs with no logging and no guarantees (the evaluation
+	// baseline): raw reads/writes, raw invocations.
+	ModeBaseline
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeBeldi:
+		return "beldi"
+	case ModeCrossTable:
+		return "crosstable"
+	case ModeBaseline:
+		return "baseline"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config tunes a Runtime.
+type Config struct {
+	// RowCap is N, the maximum number of write-log entries per DAAL row
+	// (§4.3). DynamoDB's 400 KB row fits a few hundred; the default keeps
+	// rows small so tests exercise row transitions. 0 means DefaultRowCap.
+	RowCap int
+	// T is the maximum lifetime of an SSF instance: the GC's synchrony
+	// bound (§5). 0 means DefaultT.
+	T time.Duration
+	// ICInterval is the intent-collector timer period (the paper uses the
+	// 1-minute AWS minimum). 0 disables the timer (RunOnce still works).
+	ICInterval time.Duration
+	// ICMinAge makes the collector restart an instance only when its last
+	// launch is at least this old (§3.3's first IC optimization).
+	// 0 means T.
+	ICMinAge time.Duration
+	// GCInterval is the garbage-collector timer period. 0 disables the
+	// timer.
+	GCInterval time.Duration
+	// ICPageLimit bounds intents processed per collector run (Appendix A's
+	// paging: collectors are themselves SSFs with execution timeouts, so
+	// each run must be bounded; the next run continues where the last left
+	// off). 0 means unlimited. The pending index is ordered by LastLaunch,
+	// and restarting an instance advances its LastLaunch, so limited runs
+	// resume at the next-oldest instance without an explicit cursor.
+	ICPageLimit int
+	// GCPageLimit bounds intents recycled per garbage-collector run (the
+	// same Appendix A bounding); the remainder is reclaimed by subsequent
+	// runs. 0 means unlimited.
+	GCPageLimit int
+	// DisableCallbacks turns off the §4.5 callback mechanism; only the
+	// ablation tests use it, to reproduce the Figure 9 double-execution
+	// anomaly.
+	DisableCallbacks bool
+	// LockRetryBase is the initial backoff between standalone lock
+	// attempts. 0 means 1ms.
+	LockRetryBase time.Duration
+	// LockRetryMax bounds standalone-lock retries per Lock call; retries
+	// consume log entries, so they are bounded. 0 means 50.
+	LockRetryMax int
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultRowCap = 8
+	DefaultT      = 2 * time.Second
+)
+
+func (c Config) withDefaults() Config {
+	if c.RowCap == 0 {
+		c.RowCap = DefaultRowCap
+	}
+	if c.T == 0 {
+		c.T = DefaultT
+	}
+	if c.ICMinAge == 0 {
+		c.ICMinAge = c.T
+	}
+	if c.LockRetryBase == 0 {
+		c.LockRetryBase = time.Millisecond
+	}
+	if c.LockRetryMax == 0 {
+		c.LockRetryMax = 50
+	}
+	return c
+}
+
+// Runtime is the per-SSF infrastructure: its function name, its own
+// database, the platform it runs on, and its configuration.
+type Runtime struct {
+	fn    string
+	store *dynamo.Store
+	plat  *platform.Platform
+	cfg   Config
+	mode  Mode
+	clk   clock.Clock
+	ids   uuid.Source
+
+	body Body
+
+	intentTable string
+	readLog     string
+	invokeLog   string
+	txCallees   string
+	txLocks     string
+
+	mu           sync.Mutex
+	dataTables_  []string
+	dataTableSet map[string]bool
+
+	stats Stats
+
+	stopCh chan struct{}
+}
+
+// dataTables lists the logical data tables registered so far (the GC's
+// getAllDataKeys universe, Figure 10).
+func (rt *Runtime) dataTables() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]string, len(rt.dataTables_))
+	copy(out, rt.dataTables_)
+	return out
+}
+
+// RuntimeOptions configure NewRuntime.
+type RuntimeOptions struct {
+	// Function is the SSF's platform name. Required.
+	Function string
+	// Store is the SSF's own database. Required. SSFs of the same team may
+	// share a store; tables are namespaced by function name.
+	Store *dynamo.Store
+	// Platform hosts the SSF and its collectors. Required.
+	Platform *platform.Platform
+	// Mode selects Beldi / cross-table / baseline machinery.
+	Mode Mode
+	// Config tunes protocol parameters.
+	Config Config
+	// Clock defaults to the wall clock.
+	Clock clock.Clock
+	// IDs defaults to random UUIDs.
+	IDs uuid.Source
+}
+
+// NewRuntime creates the SSF's runtime and its backing tables.
+func NewRuntime(opts RuntimeOptions) (*Runtime, error) {
+	if opts.Function == "" || opts.Store == nil || opts.Platform == nil {
+		return nil, fmt.Errorf("core: NewRuntime: Function, Store and Platform are required")
+	}
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	ids := opts.IDs
+	if ids == nil {
+		ids = uuid.Random{}
+	}
+	rt := &Runtime{
+		fn:          opts.Function,
+		store:       opts.Store,
+		plat:        opts.Platform,
+		cfg:         opts.Config.withDefaults(),
+		mode:        opts.Mode,
+		clk:         clk,
+		ids:         ids,
+		intentTable: opts.Function + ".intent",
+		readLog:     opts.Function + ".readlog",
+		invokeLog:   opts.Function + ".invokelog",
+		txCallees:   opts.Function + ".txcallees",
+		txLocks:     opts.Function + ".txlocks",
+		stopCh:      make(chan struct{}),
+	}
+	if rt.mode != ModeBaseline {
+		if err := rt.createInfraTables(); err != nil {
+			return nil, err
+		}
+	}
+	return rt, nil
+}
+
+// MustNewRuntime is NewRuntime, panicking on error; for setup code.
+func MustNewRuntime(opts RuntimeOptions) *Runtime {
+	rt, err := NewRuntime(opts)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+func (rt *Runtime) createInfraTables() error {
+	tables := []dynamo.Schema{
+		{Name: rt.intentTable, HashKey: attrInstanceID,
+			Indexes: []dynamo.IndexSchema{{Name: indexPending, HashKey: attrPending, SortKey: attrLastLaunch}}},
+		{Name: rt.readLog, HashKey: attrID, SortKey: attrStep},
+		{Name: rt.invokeLog, HashKey: attrID, SortKey: attrStep},
+		{Name: rt.txCallees, HashKey: attrTxnID, SortKey: attrCallee},
+		{Name: rt.txLocks, HashKey: attrTxnID, SortKey: attrTableKey},
+	}
+	for _, s := range tables {
+		if err := rt.store.CreateTable(s); err != nil {
+			return fmt.Errorf("core: %s: %w", rt.fn, err)
+		}
+	}
+	return nil
+}
+
+// CreateDataTable declares a logical data table owned by this SSF, creating
+// the physical table(s) the runtime's mode needs (a linked-DAAL table plus
+// its shadow in Beldi mode; value + write-log + shadows in cross-table mode;
+// one plain table in baseline mode).
+func (rt *Runtime) CreateDataTable(logical string) error {
+	switch rt.mode {
+	case ModeBeldi:
+		for _, name := range []string{rt.dataTable(logical), rt.shadowTable(logical)} {
+			if err := rt.store.CreateTable(dynamo.Schema{
+				Name: name, HashKey: attrKey, SortKey: attrRowID,
+			}); err != nil {
+				return err
+			}
+		}
+	case ModeCrossTable:
+		for _, name := range []string{rt.dataTable(logical), rt.shadowTable(logical)} {
+			if err := rt.store.CreateTable(dynamo.Schema{Name: name, HashKey: attrKey}); err != nil {
+				return err
+			}
+		}
+		for _, name := range []string{rt.writeLogTable(logical), rt.shadowWriteLogTable(logical)} {
+			if err := rt.store.CreateTable(dynamo.Schema{Name: name, HashKey: attrID, SortKey: attrStep}); err != nil {
+				return err
+			}
+		}
+	case ModeBaseline:
+		if err := rt.store.CreateTable(dynamo.Schema{Name: rt.dataTable(logical), HashKey: attrKey}); err != nil {
+			return err
+		}
+	}
+	rt.mu.Lock()
+	rt.dataTables_ = append(rt.dataTables_, logical)
+	if rt.dataTableSet == nil {
+		rt.dataTableSet = make(map[string]bool)
+	}
+	rt.dataTableSet[logical] = true
+	rt.mu.Unlock()
+	return nil
+}
+
+// resolveLogical maps a body-level table name to the effective logical
+// table for the requesting application (§2.2 SSF reusability): when the
+// SSF registered an app-scoped table "<app>:<logical>", requests carrying
+// that app name use it; otherwise the shared table is used, which is how
+// cross-application state stays possible.
+func (rt *Runtime) resolveLogical(app, logical string) string {
+	if app == "" {
+		return logical
+	}
+	scoped := app + ":" + logical
+	rt.mu.Lock()
+	ok := rt.dataTableSet[scoped]
+	rt.mu.Unlock()
+	if ok {
+		return scoped
+	}
+	return logical
+}
+
+// MustCreateDataTable is CreateDataTable, panicking on error.
+func (rt *Runtime) MustCreateDataTable(logical string) {
+	if err := rt.CreateDataTable(logical); err != nil {
+		panic(err)
+	}
+}
+
+// Physical table names. All tables of an SSF share its name as prefix: the
+// unit of data sovereignty.
+func (rt *Runtime) dataTable(logical string) string   { return rt.fn + ".data." + logical }
+func (rt *Runtime) shadowTable(logical string) string { return rt.fn + ".data." + logical + ".shadow" }
+func (rt *Runtime) writeLogTable(logical string) string {
+	return rt.fn + ".data." + logical + ".wlog"
+}
+func (rt *Runtime) shadowWriteLogTable(logical string) string {
+	return rt.fn + ".data." + logical + ".shadow.wlog"
+}
+
+// Function returns the SSF's platform name.
+func (rt *Runtime) Function() string { return rt.fn }
+
+// Mode returns the runtime's machinery mode.
+func (rt *Runtime) Mode() Mode { return rt.mode }
+
+// Store returns the SSF's database (tests and the figure harness inspect
+// it).
+func (rt *Runtime) Store() *dynamo.Store { return rt.store }
+
+// Platform returns the platform hosting the SSF.
+func (rt *Runtime) Platform() *platform.Platform { return rt.plat }
+
+// Config returns the effective configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// now returns the runtime's current time in microseconds since the epoch —
+// the timestamp unit used throughout the intent table.
+func (rt *Runtime) now() int64 { return rt.clk.Now().UnixMicro() }
+
+// TailValueByScan resolves the current value of key using the production
+// traversal: one scan+projection to skeleton the linked DAAL, then one read
+// of the tail (§4.1). Exposed for the traversal ablation benchmark.
+func TailValueByScan(rt *Runtime, table, key string) (Value, error) {
+	d := daal{rt: rt, table: rt.dataTable(table)}
+	row, ok, err := d.currentRow(key)
+	if err != nil || !ok {
+		return dynamo.Null, err
+	}
+	return row.value, nil
+}
+
+// TailValueByPointerChase resolves the current value of key by walking
+// NextRow pointers, one read per row — the §4.1 baseline the scan approach
+// replaces. Exposed for the traversal ablation benchmark.
+func TailValueByPointerChase(rt *Runtime, table, key string) (Value, error) {
+	d := daal{rt: rt, table: rt.dataTable(table)}
+	row, ok, err := d.tailByPointerChase(key)
+	if err != nil || !ok {
+		return dynamo.Null, err
+	}
+	return row.value, nil
+}
+
+// PeekState reads the SSF's current committed value for key in one of its
+// logical tables, bypassing the instance machinery — an inspection aid for
+// tests, examples and operations tooling. Never-written keys read as Null.
+func (rt *Runtime) PeekState(table, key string) (Value, error) {
+	if rt.mode == ModeBaseline {
+		it, ok, err := rt.store.Get(rt.dataTable(table), dynamo.HK(dynamo.S(key)))
+		if err != nil || !ok {
+			return dynamo.Null, err
+		}
+		return it[attrValue], nil
+	}
+	val, _, _, err := rt.layer().stateRead(table, key)
+	return val, err
+}
+
+// Stop halts the runtime's collector timers (if started).
+func (rt *Runtime) Stop() {
+	select {
+	case <-rt.stopCh:
+	default:
+		close(rt.stopCh)
+	}
+}
+
+// Attribute and table-schema names shared across the core.
+const (
+	attrInstanceID = "InstanceId"
+	attrID         = "Id"
+	attrStep       = "Step"
+	attrKey        = "Key"
+	attrRowID      = "RowId"
+	attrValue      = "Value"
+	attrLogSize    = "LogSize"
+	attrRecent     = "RecentWrites"
+	attrRecycled   = "Recycled"
+	attrNextRow    = "NextRow"
+	attrLockOwner  = "LockOwner"
+	attrDangleTime = "DangleTime"
+	attrDone       = "Done"
+	attrPending    = "Pending"
+	attrAsync      = "Async"
+	attrArgs       = "Args"
+	attrRet        = "Ret"
+	attrStartTime  = "StartTime"
+	attrLastLaunch = "LastLaunch"
+	attrFinishTime = "FinishTime"
+	attrCalleeID   = "CalleeId"
+	attrResult     = "Result"
+	attrTxnID      = "TxnId"
+	attrCallee     = "Callee"
+	attrTableKey   = "TableKey"
+	attrOutcome    = "Outcome"
+
+	indexPending = "pending"
+)

@@ -1,0 +1,82 @@
+package core
+
+import "sync/atomic"
+
+// Stats counts a runtime's protocol activity: what the paper's cost model
+// (§7.3) talks about per operation, surfaced as counters an operator can
+// watch. All fields are updated atomically; read them live.
+type Stats struct {
+	// API operations executed by instances of this SSF.
+	Reads      atomic.Int64
+	Writes     atomic.Int64
+	CondWrites atomic.Int64
+	SyncCalls  atomic.Int64
+	AsyncCalls atomic.Int64
+	Locks      atomic.Int64
+	Unlocks    atomic.Int64
+
+	// Replays counts operations resolved from logs instead of executing —
+	// the visible footprint of re-executions (each one is an effect the
+	// protocol deduplicated).
+	Replays atomic.Int64
+
+	// Transactions.
+	TxnBegun     atomic.Int64
+	TxnCommitted atomic.Int64
+	TxnAborted   atomic.Int64
+
+	// Lifecycle.
+	IntentsStarted   atomic.Int64
+	IntentsCompleted atomic.Int64
+	Restarts         atomic.Int64 // instances re-launched by the collector
+	CallbacksIn      atomic.Int64
+	SpuriousCallback atomic.Int64
+
+	// Garbage collection accumulators.
+	GCRuns         atomic.Int64
+	GCIntents      atomic.Int64
+	GCLogRows      atomic.Int64
+	GCRowsDeleted  atomic.Int64
+	GCDisconnected atomic.Int64
+}
+
+// StatsView is a point-in-time copy for reporting.
+type StatsView struct {
+	Reads, Writes, CondWrites, SyncCalls, AsyncCalls, Locks, Unlocks int64
+	Replays                                                          int64
+	TxnBegun, TxnCommitted, TxnAborted                               int64
+	IntentsStarted, IntentsCompleted, Restarts                       int64
+	CallbacksIn, SpuriousCallback                                    int64
+	GCRuns, GCIntents, GCLogRows, GCRowsDeleted, GCDisconnected      int64
+}
+
+// Stats exposes the runtime's counters.
+func (rt *Runtime) Stats() *Stats { return &rt.stats }
+
+// StatsSnapshot copies the counters.
+func (rt *Runtime) StatsSnapshot() StatsView {
+	s := &rt.stats
+	return StatsView{
+		Reads:            s.Reads.Load(),
+		Writes:           s.Writes.Load(),
+		CondWrites:       s.CondWrites.Load(),
+		SyncCalls:        s.SyncCalls.Load(),
+		AsyncCalls:       s.AsyncCalls.Load(),
+		Locks:            s.Locks.Load(),
+		Unlocks:          s.Unlocks.Load(),
+		Replays:          s.Replays.Load(),
+		TxnBegun:         s.TxnBegun.Load(),
+		TxnCommitted:     s.TxnCommitted.Load(),
+		TxnAborted:       s.TxnAborted.Load(),
+		IntentsStarted:   s.IntentsStarted.Load(),
+		IntentsCompleted: s.IntentsCompleted.Load(),
+		Restarts:         s.Restarts.Load(),
+		CallbacksIn:      s.CallbacksIn.Load(),
+		SpuriousCallback: s.SpuriousCallback.Load(),
+		GCRuns:           s.GCRuns.Load(),
+		GCIntents:        s.GCIntents.Load(),
+		GCLogRows:        s.GCLogRows.Load(),
+		GCRowsDeleted:    s.GCRowsDeleted.Load(),
+		GCDisconnected:   s.GCDisconnected.Load(),
+	}
+}

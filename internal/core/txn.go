@@ -1,0 +1,386 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+)
+
+// Transactions (§6.2). A transaction is created by the SSF that calls
+// Transaction (the paper's begin_tx/end_tx pair) and inherited by every SSF
+// it invokes before the matching end. Under the hood:
+//
+//   - Execute mode takes a wait-die 2PL lock before every read, write and
+//     condWrite (Fig 11), reads check the transaction's shadow copy first
+//     (read-your-writes), and writes go only to the shadow table — so the
+//     real tables never expose uncommitted state, giving opacity (§6.2,
+//     Fig 12): even doomed transactions read a consistent snapshot.
+//   - Commit flushes shadow values to the real linked DAALs, releases
+//     locks, and recursively invokes the SSF's transactional callees with
+//     the context in Commit mode — the workflow itself plays the 2PC
+//     coordinator. Abort skips the flush and propagates the same way.
+//
+// Two durable per-SSF registries make the protocol replay- and crash-safe
+// without any in-memory coordinator state: txLocks records every (table,
+// key) this SSF locked under a transaction id, and txCallees records every
+// callee it invoked inside the transaction. A Commit/Abort-phase instance
+// re-derives all of its obligations from those tables. (The paper leaves
+// "notify its own callees" abstract; see DESIGN.md.)
+
+// Transaction runs body with ACID semantics (opacity isolation). If this
+// SSF was itself invoked inside an enclosing transaction, body simply joins
+// it: begin/end pairs are inherited, not nested (§6.2). The body runs in a
+// fresh goroutine so runtime panics become aborts rather than instance
+// crashes ("to catch any runtime exceptions"). Returning ErrTxnAborted —
+// or any other error — aborts; nil commits.
+func (e *Env) Transaction(body func() error) error {
+	if e.rt.mode == ModeBaseline {
+		// Baseline has no transactions: run the operations bare. This is the
+		// configuration whose inconsistent travel reservations the paper
+		// calls out (§7.2).
+		return body()
+	}
+	if e.shared.txn != nil {
+		// Inherited context: ignore the begin/end markers.
+		return body()
+	}
+	e.rt.stats.TxnBegun.Add(1)
+	ctx := &TxnContext{
+		ID:    e.instanceID + "#tx" + e.nextStepKey(),
+		Mode:  TxExecute,
+		Start: e.intent.startTime,
+	}
+	e.shared.txn = ctx
+	e.shared.txnOwner = true
+
+	bodyErr := runTxnBody(body)
+
+	if bodyErr == nil {
+		ctx.Mode = TxCommit
+		if err := e.finishTxnLocal(ctx); err != nil {
+			return err
+		}
+		e.shared.txn = nil
+		e.shared.txnOwner = false
+		e.rt.stats.TxnCommitted.Add(1)
+		return nil
+	}
+	ctx.Mode = TxAbort
+	e.rt.stats.TxnAborted.Add(1)
+	if err := e.finishTxnLocal(ctx); err != nil {
+		return err
+	}
+	e.shared.txn = nil
+	e.shared.txnOwner = false
+	if errors.Is(bodyErr, ErrTxnAborted) {
+		return ErrTxnAborted
+	}
+	return fmt.Errorf("%w: %v", ErrTxnAborted, bodyErr)
+}
+
+// runTxnBody executes the transaction's operations under a recovery
+// barrier, converting runtime exceptions into abort-causing errors (the
+// §6.2 "execute in a new thread to catch any runtime exceptions" — Go's
+// recover gives the same catch semantics without losing the goroutine's
+// identity). A platform kill is NOT an exception: it re-raises so the
+// worker actually dies and the intent collector takes over.
+func runTxnBody(body func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if platform.IsInjectedCrash(r) {
+				panic(r)
+			}
+			err = fmt.Errorf("transaction body panic: %v", r)
+		}
+	}()
+	return body()
+}
+
+// recordTxnCallee durably notes that this SSF invoked callee inside the
+// transaction, so a later Commit/Abort phase can propagate along the same
+// workflow edge. Idempotent (at-least-once is enough: the set is keyed).
+func (e *Env) recordTxnCallee(callee string) error {
+	return e.rt.store.Update(e.rt.txCallees,
+		dynamo.HSK(dynamo.S(e.shared.txn.ID), dynamo.S(callee)), nil)
+}
+
+// recordTxnLock durably notes a lock this SSF acquired for the transaction.
+func (e *Env) recordTxnLock(table, key string) error {
+	return e.rt.store.Update(e.rt.txLocks,
+		dynamo.HSK(dynamo.S(e.shared.txn.ID), dynamo.S(table+"|"+key)), nil)
+}
+
+// txnLock acquires key's lock for the transaction with wait-die deadlock
+// prevention (Fig 11): on conflict, die (abort) if the holder is older,
+// otherwise wait and retry. Priority is the transaction's intent-creation
+// time with the id as tiebreak, a total order, so no cycles can form.
+func (e *Env) txnLock(table, key string) error {
+	e.rt.stats.Locks.Add(1)
+	txn := e.shared.txn
+	owner := lockOwnerValue(txn.ID, txn.Start)
+	// Register the lock intention BEFORE acquiring: if the instance dies
+	// between the two, the abort phase releases a lock that may not be held
+	// (a harmless conditional no-op); the reverse order would leak a held,
+	// unregistered lock forever.
+	if err := e.recordTxnLock(table, key); err != nil {
+		return err
+	}
+	backoff := e.rt.cfg.LockRetryBase
+	for attempt := 0; attempt < e.rt.cfg.LockRetryMax; attempt++ {
+		stepKey := e.nextStepKey()
+		e.crash("txnlock:pre:" + stepKey)
+		ok, err := e.rt.layer().loggedMutate(table, key, e.logKey(stepKey),
+			mutation{cond: lockCond(txn.ID), setLock: &owner})
+		e.crash("txnlock:post:" + stepKey)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		// Conflict: inspect the holder for wait-die.
+		_, lock, _, err := e.rt.layer().stateRead(table, key)
+		if err != nil {
+			return err
+		}
+		if !lock.IsNull() {
+			holderID, _ := lock.MapGet(attrID)
+			holderStart, _ := lock.MapGet("Start")
+			if olderOrSame(holderStart.Int(), holderID.Str(), txn.Start, txn.ID) {
+				return ErrTxnAborted // die: the holder has priority
+			}
+		}
+		e.rt.clk.Sleep(backoff)
+		if backoff < 128*e.rt.cfg.LockRetryBase {
+			backoff *= 2
+		}
+	}
+	return fmt.Errorf("%w: txn lock %s/%s", ErrLockUnavailable, table, key)
+}
+
+// olderOrSame reports whether (aStart, aID) has wait-die priority over
+// (bStart, bID): strictly older start time, with the id breaking ties.
+func olderOrSame(aStart int64, aID string, bStart int64, bID string) bool {
+	if aStart != bStart {
+		return aStart < bStart
+	}
+	return aID <= bID
+}
+
+// shadowKey namespaces a key inside the shadow table by transaction.
+func shadowKey(txnID, key string) string { return txnID + "|" + key }
+
+// txnRead: lock, then read the shadow copy first (read-your-writes), else
+// the real table; the effective value is recorded in the read log so
+// replays see the identical snapshot.
+func (e *Env) txnRead(table, key string) (Value, error) {
+	if err := e.txnLock(table, key); err != nil {
+		return dynamo.Null, err
+	}
+	stepKey := e.nextStepKey()
+	e.crash("txnread:pre:" + stepKey)
+	layer := e.rt.layer()
+	val, _, found, err := layer.shadow().stateRead(table, shadowKey(e.shared.txn.ID, key))
+	if err != nil {
+		return dynamo.Null, err
+	}
+	if !found {
+		val, _, _, err = layer.stateRead(table, key)
+		if err != nil {
+			return dynamo.Null, err
+		}
+	}
+	out, err := e.logRead(stepKey, val)
+	e.crash("txnread:post:" + stepKey)
+	return out, err
+}
+
+// txnWrite: lock, then write to the transaction's shadow copy.
+func (e *Env) txnWrite(table, key string, v Value) error {
+	if err := e.txnLock(table, key); err != nil {
+		return err
+	}
+	stepKey := e.nextStepKey()
+	e.crash("txnwrite:pre:" + stepKey)
+	_, err := e.rt.layer().shadow().loggedMutate(table, shadowKey(e.shared.txn.ID, key),
+		e.logKey(stepKey), mutation{setVal: &v})
+	e.crash("txnwrite:post:" + stepKey)
+	return err
+}
+
+// txnCondWrite: lock, evaluate cond against the transaction's effective
+// view of the item, and apply to the shadow if it holds. Determinism on
+// replay comes from the logged effective read.
+func (e *Env) txnCondWrite(table, key string, v Value, cond dynamo.Cond) (bool, error) {
+	if err := e.txnLock(table, key); err != nil {
+		return false, err
+	}
+	stepKey := e.nextStepKey()
+	layer := e.rt.layer()
+	val, _, found, err := layer.shadow().stateRead(table, shadowKey(e.shared.txn.ID, key))
+	if err != nil {
+		return false, err
+	}
+	if !found {
+		val, _, _, err = layer.stateRead(table, key)
+		if err != nil {
+			return false, err
+		}
+	}
+	val, err = e.logRead(stepKey, val)
+	if err != nil {
+		return false, err
+	}
+	if !cond.Eval(dynamo.Item{attrValue: val}) {
+		return false, nil
+	}
+	wStep := e.nextStepKey()
+	e.crash("txncondwrite:pre:" + wStep)
+	_, err = layer.shadow().loggedMutate(table, shadowKey(e.shared.txn.ID, key),
+		e.logKey(wStep), mutation{setVal: &v})
+	e.crash("txncondwrite:post:" + wStep)
+	return err == nil, err
+}
+
+// finishTxnLocal runs the local half of commit/abort for this SSF, then
+// propagates to its callees. Crash-safe: every action is a logged operation
+// of this same instance, so a re-execution resumes where it left off
+// (§6.2). A per-(SSF, transaction) settle claim makes the recursive
+// propagation terminate on cyclic workflows: the first instance to settle
+// this SSF's state for the transaction claims it; later notifications
+// arriving around a cycle find the claim and stop.
+func (e *Env) finishTxnLocal(ctx *TxnContext) error {
+	claimed, err := e.claimTxnSettle(ctx)
+	if err != nil {
+		return err
+	}
+	if !claimed {
+		return nil
+	}
+	if err := e.settleTxnState(ctx); err != nil {
+		return err
+	}
+	return e.notifyTxnCallees(ctx)
+}
+
+// settleMarker is the reserved txCallees sort key recording the settle
+// claim; "\x00" keeps it out of the function-name namespace.
+const settleMarker = "\x00settled"
+
+// claimTxnSettle claims the right to settle this SSF's transaction state.
+// The claim is keyed to the claiming instance so the claimant's own
+// re-execution (after a mid-settle crash) passes the check and resumes.
+func (e *Env) claimTxnSettle(ctx *TxnContext) (bool, error) {
+	err := e.rt.store.Update(e.rt.txCallees,
+		dynamo.HSK(dynamo.S(ctx.ID), dynamo.S(settleMarker)),
+		dynamo.Or(
+			dynamo.NotExists(dynamo.A(attrInstanceID)),
+			dynamo.Eq(dynamo.A(attrInstanceID), dynamo.S(e.instanceID)),
+		),
+		dynamo.Set(dynamo.A(attrInstanceID), dynamo.S(e.instanceID)))
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, dynamo.ErrConditionFailed) {
+		return false, nil
+	}
+	return false, err
+}
+
+// settleTxnState flushes (on commit) and unlocks everything this SSF's
+// registries record for the transaction.
+func (e *Env) settleTxnState(ctx *TxnContext) error {
+	entries, err := e.rt.store.Query(e.rt.txLocks, dynamo.S(ctx.ID), dynamo.QueryOpts{})
+	if err != nil {
+		return err
+	}
+	layer := e.rt.layer()
+	for _, it := range entries {
+		table, key := splitTableKey(it[attrTableKey].Str())
+		if ctx.Mode == TxCommit {
+			sval, _, found, err := layer.shadow().stateRead(table, shadowKey(ctx.ID, key))
+			if err != nil {
+				return err
+			}
+			if found {
+				stepKey := e.nextStepKey()
+				e.crash("txnflush:pre:" + stepKey)
+				if _, err := layer.loggedMutate(table, key, e.logKey(stepKey),
+					mutation{setVal: &sval}); err != nil {
+					return err
+				}
+				e.crash("txnflush:post:" + stepKey)
+			}
+		}
+		if err := e.unlockAs(layer, table, key, ctx.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// notifyTxnCallees invokes each recorded callee with the decided context —
+// the second phase of the collaborative 2PC (§6.2).
+func (e *Env) notifyTxnCallees(ctx *TxnContext) error {
+	callees, err := e.rt.store.Query(e.rt.txCallees, dynamo.S(ctx.ID), dynamo.QueryOpts{})
+	if err != nil {
+		return err
+	}
+	for _, it := range callees {
+		callee := it[attrCallee].Str()
+		if callee == settleMarker {
+			continue
+		}
+		if _, err := e.syncInvoke(callee, dynamo.Null, ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func splitTableKey(s string) (table, key string) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '|' {
+			return s[:i], s[i+1:]
+		}
+	}
+	return s, ""
+}
+
+// runTxnPhase handles an incoming invocation whose context is already in
+// Commit or Abort mode: skip the SSF's logic entirely, settle local state,
+// and propagate (§6.2). The phase runs as a normal intent so it is itself
+// exactly-once, and it returns through the usual callback path.
+func (rt *Runtime) runTxnPhase(inv *platform.Invocation, id string, ev envelope) (Value, error) {
+	intent, err := rt.ensureIntent(id, ev)
+	if err != nil {
+		return dynamo.Null, err
+	}
+	inv.CrashPoint("intent:logged")
+	if intent.done {
+		if ev.CallerFn != "" && !rt.cfg.DisableCallbacks {
+			if err := rt.issueCallback(ev.CallerFn, ev.CallerInstance, ev.CallerStep, id, intent.ret); err != nil {
+				return dynamo.Null, err
+			}
+		}
+		return intent.ret, nil
+	}
+	env := &Env{rt: rt, inv: inv, instanceID: id, branch: "0", intent: intent, shared: &envShared{app: ev.App}}
+	if err := env.finishTxnLocal(ev.Txn); err != nil {
+		return dynamo.Null, err
+	}
+	inv.CrashPoint("body:done")
+	ret := dynamo.S("txn:" + string(ev.Txn.Mode))
+	if ev.CallerFn != "" && !rt.cfg.DisableCallbacks {
+		if err := rt.issueCallback(ev.CallerFn, ev.CallerInstance, ev.CallerStep, id, ret); err != nil {
+			return dynamo.Null, err
+		}
+		inv.CrashPoint("callback:sent")
+	}
+	if err := rt.markIntentDone(id, ret); err != nil {
+		return dynamo.Null, err
+	}
+	return ret, nil
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+)
+
+// Register installs the SSF on its platform: the body is wrapped with
+// Beldi's protocol actions — intent check/log on entry, replayed execution,
+// callback delivery, and done-marking on exit (§3.2: "Beldi takes actions
+// before and after the main body of the SSF"). It also registers the
+// intent-collector and garbage-collector companion functions (§3.3).
+func Register(rt *Runtime, body Body) {
+	rt.body = body
+	if rt.mode == ModeBaseline {
+		rt.plat.Register(rt.fn, rt.baselineHandler, 0)
+		return
+	}
+	rt.plat.Register(rt.fn, rt.handler, 0)
+	rt.plat.Register(rt.fn+".ic", rt.icHandler, 0)
+	rt.plat.Register(rt.fn+".gc", rt.gcHandler, 0)
+}
+
+// Handler exposes the wrapped platform handler, for deployments that
+// register the function themselves (e.g. with a custom timeout).
+func (rt *Runtime) Handler() platform.Handler {
+	if rt.mode == ModeBaseline {
+		return rt.baselineHandler
+	}
+	return rt.handler
+}
+
+// handler is the wrapped entry point for every invocation of the SSF,
+// dispatching on the envelope kind.
+func (rt *Runtime) handler(inv *platform.Invocation, raw Value) (Value, error) {
+	ev := decodeEnvelope(raw)
+	switch ev.Kind {
+	case kindCallback:
+		return rt.handleCallback(ev)
+	case kindAsyncRegister:
+		return rt.handleAsyncRegister(inv, ev)
+	case kindAsyncRun:
+		return rt.handleAsyncRun(inv, ev)
+	default:
+		return rt.handleCall(inv, ev)
+	}
+}
+
+// handleCall runs a synchronous (or collector-restarted) execution.
+func (rt *Runtime) handleCall(inv *platform.Invocation, ev envelope) (Value, error) {
+	id := ev.InstanceID
+	if id == "" {
+		// Workflow entry: adopt the platform's request id (§3.3).
+		id = inv.RequestID
+		ev.InstanceID = id
+	}
+
+	// Commit/Abort phase of a distributed transaction: skip the body and
+	// run the propagation protocol (§6.2), still as a first-class intent so
+	// the phase itself is exactly-once.
+	if ev.Txn != nil && ev.Txn.Mode != TxExecute {
+		return rt.runTxnPhase(inv, id, ev)
+	}
+
+	intent, err := rt.ensureIntent(id, ev)
+	if err != nil {
+		return dynamo.Null, err
+	}
+	inv.CrashPoint("intent:logged")
+	if intent.done {
+		// A re-invocation of a completed intent: re-deliver the result via
+		// the callback path so the caller's invoke log converges (Fig 19's
+		// replay behaviour), then return the recorded value.
+		if ev.CallerFn != "" && !rt.cfg.DisableCallbacks {
+			if err := rt.issueCallback(ev.CallerFn, ev.CallerInstance, ev.CallerStep, id, intent.ret); err != nil {
+				return dynamo.Null, err
+			}
+		}
+		return intent.ret, nil
+	}
+
+	env := &Env{rt: rt, inv: inv, instanceID: id, branch: "0", intent: intent, shared: &envShared{app: ev.App}}
+	if ev.Txn != nil {
+		env.shared.txn = ev.Txn // inherited Execute-mode context (§6.2)
+	}
+
+	ret, err := rt.runBody(env, ev.Input)
+	if err != nil {
+		if errors.Is(err, ErrTxnAborted) {
+			// The transaction died (wait-die or an application abort). The
+			// abort protocol has already run — by the owner's Transaction
+			// call, or it will be propagated by the owner once this abort
+			// outcome reaches it (§6.2: "it returns to its caller with an
+			// 'abort' outcome"). Either way this instance's execution is
+			// complete, deterministically, so it finishes with the abort
+			// marker as its result.
+			ret = abortMarker()
+		} else {
+			// The instance failed; leave the intent pending for the
+			// collector.
+			return dynamo.Null, err
+		}
+	}
+	inv.CrashPoint("body:done")
+
+	// Callback before done-marking (Fig 9's ordering: the caller must hold
+	// the result before this intent can be collected).
+	if ev.CallerFn != "" && !rt.cfg.DisableCallbacks {
+		if err := rt.issueCallback(ev.CallerFn, ev.CallerInstance, ev.CallerStep, id, ret); err != nil {
+			return dynamo.Null, fmt.Errorf("core: %s: callback to %s failed: %w", rt.fn, ev.CallerFn, err)
+		}
+		inv.CrashPoint("callback:sent")
+	}
+	if err := rt.markIntentDone(id, ret); err != nil {
+		return dynamo.Null, err
+	}
+	inv.CrashPoint("done:marked")
+	return ret, nil
+}
+
+// runBody executes the application logic. Panics unwind to the platform's
+// instance recovery (the worker dies, the intent stays pending, and the
+// collector retries) — the same outcome a worker crash would have.
+func (rt *Runtime) runBody(env *Env, input Value) (Value, error) {
+	return rt.body(env, input)
+}
+
+// handleAsyncRegister is the callee side of asyncInvoke step 1 (Fig 20):
+// log the intent (flagged async, carrying the run envelope for the intent
+// collector), confirm to the caller via callback, and return.
+func (rt *Runtime) handleAsyncRegister(inv *platform.Invocation, ev envelope) (Value, error) {
+	runEv := envelope{Kind: kindAsyncRun, InstanceID: ev.InstanceID, Input: ev.Input, Async: true}
+	if _, err := rt.ensureIntent(ev.InstanceID, runEv); err != nil {
+		return dynamo.Null, err
+	}
+	inv.CrashPoint("async:registered")
+	if !rt.cfg.DisableCallbacks {
+		if err := rt.issueCallback(ev.CallerFn, ev.CallerInstance, ev.CallerStep, ev.InstanceID, dynamo.S("registered")); err != nil {
+			return dynamo.Null, err
+		}
+	}
+	return dynamo.Null, nil
+}
+
+// handleAsyncRun is the callee side of asyncInvoke step 2 (Fig 20): run the
+// body only if the intent is registered and incomplete, so that re-deliveries
+// and GC-pruned intents are skipped.
+func (rt *Runtime) handleAsyncRun(inv *platform.Invocation, ev envelope) (Value, error) {
+	exists, done, _, err := rt.intentDone(ev.InstanceID)
+	if err != nil {
+		return dynamo.Null, err
+	}
+	if !exists || done {
+		return dynamo.Null, nil
+	}
+	intent, err := rt.ensureIntent(ev.InstanceID, ev) // reads the existing row
+	if err != nil {
+		return dynamo.Null, err
+	}
+	env := &Env{rt: rt, inv: inv, instanceID: ev.InstanceID, branch: "0", intent: intent, shared: &envShared{app: ev.App}}
+	ret, err := rt.runBody(env, ev.Input)
+	if err != nil {
+		return dynamo.Null, err
+	}
+	inv.CrashPoint("body:done")
+	if err := rt.markIntentDone(ev.InstanceID, ret); err != nil {
+		return dynamo.Null, err
+	}
+	return ret, nil
+}

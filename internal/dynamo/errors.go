@@ -1,0 +1,56 @@
+package dynamo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrConditionFailed reports that a conditional operation's condition
+// evaluated false. Beldi's lock-free case analysis (§4.3) branches on this
+// error, so callers must be able to distinguish it from infrastructure
+// failures; test with errors.Is.
+var ErrConditionFailed = errors.New("dynamo: conditional check failed")
+
+// ErrItemTooLarge reports that an operation would push a row past the
+// table's item size cap (DynamoDB's 400 KB limit), the constraint that
+// forces the linked DAAL to span rows.
+var ErrItemTooLarge = errors.New("dynamo: item exceeds maximum size")
+
+// ErrNoSuchTable reports an operation against an unknown table.
+var ErrNoSuchTable = errors.New("dynamo: no such table")
+
+// ErrTableExists reports CreateTable on an existing name.
+var ErrTableExists = errors.New("dynamo: table already exists")
+
+// ErrNoSuchIndex reports a query against an unknown secondary index.
+var ErrNoSuchIndex = errors.New("dynamo: no such index")
+
+// TxCanceledError reports a TransactWrite whose condition checks did not all
+// pass; Reasons holds one entry per operation (nil for passing ops).
+type TxCanceledError struct {
+	Reasons []error
+}
+
+func (e *TxCanceledError) Error() string {
+	for i, r := range e.Reasons {
+		if r != nil {
+			return fmt.Sprintf("dynamo: transaction canceled (op %d: %v)", i, r)
+		}
+	}
+	return "dynamo: transaction canceled"
+}
+
+// Is makes errors.Is(err, ErrConditionFailed) true when any op failed its
+// condition, so callers can treat transactional and single-row conditional
+// failures uniformly.
+func (e *TxCanceledError) Is(target error) bool {
+	if target != ErrConditionFailed {
+		return false
+	}
+	for _, r := range e.Reasons {
+		if errors.Is(r, ErrConditionFailed) {
+			return true
+		}
+	}
+	return false
+}

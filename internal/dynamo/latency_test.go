@@ -1,0 +1,103 @@
+package dynamo
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroLatency(t *testing.T) {
+	var m ZeroLatency
+	if d := m.OpLatency(OpGet, 10, 1000); d != 0 {
+		t.Errorf("zero latency = %v", d)
+	}
+}
+
+func TestCloudLatencyScalesAndCharges(t *testing.T) {
+	m := NewCloudLatency(1.0, 42)
+	m.Jitter = 0
+	m.TailP = 0
+	get := m.OpLatency(OpGet, 1, 0)
+	if get != m.Base[OpGet]+m.PerItem {
+		t.Errorf("get = %v", get)
+	}
+	// Per-item and per-KB surcharges.
+	scan1 := m.OpLatency(OpScan, 1, 0)
+	scan20 := m.OpLatency(OpScan, 20, 4096)
+	if scan20 <= scan1 {
+		t.Errorf("scan fan-out not charged: %v vs %v", scan1, scan20)
+	}
+	// Scale compresses proportionally.
+	half := NewCloudLatency(0.5, 42)
+	half.Jitter = 0
+	half.TailP = 0
+	if got := half.OpLatency(OpGet, 1, 0); got != get/2 {
+		t.Errorf("scaled get = %v, want %v", got, get/2)
+	}
+}
+
+func TestCloudLatencyJitterBounded(t *testing.T) {
+	m := NewCloudLatency(1.0, 7)
+	m.TailP = 0
+	base := m.Base[OpGet] + m.PerItem
+	for i := 0; i < 500; i++ {
+		d := m.OpLatency(OpGet, 1, 0)
+		lo := time.Duration(float64(base) * (1 - m.Jitter - 0.001))
+		hi := time.Duration(float64(base) * (1 + m.Jitter + 0.001))
+		if d < lo || d > hi {
+			t.Fatalf("sample %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+}
+
+func TestCloudLatencyTailEvents(t *testing.T) {
+	m := NewCloudLatency(1.0, 9)
+	m.Jitter = 0
+	m.TailP = 0.5
+	m.TailMult = 10
+	base := m.Base[OpGet] + m.PerItem
+	tails := 0
+	for i := 0; i < 400; i++ {
+		if m.OpLatency(OpGet, 1, 0) > 2*base {
+			tails++
+		}
+	}
+	if tails < 100 || tails > 300 {
+		t.Errorf("tail events = %d/400 at P=0.5", tails)
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	for k := OpKind(0); k < opKinds; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("op %d has no name", k)
+		}
+	}
+	if OpKind(200).String() != "unknown" {
+		t.Error("out-of-range op named")
+	}
+}
+
+func TestGetProjTrafficAccounting(t *testing.T) {
+	// The §7.3 network claim rests on projections reducing charged bytes.
+	s := NewStore()
+	s.MustCreateTable(Schema{Name: "t", HashKey: "K"})
+	big := Item{"K": S("a"), "V": S(string(make([]byte, 4096))), "Tag": S("x")}
+	if err := s.Put("t", big, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Metrics().Snapshot()
+	it, ok, err := s.GetProj("t", HK(S("a")), []Path{A("Tag")})
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if _, has := it["V"]; has {
+		t.Error("projection leaked V")
+	}
+	full := s.Metrics().Snapshot()
+	projBytes := full.Sub(before).BytesRead
+	s.Get("t", HK(S("a")))
+	fullBytes := s.Metrics().Snapshot().Sub(full).BytesRead
+	if projBytes*10 > fullBytes {
+		t.Errorf("projection read %d bytes, full read %d — projection not cheap", projBytes, fullBytes)
+	}
+}

@@ -1,0 +1,412 @@
+package dynamo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Store is the in-memory NoSQL service. It is safe for concurrent use; each
+// operation is linearizable, and conditional updates are atomic within a
+// row, which is the atomicity scope Beldi assumes of DynamoDB (§2.2).
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+
+	latency LatencyModel
+	metrics Metrics
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithLatency installs a latency model; the default is ZeroLatency.
+func WithLatency(m LatencyModel) Option {
+	return func(s *Store) { s.latency = m }
+}
+
+// NewStore creates an empty store.
+func NewStore(opts ...Option) *Store {
+	s := &Store{tables: make(map[string]*table), latency: ZeroLatency{}}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Metrics exposes the store's traffic counters.
+func (s *Store) Metrics() *Metrics { return &s.metrics }
+
+// SetLatency swaps the latency model (benchmarks flip between zero and
+// cloud-shaped latency on a shared store).
+func (s *Store) SetLatency(m LatencyModel) {
+	s.mu.Lock()
+	s.latency = m
+	s.mu.Unlock()
+}
+
+// CreateTable registers a new table.
+func (s *Store) CreateTable(schema Schema) error {
+	if schema.Name == "" || schema.HashKey == "" {
+		return fmt.Errorf("dynamo: CreateTable: name and hash key are required")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[schema.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrTableExists, schema.Name)
+	}
+	s.tables[schema.Name] = newTable(schema)
+	return nil
+}
+
+// MustCreateTable is CreateTable, panicking on error; for setup code.
+func (s *Store) MustCreateTable(schema Schema) {
+	if err := s.CreateTable(schema); err != nil {
+		panic(err)
+	}
+}
+
+// DeleteTable drops a table and its data.
+func (s *Store) DeleteTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	delete(s.tables, name)
+	return nil
+}
+
+func (s *Store) table(name string) (*table, error) {
+	s.mu.RLock()
+	t, ok := s.tables[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+func (s *Store) lat() LatencyModel {
+	s.mu.RLock()
+	m := s.latency
+	s.mu.RUnlock()
+	return m
+}
+
+func (s *Store) charge(op OpKind, items, bytes int) {
+	s.metrics.Ops[op].Add(1)
+	s.metrics.BytesRead.Add(int64(bytes))
+	if d := s.lat().OpLatency(op, items, bytes); d > 0 {
+		sleep(d)
+	}
+}
+
+// Get returns a deep copy of the item at key (strongly consistent read).
+func (s *Store) Get(tableName string, key Key) (Item, bool, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, false, err
+	}
+	t.mu.RLock()
+	it := t.get(key)
+	var out Item
+	if it != nil {
+		out = it.Clone()
+	}
+	t.mu.RUnlock()
+	bytes := 0
+	if out != nil {
+		bytes = out.Size()
+	}
+	s.charge(OpGet, 1, bytes)
+	return out, out != nil, nil
+}
+
+// GetProj is Get with a projection applied server-side, so only the
+// projected bytes count as response traffic.
+func (s *Store) GetProj(tableName string, key Key, proj []Path) (Item, bool, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, false, err
+	}
+	t.mu.RLock()
+	it := t.get(key)
+	var out Item
+	if it != nil {
+		out = project(it, proj)
+	}
+	t.mu.RUnlock()
+	bytes := 0
+	if out != nil {
+		bytes = out.Size()
+	}
+	s.charge(OpGet, 1, bytes)
+	return out, out != nil, nil
+}
+
+// Put installs item, replacing any existing row, if cond holds against the
+// current row (or against the absent row). A nil cond always passes.
+func (s *Store) Put(tableName string, item Item, cond Cond) error {
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	key, err := t.keyOf(item)
+	if err != nil {
+		return err
+	}
+	if item.Size() > t.maxSize {
+		return fmt.Errorf("%w: table %s key %s (%d bytes)", ErrItemTooLarge, tableName, key, item.Size())
+	}
+	stored := item.Clone()
+	t.mu.Lock()
+	cur := t.get(key)
+	if cond != nil && !evalAgainst(cond, cur) {
+		t.mu.Unlock()
+		s.metrics.CondFailures.Add(1)
+		s.charge(OpPut, 1, 0)
+		return condFailure(tableName, key, cond)
+	}
+	t.put(key, stored)
+	t.mu.Unlock()
+	s.metrics.BytesWritten.Add(int64(stored.Size()))
+	s.charge(OpPut, 1, 0)
+	return nil
+}
+
+// Update applies the update actions to the row at key if cond holds. Like
+// DynamoDB's UpdateItem it upserts: a missing row is created (with just the
+// key attributes) before the updates run, provided the condition passes
+// against the absent row. Returns ErrConditionFailed when the condition is
+// false and ErrItemTooLarge when the result would exceed the row cap (the
+// row is left unchanged in both cases).
+func (s *Store) Update(tableName string, key Key, cond Cond, updates ...Update) error {
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	cur := t.get(key)
+	if cond != nil && !evalAgainst(cond, cur) {
+		t.mu.Unlock()
+		s.metrics.CondFailures.Add(1)
+		s.charge(OpUpdate, 1, 0)
+		return condFailure(tableName, key, cond)
+	}
+	next := t.materialize(cur, key)
+	var applyErr error
+	for _, u := range updates {
+		if applyErr = u.apply(next); applyErr != nil {
+			break
+		}
+	}
+	if applyErr == nil && next.Size() > t.maxSize {
+		applyErr = fmt.Errorf("%w: table %s key %s (%d bytes)", ErrItemTooLarge, tableName, key, next.Size())
+	}
+	if applyErr != nil {
+		t.mu.Unlock()
+		s.charge(OpUpdate, 1, 0)
+		return applyErr
+	}
+	t.put(key, next)
+	t.mu.Unlock()
+	s.metrics.BytesWritten.Add(int64(next.Size()))
+	s.charge(OpUpdate, 1, 0)
+	return nil
+}
+
+// Delete removes the row at key if cond holds. Deleting an absent row with a
+// passing condition is a no-op, matching DynamoDB.
+func (s *Store) Delete(tableName string, key Key, cond Cond) error {
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	cur := t.get(key)
+	if cond != nil && !evalAgainst(cond, cur) {
+		t.mu.Unlock()
+		s.metrics.CondFailures.Add(1)
+		s.charge(OpDelete, 1, 0)
+		return condFailure(tableName, key, cond)
+	}
+	t.delete(key)
+	t.mu.Unlock()
+	s.charge(OpDelete, 1, 0)
+	return nil
+}
+
+// QueryOpts shape a Query or index Query.
+type QueryOpts struct {
+	// Filter drops non-matching rows after key selection (charged as
+	// scanned, like DynamoDB filter expressions).
+	Filter Cond
+	// Projection trims each returned row; nil returns whole rows.
+	Projection []Path
+	// Limit caps returned rows; 0 means unlimited.
+	Limit int
+	// Descending reverses sort-key order.
+	Descending bool
+}
+
+// Query returns the rows of one partition in sort-key order, filtered and
+// projected. The result is a consistent snapshot.
+func (s *Store) Query(tableName string, hash Value, opts QueryOpts) ([]Item, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	p := t.parts[encodeScalar(hash)]
+	var rows []*row
+	if p != nil {
+		rows = append(rows, p.rows...)
+	}
+	out, scanned, bytes := filterRows(rows, opts)
+	t.mu.RUnlock()
+	s.metrics.ItemsScanned.Add(int64(scanned))
+	s.charge(OpQuery, scanned, bytes)
+	return out, nil
+}
+
+// QueryIndex queries a secondary index by its hash attribute. Results are
+// ordered by the index sort attribute (or primary key order when the index
+// has none).
+func (s *Store) QueryIndex(tableName, indexName string, hash Value, opts QueryOpts) ([]Item, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	ix, ok := t.findIndex(indexName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNoSuchIndex, tableName, indexName)
+	}
+	t.mu.RLock()
+	var matched []*row
+	for _, hk := range t.sortedHashKeys() {
+		for _, r := range t.parts[hk].rows {
+			v, has := r.item[ix.HashKey]
+			if has && v.Equal(hash) {
+				matched = append(matched, r)
+			}
+		}
+	}
+	if ix.SortKey != "" {
+		sort.SliceStable(matched, func(i, j int) bool {
+			vi := matched[i].item[ix.SortKey]
+			vj := matched[j].item[ix.SortKey]
+			return vi.Compare(vj) < 0
+		})
+	}
+	out, scanned, bytes := filterRows(matched, opts)
+	t.mu.RUnlock()
+	s.metrics.ItemsScanned.Add(int64(scanned))
+	s.charge(OpQuery, scanned, bytes)
+	return out, nil
+}
+
+// Scan walks the whole table in deterministic partition order. The result is
+// a consistent snapshot.
+func (s *Store) Scan(tableName string, opts QueryOpts) ([]Item, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	var rows []*row
+	for _, hk := range t.sortedHashKeys() {
+		rows = append(rows, t.parts[hk].rows...)
+	}
+	out, scanned, bytes := filterRows(rows, opts)
+	t.mu.RUnlock()
+	s.metrics.ItemsScanned.Add(int64(scanned))
+	s.charge(OpScan, scanned, bytes)
+	return out, nil
+}
+
+// TableBytes reports the table's current storage footprint (for the §7.3
+// storage-overhead accounting).
+func (s *Store) TableBytes(tableName string) (int, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.bytes(), nil
+}
+
+// TableItemCount reports the number of live rows.
+func (s *Store) TableItemCount(tableName string) (int, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.itemCount(), nil
+}
+
+// TableNames lists tables in sorted order.
+func (s *Store) TableNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// materialize returns a mutable copy of cur, or a fresh item carrying just
+// the key attributes when cur is nil (upsert). Caller holds t.mu.
+func (t *table) materialize(cur Item, key Key) Item {
+	if cur != nil {
+		return cur.Clone()
+	}
+	it := Item{t.schema.HashKey: key.Hash}
+	if t.schema.SortKey != "" {
+		it[t.schema.SortKey] = key.Sort
+	}
+	return it
+}
+
+// evalAgainst evaluates cond against a possibly-nil current row; conditions
+// against absent rows see an empty item, so attribute_not_exists passes.
+func evalAgainst(c Cond, cur Item) bool {
+	if cur == nil {
+		return c.Eval(Item{})
+	}
+	return c.Eval(cur)
+}
+
+func condFailure(table string, key Key, c Cond) error {
+	return fmt.Errorf("%w: table %s key %s: %s", ErrConditionFailed, table, key, c)
+}
+
+// filterRows applies filter, projection and limit, returning projected
+// copies plus the scanned-row count and response byte total.
+func filterRows(rows []*row, opts QueryOpts) (out []Item, scanned, bytes int) {
+	if opts.Descending {
+		rev := make([]*row, len(rows))
+		for i, r := range rows {
+			rev[len(rows)-1-i] = r
+		}
+		rows = rev
+	}
+	for _, r := range rows {
+		scanned++
+		if opts.Filter != nil && !opts.Filter.Eval(r.item) {
+			continue
+		}
+		p := project(r.item, opts.Projection)
+		bytes += p.Size()
+		out = append(out, p)
+		if opts.Limit > 0 && len(out) >= opts.Limit {
+			break
+		}
+	}
+	return out, scanned, bytes
+}

@@ -1,0 +1,264 @@
+package dynamo
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultMaxItemSize mirrors DynamoDB's 400 KB item cap [Limits in
+// DynamoDB], the constraint that motivates Beldi's linked DAAL (§4.1).
+const DefaultMaxItemSize = 400 * 1024
+
+// Schema describes a table: its name, primary key, optional secondary
+// indexes, and item size cap.
+type Schema struct {
+	Name    string
+	HashKey string // required attribute name
+	SortKey string // optional; "" means a simple (hash-only) primary key
+
+	// MaxItemSize caps each row's footprint; 0 means DefaultMaxItemSize.
+	MaxItemSize int
+
+	// Indexes are secondary indexes maintained synchronously (the store is
+	// single-node, so "global" indexes are strongly consistent here).
+	Indexes []IndexSchema
+}
+
+// IndexSchema describes a secondary index with its own hash (and optional
+// sort) attribute. Items missing the index hash attribute simply do not
+// appear in the index, which is how Beldi's intent collector keeps its
+// "unfinished intents" index sparse (§3.3).
+type IndexSchema struct {
+	Name    string
+	HashKey string
+	SortKey string
+}
+
+// Key identifies a row: the hash attribute value and, for composite-key
+// tables, the sort attribute value (Null otherwise).
+type Key struct {
+	Hash Value
+	Sort Value
+}
+
+// HK builds a simple key.
+func HK(hash Value) Key { return Key{Hash: hash} }
+
+// HSK builds a composite key.
+func HSK(hash, sort Value) Key { return Key{Hash: hash, Sort: sort} }
+
+func (k Key) String() string {
+	if k.Sort.IsNull() {
+		return k.Hash.String()
+	}
+	return k.Hash.String() + "/" + k.Sort.String()
+}
+
+// encodeScalar renders a scalar value as a map key. Only the kinds usable as
+// key attributes (string, number, bytes, bool) are supported.
+func encodeScalar(v Value) string {
+	switch v.Kind() {
+	case KindString:
+		return "s:" + v.Str()
+	case KindNumber:
+		return "n:" + strconv.FormatFloat(v.Num(), 'g', -1, 64)
+	case KindBytes:
+		return "b:" + string(v.BytesVal())
+	case KindBool:
+		return "t:" + strconv.FormatBool(v.BoolVal())
+	case KindNull:
+		return ""
+	default:
+		return "?:" + v.String()
+	}
+}
+
+// row is a stored item plus its decoded sort value for ordering.
+type row struct {
+	sortVal Value
+	item    Item
+}
+
+// partition holds all rows sharing a hash key, ordered by sort value.
+type partition struct {
+	rows []*row // ascending by sortVal
+}
+
+func (p *partition) find(sortVal Value) (int, bool) {
+	i := sort.Search(len(p.rows), func(i int) bool {
+		return p.rows[i].sortVal.Compare(sortVal) >= 0
+	})
+	if i < len(p.rows) && p.rows[i].sortVal.Equal(sortVal) {
+		return i, true
+	}
+	return i, false
+}
+
+func (p *partition) insertAt(i int, r *row) {
+	p.rows = append(p.rows, nil)
+	copy(p.rows[i+1:], p.rows[i:])
+	p.rows[i] = r
+}
+
+func (p *partition) removeAt(i int) {
+	copy(p.rows[i:], p.rows[i+1:])
+	p.rows = p.rows[:len(p.rows)-1]
+}
+
+// table is the store's internal representation of one table. All access is
+// guarded by mu; queries and scans copy matching rows while holding the read
+// lock, so their results are consistent snapshots — slightly stronger than
+// DynamoDB's per-row linearizability, and sufficient for the property Beldi
+// needs from scans (§4.1: writes completing strictly before the scan are
+// reflected in it).
+type table struct {
+	schema  Schema
+	maxSize int
+
+	mu    sync.RWMutex
+	parts map[string]*partition
+}
+
+func newTable(s Schema) *table {
+	max := s.MaxItemSize
+	if max == 0 {
+		max = DefaultMaxItemSize
+	}
+	return &table{schema: s, maxSize: max, parts: make(map[string]*partition)}
+}
+
+// keyOf extracts the primary key from an item.
+func (t *table) keyOf(it Item) (Key, error) {
+	h, ok := it[t.schema.HashKey]
+	if !ok {
+		return Key{}, fmt.Errorf("dynamo: table %s: item missing hash key %q", t.schema.Name, t.schema.HashKey)
+	}
+	k := Key{Hash: h}
+	if t.schema.SortKey != "" {
+		sv, ok := it[t.schema.SortKey]
+		if !ok {
+			return Key{}, fmt.Errorf("dynamo: table %s: item missing sort key %q", t.schema.Name, t.schema.SortKey)
+		}
+		k.Sort = sv
+	}
+	return k, nil
+}
+
+// get returns the live item for key, or nil. Caller holds t.mu.
+func (t *table) get(k Key) Item {
+	p, ok := t.parts[encodeScalar(k.Hash)]
+	if !ok {
+		return nil
+	}
+	i, found := p.find(k.Sort)
+	if !found {
+		return nil
+	}
+	return p.rows[i].item
+}
+
+// put installs item under key, replacing any existing row. Caller holds t.mu.
+func (t *table) put(k Key, it Item) {
+	hk := encodeScalar(k.Hash)
+	p, ok := t.parts[hk]
+	if !ok {
+		p = &partition{}
+		t.parts[hk] = p
+	}
+	i, found := p.find(k.Sort)
+	if found {
+		p.rows[i].item = it
+		return
+	}
+	p.insertAt(i, &row{sortVal: k.Sort, item: it})
+}
+
+// delete removes the row for key if present. Caller holds t.mu.
+func (t *table) delete(k Key) {
+	hk := encodeScalar(k.Hash)
+	p, ok := t.parts[hk]
+	if !ok {
+		return
+	}
+	i, found := p.find(k.Sort)
+	if !found {
+		return
+	}
+	p.removeAt(i)
+	if len(p.rows) == 0 {
+		delete(t.parts, hk)
+	}
+}
+
+// bytes sums the storage footprint of every row. Caller holds t.mu.
+func (t *table) bytes() int {
+	n := 0
+	for _, p := range t.parts {
+		for _, r := range p.rows {
+			n += r.item.Size()
+		}
+	}
+	return n
+}
+
+// itemCount counts rows. Caller holds t.mu.
+func (t *table) itemCount() int {
+	n := 0
+	for _, p := range t.parts {
+		n += len(p.rows)
+	}
+	return n
+}
+
+// sortedHashKeys returns partition keys in deterministic order. Caller holds
+// t.mu.
+func (t *table) sortedHashKeys() []string {
+	keys := make([]string, 0, len(t.parts))
+	for k := range t.parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// index lookup: findIndex returns the IndexSchema by name.
+func (t *table) findIndex(name string) (IndexSchema, bool) {
+	for _, ix := range t.schema.Indexes {
+		if ix.Name == name {
+			return ix, true
+		}
+	}
+	return IndexSchema{}, false
+}
+
+// project reduces an item to the requested paths (plus nothing else),
+// mirroring a DynamoDB projection expression. A nil projection returns a
+// clone of the full item. Beldi's DAAL traversal projects just RowId and
+// NextRow to download "256 bits per row" (§4.1).
+func project(it Item, proj []Path) Item {
+	if proj == nil {
+		return it.Clone()
+	}
+	out := make(Item, len(proj))
+	for _, p := range proj {
+		v, ok := it.Get(p)
+		if !ok {
+			continue
+		}
+		if p.MapKey != "" {
+			// Keep the map shape: {Attr: {MapKey: v}} so callers address
+			// entries uniformly.
+			cur, exists := out[p.Attr]
+			if !exists || cur.Kind() != KindMap {
+				out[p.Attr] = M(map[string]Value{p.MapKey: v.Clone()})
+			} else {
+				cur.m[p.MapKey] = v.Clone()
+			}
+			continue
+		}
+		out[p.Attr] = v.Clone()
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package dynamo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TxOp is one write inside a TransactWrite: exactly one of Put, Updates, or
+// Delete semantics, each optionally guarded by Cond. This mirrors DynamoDB's
+// TransactWriteItems, which the paper's cross-table-transaction comparator
+// (§7.3) uses to pair a data write with a log append across tables.
+type TxOp struct {
+	Table string
+	Key   Key
+	Cond  Cond
+
+	// Put replaces the row with this item (Key must match the item's key
+	// attributes, which callers typically include).
+	Put Item
+	// Updates applies update actions (upsert, like Store.Update).
+	Updates []Update
+	// Delete removes the row.
+	Delete bool
+}
+
+// TransactWrite applies all ops atomically: either every condition passes
+// and every op applies, or nothing does and a *TxCanceledError describes the
+// per-op outcomes. Ops must target distinct rows (DynamoDB rejects duplicate
+// targets inside one transaction).
+func (s *Store) TransactWrite(ops []TxOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	type prepared struct {
+		op  TxOp
+		t   *table
+		key Key
+	}
+	preps := make([]prepared, len(ops))
+	seen := make(map[string]bool, len(ops))
+	tablesInvolved := make(map[string]*table)
+	for i, op := range ops {
+		t, err := s.table(op.Table)
+		if err != nil {
+			return err
+		}
+		key := op.Key
+		if op.Put != nil {
+			k, err := t.keyOf(op.Put)
+			if err != nil {
+				return err
+			}
+			key = k
+		}
+		target := op.Table + "\x00" + encodeScalar(key.Hash) + "\x00" + encodeScalar(key.Sort)
+		if seen[target] {
+			return fmt.Errorf("dynamo: TransactWrite: duplicate target %s %s", op.Table, key)
+		}
+		seen[target] = true
+		preps[i] = prepared{op: op, t: t, key: key}
+		tablesInvolved[op.Table] = t
+	}
+
+	// Lock the involved tables in name order to avoid deadlock with
+	// concurrent transactions, then check all conditions before applying
+	// anything.
+	names := make([]string, 0, len(tablesInvolved))
+	for n := range tablesInvolved {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		tablesInvolved[n].mu.Lock()
+	}
+	unlock := func() {
+		for i := len(names) - 1; i >= 0; i-- {
+			tablesInvolved[names[i]].mu.Unlock()
+		}
+	}
+
+	reasons := make([]error, len(ops))
+	failed := false
+	staged := make([]Item, len(ops)) // result row per op; nil means delete
+	for i, p := range preps {
+		cur := p.t.get(p.key)
+		if p.op.Cond != nil && !evalAgainst(p.op.Cond, cur) {
+			reasons[i] = condFailure(p.op.Table, p.key, p.op.Cond)
+			failed = true
+			continue
+		}
+		switch {
+		case p.op.Put != nil:
+			next := p.op.Put.Clone()
+			if next.Size() > p.t.maxSize {
+				reasons[i] = fmt.Errorf("%w: table %s key %s", ErrItemTooLarge, p.op.Table, p.key)
+				failed = true
+				continue
+			}
+			staged[i] = next
+		case p.op.Delete:
+			staged[i] = nil
+		default:
+			next := p.t.materialize(cur, p.key)
+			for _, u := range p.op.Updates {
+				if err := u.apply(next); err != nil {
+					reasons[i] = err
+					failed = true
+					break
+				}
+			}
+			if reasons[i] == nil && next.Size() > p.t.maxSize {
+				reasons[i] = fmt.Errorf("%w: table %s key %s", ErrItemTooLarge, p.op.Table, p.key)
+				failed = true
+			}
+			staged[i] = next
+		}
+	}
+
+	if failed {
+		unlock()
+		s.metrics.CondFailures.Add(1)
+		s.charge(OpTxWrite, len(ops), 0)
+		return &TxCanceledError{Reasons: reasons}
+	}
+	for i, p := range preps {
+		if p.op.Delete {
+			p.t.delete(p.key)
+			continue
+		}
+		p.t.put(p.key, staged[i])
+		s.metrics.BytesWritten.Add(int64(staged[i].Size()))
+	}
+	unlock()
+	s.charge(OpTxWrite, len(ops), 0)
+	return nil
+}

@@ -1,0 +1,184 @@
+package dynamo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newTxnStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	s.MustCreateTable(Schema{Name: "data", HashKey: "K"})
+	s.MustCreateTable(Schema{Name: "log", HashKey: "Id", SortKey: "Step"})
+	return s
+}
+
+func TestTransactWriteAllOrNothing(t *testing.T) {
+	s := newTxnStore(t)
+	// The cross-table-txn comparator's shape: write data + append log
+	// atomically across two tables.
+	err := s.TransactWrite([]TxOp{
+		{Table: "data", Key: HK(S("x")), Updates: []Update{Set(A("V"), N(1))}},
+		{Table: "log", Key: HSK(S("i1"), N(0)), Cond: NotExists(A("Id")),
+			Updates: []Update{Set(A("Done"), Bool(true))}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it, ok, _ := s.Get("data", HK(S("x"))); !ok || it["V"].Num() != 1 {
+		t.Fatalf("data row: %v %v", it, ok)
+	}
+	if _, ok, _ := s.Get("log", HSK(S("i1"), N(0))); !ok {
+		t.Fatal("log row missing")
+	}
+
+	// Replay: the log condition fails, so the data write must not happen.
+	err = s.TransactWrite([]TxOp{
+		{Table: "data", Key: HK(S("x")), Updates: []Update{Set(A("V"), N(2))}},
+		{Table: "log", Key: HSK(S("i1"), N(0)), Cond: NotExists(A("Id")),
+			Updates: []Update{Set(A("Done"), Bool(true))}},
+	})
+	var canceled *TxCanceledError
+	if !errors.As(err, &canceled) {
+		t.Fatalf("want TxCanceledError, got %v", err)
+	}
+	if !errors.Is(err, ErrConditionFailed) {
+		t.Error("canceled txn should satisfy errors.Is(ErrConditionFailed)")
+	}
+	if canceled.Reasons[0] != nil || canceled.Reasons[1] == nil {
+		t.Errorf("reasons = %v", canceled.Reasons)
+	}
+	if it, _, _ := s.Get("data", HK(S("x"))); it["V"].Num() != 1 {
+		t.Error("canceled txn applied a write")
+	}
+}
+
+func TestTransactWritePutAndDelete(t *testing.T) {
+	s := newTxnStore(t)
+	mustPut(t, s, "data", Item{"K": S("old"), "V": N(1)})
+	err := s.TransactWrite([]TxOp{
+		{Table: "data", Put: Item{"K": S("new"), "V": N(2)}},
+		{Table: "data", Key: HK(S("old")), Delete: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("data", HK(S("old"))); ok {
+		t.Error("old survived")
+	}
+	if _, ok, _ := s.Get("data", HK(S("new"))); !ok {
+		t.Error("new missing")
+	}
+}
+
+func TestTransactWriteRejectsDuplicateTargets(t *testing.T) {
+	s := newTxnStore(t)
+	err := s.TransactWrite([]TxOp{
+		{Table: "data", Key: HK(S("x")), Updates: []Update{Set(A("V"), N(1))}},
+		{Table: "data", Key: HK(S("x")), Updates: []Update{Set(A("V"), N(2))}},
+	})
+	if err == nil {
+		t.Fatal("duplicate targets accepted")
+	}
+}
+
+func TestTransactWriteEmptyAndMissingTable(t *testing.T) {
+	s := newTxnStore(t)
+	if err := s.TransactWrite(nil); err != nil {
+		t.Errorf("empty txn: %v", err)
+	}
+	err := s.TransactWrite([]TxOp{{Table: "nope", Key: HK(S("x")), Updates: []Update{Set(A("V"), N(1))}}})
+	if !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("missing table: %v", err)
+	}
+}
+
+func TestTransactWriteConcurrentInvariant(t *testing.T) {
+	// Two accounts, concurrent transfers each conditioned on sufficient
+	// balance; the sum must be conserved — the atomicity the travel app's
+	// cross-SSF transaction ultimately depends on.
+	s := newTxnStore(t)
+	mustPut(t, s, "data", Item{"K": S("a"), "V": N(100)})
+	mustPut(t, s, "data", Item{"K": S("b"), "V": N(100)})
+	var wg sync.WaitGroup
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			from, to := "a", "b"
+			if i%2 == 0 {
+				from, to = "b", "a"
+			}
+			// Optimistic loop: read, then conditional transfer.
+			for try := 0; try < 20; try++ {
+				cur, _, err := s.Get("data", HK(S(from)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				bal := cur["V"].Num()
+				if bal < 1 {
+					return
+				}
+				err = s.TransactWrite([]TxOp{
+					{Table: "data", Key: HK(S(from)), Cond: Eq(A("V"), N(bal)),
+						Updates: []Update{Add(A("V"), -1)}},
+					{Table: "data", Key: HK(S(to)),
+						Updates: []Update{Add(A("V"), 1)}},
+				})
+				if err == nil {
+					return
+				}
+				if !errors.Is(err, ErrConditionFailed) {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	a, _, _ := s.Get("data", HK(S("a")))
+	b, _, _ := s.Get("data", HK(S("b")))
+	if total := a["V"].Num() + b["V"].Num(); total != 200 {
+		t.Errorf("sum = %v, want 200", total)
+	}
+}
+
+func TestTransactWriteManyTablesNoDeadlock(t *testing.T) {
+	// Transactions spanning overlapping table sets, launched concurrently,
+	// must not deadlock (ordered locking).
+	s := NewStore()
+	for i := 0; i < 4; i++ {
+		s.MustCreateTable(Schema{Name: fmt.Sprintf("t%d", i), HashKey: "K"})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				a := fmt.Sprintf("t%d", (w+i)%4)
+				b := fmt.Sprintf("t%d", (w+i+1)%4)
+				err := s.TransactWrite([]TxOp{
+					{Table: a, Key: HK(S("k")), Updates: []Update{Add(A("N"), 1)}},
+					{Table: b, Key: HK(S("k")), Updates: []Update{Add(A("N"), 1)}},
+				})
+				if err != nil {
+					t.Errorf("txn: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for i := 0; i < 4; i++ {
+		it, _, _ := s.Get(fmt.Sprintf("t%d", i), HK(S("k")))
+		total += it["N"].Num()
+	}
+	if total != 16*50*2 {
+		t.Errorf("total increments = %v, want %d", total, 16*50*2)
+	}
+}

@@ -1,0 +1,304 @@
+// Package dynamo is an in-memory, linearizable NoSQL store modelled on the
+// slice of DynamoDB that Beldi depends on (§2.2 of the paper): strongly
+// consistent reads, atomic conditional updates scoped to a single row,
+// query/scan with filtering and projection, local secondary indexes, a
+// bounded item size (400 KB on DynamoDB), and multi-row transactions
+// (DynamoDB's TransactWriteItems, used only by the cross-table-transaction
+// comparator of §7.3).
+//
+// The store is deliberately server-free: it stands in for the managed
+// database a stateful serverless function would call over the network. An
+// injectable latency model recreates the round-trip cost structure that the
+// paper's figures measure.
+package dynamo
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the dynamic type of a Value.
+type Kind uint8
+
+// The value kinds supported by the store. They mirror DynamoDB's attribute
+// types (S, N, BOOL, B, L, M and NULL).
+const (
+	KindNull Kind = iota
+	KindString
+	KindNumber
+	KindBool
+	KindBytes
+	KindList
+	KindMap
+)
+
+// String returns the kind's name for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindString:
+		return "S"
+	case KindNumber:
+		return "N"
+	case KindBool:
+		return "BOOL"
+	case KindBytes:
+		return "B"
+	case KindList:
+		return "L"
+	case KindMap:
+		return "M"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed attribute value. The zero Value is NULL.
+// Values are immutable by convention: use Clone before mutating nested
+// lists or maps obtained from the store.
+type Value struct {
+	kind  Kind
+	str   string
+	num   float64
+	boolv bool
+	bytes []byte
+	list  []Value
+	m     map[string]Value
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// S returns a string value.
+func S(s string) Value { return Value{kind: KindString, str: s} }
+
+// N returns a number value. DynamoDB numbers are arbitrary-precision
+// decimals; this store uses float64, which is exact for the integer ranges
+// Beldi needs (step counters, timestamps in microseconds, ids).
+func N(f float64) Value { return Value{kind: KindNumber, num: f} }
+
+// NInt returns a number value from an int64.
+func NInt(i int64) Value { return Value{kind: KindNumber, num: float64(i)} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, boolv: b} }
+
+// Bytes returns a binary value. The slice is not copied.
+func Bytes(b []byte) Value { return Value{kind: KindBytes, bytes: b} }
+
+// L returns a list value. The slice is not copied.
+func L(vs ...Value) Value { return Value{kind: KindList, list: vs} }
+
+// M returns a map value. The map is not copied.
+func M(m map[string]Value) Value { return Value{kind: KindMap, m: m} }
+
+// Kind reports the value's dynamic type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Str returns the string payload, or "" for non-strings.
+func (v Value) Str() string { return v.str }
+
+// Num returns the numeric payload, or 0 for non-numbers.
+func (v Value) Num() float64 { return v.num }
+
+// Int returns the numeric payload truncated to int64.
+func (v Value) Int() int64 { return int64(v.num) }
+
+// BoolVal returns the boolean payload, or false for non-booleans.
+func (v Value) BoolVal() bool { return v.boolv }
+
+// BytesVal returns the binary payload, or nil for non-binary values.
+func (v Value) BytesVal() []byte { return v.bytes }
+
+// List returns the list payload, or nil. The returned slice must not be
+// mutated.
+func (v Value) List() []Value { return v.list }
+
+// Map returns the map payload, or nil. The returned map must not be mutated.
+func (v Value) Map() map[string]Value { return v.m }
+
+// MapGet looks up key in a map value, returning the entry and whether it
+// exists. Returns (Null, false) for non-map values.
+func (v Value) MapGet(key string) (Value, bool) {
+	if v.kind != KindMap {
+		return Null, false
+	}
+	e, ok := v.m[key]
+	return e, ok
+}
+
+// MapLen returns the number of entries in a map value, or 0.
+func (v Value) MapLen() int { return len(v.m) }
+
+// Clone returns a deep copy of the value.
+func (v Value) Clone() Value {
+	switch v.kind {
+	case KindBytes:
+		b := make([]byte, len(v.bytes))
+		copy(b, v.bytes)
+		return Value{kind: KindBytes, bytes: b}
+	case KindList:
+		l := make([]Value, len(v.list))
+		for i, e := range v.list {
+			l[i] = e.Clone()
+		}
+		return Value{kind: KindList, list: l}
+	case KindMap:
+		m := make(map[string]Value, len(v.m))
+		for k, e := range v.m {
+			m[k] = e.Clone()
+		}
+		return Value{kind: KindMap, m: m}
+	default:
+		return v
+	}
+}
+
+// Equal reports deep equality of two values. Values of different kinds are
+// never equal (no numeric coercion).
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindString:
+		return v.str == o.str
+	case KindNumber:
+		return v.num == o.num
+	case KindBool:
+		return v.boolv == o.boolv
+	case KindBytes:
+		return string(v.bytes) == string(o.bytes)
+	case KindList:
+		if len(v.list) != len(o.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(o.list[i]) {
+				return false
+			}
+		}
+		return true
+	case KindMap:
+		if len(v.m) != len(o.m) {
+			return false
+		}
+		for k, e := range v.m {
+			oe, ok := o.m[k]
+			if !ok || !e.Equal(oe) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Compare orders two values of the same scalar kind: -1, 0 or +1. Values of
+// different kinds order by kind, matching how a sort key column with mixed
+// types would be rejected by a real store but keeping ordering total here.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindString:
+		return strings.Compare(v.str, o.str)
+	case KindNumber:
+		switch {
+		case v.num < o.num:
+			return -1
+		case v.num > o.num:
+			return 1
+		}
+		return 0
+	case KindBool:
+		switch {
+		case !v.boolv && o.boolv:
+			return -1
+		case v.boolv && !o.boolv:
+			return 1
+		}
+		return 0
+	case KindBytes:
+		return strings.Compare(string(v.bytes), string(o.bytes))
+	default:
+		return 0
+	}
+}
+
+// Size approximates the value's DynamoDB storage footprint in bytes: string
+// and binary lengths, 8 bytes per number, 1 per bool/null, and 3 bytes of
+// per-element overhead for containers (DynamoDB charges 3 bytes per list or
+// map element plus 1 byte per nesting level; this approximation is close
+// enough for the 400 KB row cap and the §7.3 storage accounting).
+func (v Value) Size() int {
+	switch v.kind {
+	case KindNull, KindBool:
+		return 1
+	case KindString:
+		return len(v.str)
+	case KindNumber:
+		return 8
+	case KindBytes:
+		return len(v.bytes)
+	case KindList:
+		n := 3
+		for _, e := range v.list {
+			n += 1 + e.Size()
+		}
+		return n
+	case KindMap:
+		n := 3
+		for k, e := range v.m {
+			n += len(k) + 1 + e.Size()
+		}
+		return n
+	}
+	return 1
+}
+
+// String renders the value for debugging.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindString:
+		return strconv.Quote(v.str)
+	case KindNumber:
+		return strconv.FormatFloat(v.num, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.boolv)
+	case KindBytes:
+		return fmt.Sprintf("b%q", v.bytes)
+	case KindList:
+		parts := make([]string, len(v.list))
+		for i, e := range v.list {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	case KindMap:
+		keys := make([]string, 0, len(v.m))
+		for k := range v.m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s:%s", k, v.m[k])
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	}
+	return "?"
+}

@@ -1,0 +1,214 @@
+// Package hist provides a concurrent, log-bucketed latency histogram in the
+// spirit of HdrHistogram — the recording half of a wrk2-style load
+// generator (§7.2 of the paper uses wrk2 for its latency figures).
+//
+// Buckets grow geometrically (~4.6% per bucket), giving better-than-5%
+// relative precision across nanoseconds-to-minutes with a few hundred
+// buckets — precise enough for the median and p99 series the paper plots.
+package hist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers 1µs..~10min at ~4.6% growth.
+const (
+	numBuckets = 512
+	growth     = 1.046
+	minValueNs = 1000 // 1µs floor
+)
+
+var bucketFloor [numBuckets]float64
+
+func init() {
+	v := float64(minValueNs)
+	for i := range bucketFloor {
+		bucketFloor[i] = v
+		v *= growth
+	}
+}
+
+// Histogram records durations. The zero value is ready to use; all methods
+// are safe for concurrent use.
+type Histogram struct {
+	counts [numBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64
+	min    atomic.Int64 // stored as -min for CAS-free updates via Max-style loop
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < minValueNs {
+		ns = minValueNs
+	}
+	h.counts[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	updateMax(&h.max, ns)
+	updateMax(&h.min, -ns)
+}
+
+func updateMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if cur >= v && cur != 0 {
+			return
+		}
+		if a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func bucketOf(ns int64) int {
+	i := int(math.Log(float64(ns)/minValueNs) / math.Log(growth))
+	if i < 0 {
+		return 0
+	}
+	if i >= numBuckets {
+		return numBuckets - 1
+	}
+	return i
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observation.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Min returns the smallest observation.
+func (h *Histogram) Min() time.Duration {
+	v := h.min.Load()
+	if v == 0 {
+		return 0
+	}
+	return time.Duration(-v)
+}
+
+// Quantile returns the q-quantile (0 < q <= 1), approximated to the bucket
+// ceiling like HdrHistogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return time.Duration(bucketFloor[i] * growth) // bucket ceiling
+		}
+	}
+	return h.Max()
+}
+
+// Median is Quantile(0.5).
+func (h *Histogram) Median() time.Duration { return h.Quantile(0.5) }
+
+// P99 is Quantile(0.99).
+func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
+
+// Merge adds o's observations into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := 0; i < numBuckets; i++ {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	updateMax(&h.max, o.max.Load())
+	updateMax(&h.min, o.min.Load())
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	for i := 0; i < numBuckets; i++ {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	h.min.Store(0)
+}
+
+// Summary renders count/mean/median/p99/max on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p99=%s max=%s",
+		h.Count(), round(h.Mean()), round(h.Median()), round(h.P99()), round(h.Max()))
+}
+
+func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
+
+// Percentiles returns the requested quantiles in order.
+func (h *Histogram) Percentiles(qs ...float64) []time.Duration {
+	sort.Float64s(qs)
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}
+
+// Ascii renders a coarse textual distribution, for the demo binary.
+func (h *Histogram) Ascii(width int) string {
+	var b strings.Builder
+	total := h.Count()
+	if total == 0 {
+		return "(empty)\n"
+	}
+	// Collapse to at most 16 display rows spanning occupied buckets.
+	first, last := -1, 0
+	for i := 0; i < numBuckets; i++ {
+		if h.counts[i].Load() > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	span := last - first + 1
+	rows := 16
+	if span < rows {
+		rows = span
+	}
+	per := (span + rows - 1) / rows
+	for r := 0; r < rows; r++ {
+		lo := first + r*per
+		hi := lo + per
+		if hi > last+1 {
+			hi = last + 1
+		}
+		var n int64
+		for i := lo; i < hi; i++ {
+			n += h.counts[i].Load()
+		}
+		bar := int(float64(n) / float64(total) * float64(width))
+		fmt.Fprintf(&b, "%10s |%s %d\n",
+			time.Duration(bucketFloor[lo]).Round(100*time.Microsecond),
+			strings.Repeat("#", bar), n)
+	}
+	return b.String()
+}

@@ -1,0 +1,175 @@
+package hist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Median() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Error("empty histogram not zero")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Record(10 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Median(); got < 9*time.Millisecond || got > 11*time.Millisecond {
+		t.Errorf("median = %v", got)
+	}
+	if h.Max() != 10*time.Millisecond || h.Min() != 10*time.Millisecond {
+		t.Errorf("max/min = %v/%v", h.Max(), h.Min())
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	// Uniform 1..100ms: p50 ≈ 50ms, p99 ≈ 99ms within bucket precision.
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		for j := 0; j < 10; j++ {
+			h.Record(time.Duration(i) * time.Millisecond)
+		}
+	}
+	within := func(got, want time.Duration) bool {
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return float64(diff) <= 0.10*float64(want)
+	}
+	if got := h.Median(); !within(got, 50*time.Millisecond) {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := h.P99(); !within(got, 99*time.Millisecond) {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := h.Mean(); !within(got, 50500*time.Microsecond) {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestQuantileMonotoneQuick(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		h.Record(time.Duration(rng.Intn(1_000_000_000)))
+	}
+	f := func(a, b float64) bool {
+		qa := 0.01 + 0.98*abs(a-float64(int(a)))
+		qb := 0.01 + 0.98*abs(b-float64(int(b)))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func TestMergePreservesCountsAndShape(t *testing.T) {
+	var a, b, whole Histogram
+	for i := 1; i <= 500; i++ {
+		d := time.Duration(i) * time.Millisecond
+		whole.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("count %d != %d", a.Count(), whole.Count())
+	}
+	if a.Median() != whole.Median() || a.P99() != whole.P99() {
+		t.Errorf("quantiles diverge after merge: %v/%v vs %v/%v",
+			a.Median(), a.P99(), whole.Median(), whole.P99())
+	}
+	if a.Max() != whole.Max() || a.Min() != whole.Min() {
+		t.Errorf("extrema diverge")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(1+i%50) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	var h Histogram
+	h.Record(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Median() != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestTinyAndHugeValuesClamped(t *testing.T) {
+	var h Histogram
+	h.Record(1)                   // below floor
+	h.Record(24 * time.Hour)      // beyond top bucket
+	h.Record(3 * time.Nanosecond) // below floor
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Quantile(1.0) <= 0 {
+		t.Error("top quantile not positive")
+	}
+}
+
+func TestSummaryAndAsciiRender(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(time.Duration(1+i) * time.Millisecond)
+	}
+	if s := h.Summary(); s == "" {
+		t.Error("empty summary")
+	}
+	if a := h.Ascii(40); a == "" || a == "(empty)\n" {
+		t.Errorf("ascii render: %q", a)
+	}
+	var empty Histogram
+	if a := empty.Ascii(40); a != "(empty)\n" {
+		t.Errorf("empty ascii: %q", a)
+	}
+}
+
+func TestPercentilesSorted(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	ps := h.Percentiles(0.99, 0.5, 0.9)
+	if !(ps[0] <= ps[1] && ps[1] <= ps[2]) {
+		t.Errorf("percentiles unsorted: %v", ps)
+	}
+}

@@ -1,0 +1,475 @@
+// Package platform is an in-process serverless platform: the slice of AWS
+// Lambda that Beldi depends on (§2.1 of the paper). It provides a function
+// registry, synchronous and asynchronous invocation, a per-account
+// concurrency ceiling (1,000 on AWS, the saturation bottleneck in the
+// paper's Figures 14/15/26), per-function execution timeouts, cold/warm
+// start latency, a fresh instance per invocation (stateless routing), and —
+// crucially for testing Beldi — a programmable fault injector that can kill
+// an instance at any operation boundary.
+//
+// The platform performs no automatic retries: like the paper's experimental
+// setup ("we turn off automatic Lambda restarts"), recovery is entirely the
+// job of Beldi's intent collectors.
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dynamo"
+	"repro/internal/uuid"
+)
+
+// Value is the invocation payload type (shared with the store substrate so
+// applications move one value model end to end).
+type Value = dynamo.Value
+
+// Handler is a function's entry point. Input is the invocation payload;
+// the returned Value is delivered to synchronous callers.
+type Handler func(inv *Invocation, input Value) (Value, error)
+
+// Platform errors.
+var (
+	// ErrNoSuchFunction reports an invocation of an unregistered function.
+	ErrNoSuchFunction = errors.New("platform: no such function")
+	// ErrCrashed reports that the invoked instance died mid-execution
+	// (injected fault or runtime panic). State may be partially mutated —
+	// exactly the failure Beldi exists to mask.
+	ErrCrashed = errors.New("platform: function instance crashed")
+	// ErrTimeout reports that the instance exceeded its execution timeout
+	// and was killed by the platform.
+	ErrTimeout = errors.New("platform: function timed out")
+	// ErrThrottled reports rejection at the concurrency ceiling when the
+	// platform is configured to reject rather than queue.
+	ErrThrottled = errors.New("platform: concurrency limit exceeded")
+)
+
+// Options configure a Platform.
+type Options struct {
+	// ConcurrencyLimit caps simultaneously running instances across all
+	// functions (AWS's per-account limit; the paper hits 1,000). 0 means
+	// DefaultConcurrencyLimit.
+	ConcurrencyLimit int
+	// RejectWhenSaturated makes invocations beyond the limit fail with
+	// ErrThrottled instead of queueing.
+	RejectWhenSaturated bool
+	// DefaultTimeout bounds each instance's execution; 0 disables timeouts.
+	// Instances are killed at the next operation boundary after expiry,
+	// matching how Beldi's GC synchrony assumption treats the user-defined
+	// timeout as the bound T (§5).
+	DefaultTimeout time.Duration
+	// ColdStart and WarmStart are invocation dispatch latencies. A warm
+	// instance is reused when one is idle; otherwise the invocation pays
+	// ColdStart.
+	ColdStart time.Duration
+	WarmStart time.Duration
+	// HandlerCompute models the handler's own execution time (parsing,
+	// business logic) independent of storage and invocation round trips;
+	// applied with Jitter to every instance.
+	HandlerCompute time.Duration
+	// Jitter is the ± fraction of uniform noise applied to start latencies.
+	Jitter float64
+	// Seed seeds the jitter source.
+	Seed int64
+	// IDs generates request ids; nil means crypto/rand UUIDs.
+	IDs uuid.Source
+	// Faults is the crash plan consulted at every CrashPoint; nil disables
+	// injection.
+	Faults FaultPlan
+}
+
+// DefaultConcurrencyLimit mirrors the AWS limit in the paper's evaluation.
+const DefaultConcurrencyLimit = 1000
+
+// Platform runs registered functions.
+type Platform struct {
+	opts Options
+
+	mu  sync.RWMutex
+	fns map[string]*function
+
+	running atomic.Int64 // instances in flight, entry and internal
+	ids     uuid.Source
+	rng     *lockedRand
+	metrics Metrics
+
+	faultsMu sync.RWMutex
+	faults   FaultPlan
+
+	wg sync.WaitGroup // tracks async invocations for Drain
+}
+
+type function struct {
+	name    string
+	handler Handler
+	timeout time.Duration
+
+	mu       sync.Mutex
+	idleWarm int // simulated pool of warm workers
+}
+
+// New creates a platform.
+func New(opts Options) *Platform {
+	if opts.ConcurrencyLimit == 0 {
+		opts.ConcurrencyLimit = DefaultConcurrencyLimit
+	}
+	ids := opts.IDs
+	if ids == nil {
+		ids = uuid.Random{}
+	}
+	return &Platform{
+		opts:   opts,
+		fns:    make(map[string]*function),
+		ids:    ids,
+		rng:    newLockedRand(opts.Seed),
+		faults: opts.Faults,
+	}
+}
+
+// SetFaults installs (or replaces) the fault plan at runtime.
+func (p *Platform) SetFaults(plan FaultPlan) {
+	p.faultsMu.Lock()
+	p.faults = plan
+	p.faultsMu.Unlock()
+}
+
+func (p *Platform) faultPlan() FaultPlan {
+	p.faultsMu.RLock()
+	defer p.faultsMu.RUnlock()
+	return p.faults
+}
+
+// Register installs a function under name. Timeout 0 uses the platform
+// default. Re-registering a name replaces the handler (deployments).
+func (p *Platform) Register(name string, h Handler, timeout time.Duration) {
+	if timeout == 0 {
+		timeout = p.opts.DefaultTimeout
+	}
+	p.mu.Lock()
+	p.fns[name] = &function{name: name, handler: h, timeout: timeout}
+	p.mu.Unlock()
+}
+
+// Functions lists registered function names (unordered).
+func (p *Platform) Functions() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.fns))
+	for n := range p.fns {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Metrics exposes the platform's counters.
+func (p *Platform) Metrics() *Metrics { return &p.metrics }
+
+// Invoke runs function name synchronously with a fresh instance and returns
+// its result. Entry invocations block for a concurrency slot (or are
+// rejected, per RejectWhenSaturated) — the account-level admission that
+// bottlenecks the paper's saturation experiments.
+func (p *Platform) Invoke(name string, input Value) (Value, error) {
+	return p.invoke(name, input, false, false)
+}
+
+// InvokeInternal runs name synchronously on behalf of an already-running
+// instance (SSF-to-SSF calls, callbacks, collector restarts). Internal
+// invocations consume concurrency when available but never block for it:
+// a worker that is already holding a slot while waiting on a child would
+// otherwise deadlock the account at its own limit — the situation a real
+// platform resolves by throttling with immediate errors and retries.
+// Capacity pressure from internal calls still starves entry admission, so
+// the saturation knee is preserved.
+func (p *Platform) InvokeInternal(name string, input Value) (Value, error) {
+	return p.invoke(name, input, false, true)
+}
+
+// InvokeAsync starts function name and returns immediately. Errors occurring
+// inside the instance are not reported to the caller — the fire-and-forget
+// semantics Beldi's asyncInvoke builds on.
+func (p *Platform) InvokeAsync(name string, input Value) error {
+	return p.invokeAsync(name, input, false)
+}
+
+// InvokeAsyncInternal is InvokeAsync with internal admission (see
+// InvokeInternal).
+func (p *Platform) InvokeAsyncInternal(name string, input Value) error {
+	return p.invokeAsync(name, input, true)
+}
+
+func (p *Platform) invokeAsync(name string, input Value, internal bool) error {
+	p.mu.RLock()
+	_, ok := p.fns[name]
+	p.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchFunction, name)
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.invoke(name, input, true, internal) //nolint:errcheck // async errors are dropped by design
+	}()
+	return nil
+}
+
+// Drain blocks until all asynchronous invocations have finished.
+func (p *Platform) Drain() { p.wg.Wait() }
+
+func (p *Platform) invoke(name string, input Value, async, internal bool) (Value, error) {
+	p.mu.RLock()
+	fn, ok := p.fns[name]
+	p.mu.RUnlock()
+	if !ok {
+		return dynamo.Null, fmt.Errorf("%w: %s", ErrNoSuchFunction, name)
+	}
+
+	// Concurrency admission. Every instance — entry or internal — counts
+	// against the account limit, but only entry invocations wait for room:
+	// an internal call blocking for a slot its own ancestors hold would
+	// deadlock the account (real platforms break this cycle by throttling
+	// internal calls with errors; the paper's evaluation relies on entry
+	// admission as the visible bottleneck).
+	limit := int64(p.opts.ConcurrencyLimit)
+	if internal {
+		p.running.Add(1)
+	} else if p.opts.RejectWhenSaturated {
+		if !p.admitOnce(limit) {
+			p.metrics.Throttles.Add(1)
+			return dynamo.Null, ErrThrottled
+		}
+	} else {
+		p.admitWait(limit)
+	}
+	defer p.running.Add(-1)
+	p.trackConcurrency()
+
+	// Cold/warm start latency.
+	fn.mu.Lock()
+	cold := fn.idleWarm == 0
+	if !cold {
+		fn.idleWarm--
+	}
+	fn.mu.Unlock()
+	var startLat time.Duration
+	if cold {
+		p.metrics.ColdStarts.Add(1)
+		startLat = p.jittered(p.opts.ColdStart)
+	} else {
+		startLat = p.jittered(p.opts.WarmStart)
+	}
+	if c := p.jittered(p.opts.HandlerCompute); c > 0 {
+		startLat += c
+	}
+	if startLat > 0 {
+		time.Sleep(startLat)
+	}
+
+	inv := &Invocation{
+		RequestID: p.ids.NewString(),
+		Function:  name,
+		Async:     async,
+		platform:  p,
+		started:   time.Now(),
+	}
+	if fn.timeout > 0 {
+		inv.deadline = inv.started.Add(fn.timeout)
+	}
+	p.metrics.Invocations.Add(1)
+
+	out, err := p.runInstance(fn, inv, input)
+
+	fn.mu.Lock()
+	fn.idleWarm++
+	fn.mu.Unlock()
+	return out, err
+}
+
+// runInstance executes the handler in its own goroutine so an injected
+// crash (panic) unwinds the instance without touching the caller, exactly
+// like a worker VM dying.
+func (p *Platform) runInstance(fn *function, inv *Invocation, input Value) (Value, error) {
+	type result struct {
+		out Value
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if c, ok := r.(crash); ok {
+					if c.timeout {
+						p.metrics.Timeouts.Add(1)
+						done <- result{dynamo.Null, fmt.Errorf("%w: %s at %q", ErrTimeout, inv.Function, c.label)}
+					} else {
+						p.metrics.Crashes.Add(1)
+						done <- result{dynamo.Null, fmt.Errorf("%w: %s at %q", ErrCrashed, inv.Function, c.label)}
+					}
+					return
+				}
+				// A genuine application panic also kills the worker.
+				p.metrics.Crashes.Add(1)
+				done <- result{dynamo.Null, fmt.Errorf("%w: %s: panic: %v", ErrCrashed, inv.Function, r)}
+			}
+		}()
+		out, err := fn.handler(inv, input)
+		done <- result{out, err}
+	}()
+
+	if inv.deadline.IsZero() {
+		r := <-done
+		p.metrics.Completions.Add(1)
+		return r.out, r.err
+	}
+	select {
+	case r := <-done:
+		p.metrics.Completions.Add(1)
+		return r.out, r.err
+	case <-time.After(time.Until(inv.deadline) + 10*time.Millisecond):
+		// The instance missed its deadline and has not yet hit a crash
+		// point; report the timeout to the caller. The goroutine will die at
+		// its next CrashPoint.
+		p.metrics.Timeouts.Add(1)
+		return dynamo.Null, fmt.Errorf("%w: %s", ErrTimeout, inv.Function)
+	}
+}
+
+// admitOnce claims a slot if one is free.
+func (p *Platform) admitOnce(limit int64) bool {
+	for {
+		cur := p.running.Load()
+		if cur >= limit {
+			return false
+		}
+		if p.running.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// admitWait claims a slot, waiting for one to free (entry queueing — where
+// saturation latency comes from in the sweep figures). The wait backs off
+// so a deep admission queue doesn't burn CPU polling.
+func (p *Platform) admitWait(limit int64) {
+	backoff := 200 * time.Microsecond
+	for !p.admitOnce(limit) {
+		time.Sleep(backoff)
+		if backoff < 2*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+func (p *Platform) trackConcurrency() {
+	cur := p.running.Load()
+	for {
+		hw := p.metrics.ConcurrencyHighWater.Load()
+		if cur <= hw || p.metrics.ConcurrencyHighWater.CompareAndSwap(hw, cur) {
+			return
+		}
+	}
+}
+
+func (p *Platform) jittered(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	if p.opts.Jitter <= 0 {
+		return d
+	}
+	f := 1 + p.opts.Jitter*(2*p.rng.Float64()-1)
+	return time.Duration(float64(d) * f)
+}
+
+// Invocation is the per-instance context handed to handlers. It is the
+// platform-level identity Beldi builds on: RequestID is the UUID the first
+// SSF of a workflow adopts as its instance id (§3.3).
+type Invocation struct {
+	RequestID string
+	Function  string
+	Async     bool
+
+	platform *Platform
+	started  time.Time
+	deadline time.Time
+	ops      atomic.Int64
+}
+
+// crash is the panic payload used to kill an instance.
+type crash struct {
+	label   string
+	timeout bool
+}
+
+// IsInjectedCrash reports whether a recovered panic value is the platform's
+// instance-kill signal (injected fault or timeout). Library code that
+// recovers panics for its own purposes MUST re-raise these — a kill is the
+// worker dying, not an application exception.
+func IsInjectedCrash(r any) bool {
+	_, ok := r.(crash)
+	return ok
+}
+
+// CrashPoint marks an operation boundary. The instance dies here if the
+// fault plan says so or if its execution timeout has expired. Beldi's
+// library calls this around every external operation, giving fault-injection
+// tests step-level kill granularity.
+func (inv *Invocation) CrashPoint(label string) {
+	n := inv.ops.Add(1)
+	if !inv.deadline.IsZero() && time.Now().After(inv.deadline) {
+		panic(crash{label: label, timeout: true})
+	}
+	p := inv.platform
+	if p == nil {
+		return
+	}
+	if plan := p.faultPlan(); plan != nil && plan.ShouldCrash(inv.Function, label, int(n)) {
+		panic(crash{label: label})
+	}
+}
+
+// Kill unconditionally crashes the instance (used by tests that model a
+// worker dying outside any fault plan).
+func (inv *Invocation) Kill(label string) {
+	panic(crash{label: label})
+}
+
+// Platform returns the platform that spawned this instance, letting
+// handlers invoke other functions (driver functions, §2.1).
+func (inv *Invocation) Platform() *Platform { return inv.platform }
+
+// Elapsed reports how long the instance has been running.
+func (inv *Invocation) Elapsed() time.Duration { return time.Since(inv.started) }
+
+// Metrics counts platform activity.
+type Metrics struct {
+	Invocations          atomic.Int64
+	Completions          atomic.Int64
+	Crashes              atomic.Int64
+	Timeouts             atomic.Int64
+	Throttles            atomic.Int64
+	ColdStarts           atomic.Int64
+	ConcurrencyHighWater atomic.Int64
+}
+
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	if seed == 0 {
+		seed = 1
+	}
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	f := l.rng.Float64()
+	l.mu.Unlock()
+	return f
+}

@@ -1,0 +1,88 @@
+package uuid
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNewFormat(t *testing.T) {
+	u := New()
+	s := u.String()
+	if len(s) != 36 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[14] != '4' {
+		t.Errorf("version nibble = %c, want 4", s[14])
+	}
+	switch s[19] {
+	case '8', '9', 'a', 'b':
+	default:
+		t.Errorf("variant nibble = %c", s[19])
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	u := New()
+	got, err := Parse(u.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != u {
+		t.Errorf("round trip: %v != %v", got, u)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"", "not-a-uuid",
+		"aaaaaaaa-bbbb-cccc-dddd",                 // short
+		"aaaaaaaaabbbbaccccaddddaeeeeeeeeeeee",    // no dashes
+		"gggggggg-bbbb-cccc-dddd-eeeeeeeeeeee",    // non-hex
+		"aaaaaaaa-bbbb-cccc-dddd-eeeeeeeeeeee-ff", // long
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 10000; i++ {
+		s := NewString()
+		if seen[s] {
+			t.Fatalf("duplicate uuid %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestSeqDeterministicAndConcurrent(t *testing.T) {
+	s := &Seq{Prefix: "t"}
+	if got := s.NewString(); got != "t-000000000001" {
+		t.Errorf("first = %q", got)
+	}
+	var wg sync.WaitGroup
+	out := make(chan string, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out <- s.NewString()
+		}()
+	}
+	wg.Wait()
+	close(out)
+	seen := make(map[string]bool)
+	for id := range out {
+		if seen[id] {
+			t.Fatalf("duplicate %s", id)
+		}
+		if !strings.HasPrefix(id, "t-") {
+			t.Fatalf("bad prefix %s", id)
+		}
+		seen[id] = true
+	}
+}

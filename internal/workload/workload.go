@@ -1,0 +1,135 @@
+// Package workload is a wrk2-style constant-throughput, open-loop load
+// generator (§7.2: "Requests ... are generated and measured using wrk2").
+//
+// Open loop means request start times are scheduled on a fixed cadence
+// independent of completions, so queueing delay under saturation shows up
+// in the measured latency instead of silently throttling the offered load —
+// wrk2's coordinated-omission correction. Latency is measured from each
+// request's *intended* start time.
+package workload
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hist"
+)
+
+// Request is one unit of offered load; implementations invoke the system
+// under test and return an error on failure.
+type Request func(r *rand.Rand) error
+
+// Options shape a run.
+type Options struct {
+	// Rate is the offered load in requests/second. Required.
+	Rate float64
+	// Duration is how long to offer load. Required.
+	Duration time.Duration
+	// Warmup discards measurements for the initial portion of the run.
+	Warmup time.Duration
+	// MaxInFlight bounds concurrently outstanding requests (a backstop so
+	// a saturated system doesn't accumulate unbounded goroutines); 0 means
+	// 1024.
+	MaxInFlight int
+	// Seed seeds the per-run RNG; request workers derive their own.
+	Seed int64
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Latency is measured from intended start to completion (coordinated-
+	// omission corrected).
+	Latency *hist.Histogram
+	// ServiceTime is measured from actual start to completion.
+	ServiceTime *hist.Histogram
+	// Offered and Completed count requests; Errors counts failures;
+	// Dropped counts requests shed at the in-flight cap.
+	Offered, Completed, Errors, Dropped int64
+	// Elapsed is the wall-clock measurement window.
+	Elapsed time.Duration
+}
+
+// Throughput returns completed requests per second over the run.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Elapsed.Seconds()
+}
+
+// Run offers load at a constant rate and records latency.
+func Run(opts Options, req Request) *Result {
+	maxInFlight := opts.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = 1024
+	}
+	res := &Result{Latency: &hist.Histogram{}, ServiceTime: &hist.Histogram{}}
+	interval := time.Duration(float64(time.Second) / opts.Rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxInFlight)
+	var offered, completed, errs, dropped atomic.Int64
+
+	start := time.Now()
+	warmupEnd := start.Add(opts.Warmup)
+	end := start.Add(opts.Warmup + opts.Duration)
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	n := int64(0)
+	for {
+		intended := start.Add(time.Duration(n) * interval)
+		if intended.After(end) {
+			break
+		}
+		if d := time.Until(intended); d > 0 {
+			time.Sleep(d)
+		}
+		n++
+		measured := intended.After(warmupEnd)
+		if measured {
+			offered.Add(1)
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			if measured {
+				dropped.Add(1)
+			}
+			continue
+		}
+		wg.Add(1)
+		go func(intended time.Time, seq int64, measured bool) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r := rand.New(rand.NewSource(seed + seq))
+			begun := time.Now()
+			err := req(r)
+			done := time.Now()
+			if !measured {
+				return
+			}
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			completed.Add(1)
+			res.Latency.Record(done.Sub(intended))
+			res.ServiceTime.Record(done.Sub(begun))
+		}(intended, n, measured)
+	}
+	wg.Wait()
+	res.Offered = offered.Load()
+	res.Completed = completed.Load()
+	res.Errors = errs.Load()
+	res.Dropped = dropped.Load()
+	res.Elapsed = time.Since(start) - opts.Warmup
+	return res
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestConstantRateOffersExpectedLoad(t *testing.T) {
+	var calls atomic.Int64
+	res := Run(Options{Rate: 500, Duration: 400 * time.Millisecond}, func(*rand.Rand) error {
+		calls.Add(1)
+		return nil
+	})
+	// 500 req/s over 0.4s = 200 requests; allow scheduler slack.
+	if res.Offered < 150 || res.Offered > 220 {
+		t.Errorf("offered = %d, want ~200", res.Offered)
+	}
+	if res.Completed != res.Offered {
+		t.Errorf("completed %d != offered %d", res.Completed, res.Offered)
+	}
+	if got := res.Throughput(); got < 300 || got > 700 {
+		t.Errorf("throughput = %.0f", got)
+	}
+}
+
+func TestWarmupDiscarded(t *testing.T) {
+	res := Run(Options{Rate: 200, Duration: 200 * time.Millisecond, Warmup: 200 * time.Millisecond},
+		func(*rand.Rand) error { return nil })
+	// Only the post-warmup window is measured: ~40 requests, not ~80.
+	if res.Offered > 60 {
+		t.Errorf("offered = %d; warmup requests leaked into measurement", res.Offered)
+	}
+	if res.Latency.Count() != res.Completed {
+		t.Errorf("histogram count %d != completed %d", res.Latency.Count(), res.Completed)
+	}
+}
+
+func TestErrorsCounted(t *testing.T) {
+	boom := errors.New("boom")
+	var n atomic.Int64
+	res := Run(Options{Rate: 200, Duration: 200 * time.Millisecond}, func(*rand.Rand) error {
+		if n.Add(1)%2 == 0 {
+			return boom
+		}
+		return nil
+	})
+	if res.Errors == 0 {
+		t.Error("no errors recorded")
+	}
+	if res.Completed+res.Errors != res.Offered-res.Dropped {
+		t.Errorf("accounting: offered=%d completed=%d errors=%d dropped=%d",
+			res.Offered, res.Completed, res.Errors, res.Dropped)
+	}
+}
+
+func TestCoordinatedOmissionVisible(t *testing.T) {
+	// A server that stalls: open-loop latency (from intended start) must
+	// grossly exceed service time, which is the whole point of wrk2-style
+	// measurement.
+	res := Run(Options{Rate: 400, Duration: 300 * time.Millisecond, MaxInFlight: 4},
+		func(*rand.Rand) error {
+			time.Sleep(30 * time.Millisecond)
+			return nil
+		})
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if res.Latency.Median() < res.ServiceTime.Median() {
+		t.Errorf("open-loop latency %v < service time %v",
+			res.Latency.Median(), res.ServiceTime.Median())
+	}
+	if res.Dropped == 0 {
+		t.Error("saturated run shed no load at the in-flight cap")
+	}
+}
+
+func TestDeterministicSeedsPerRequest(t *testing.T) {
+	// Two runs with the same seed must present identical request streams.
+	collect := func() []int64 {
+		var mu atomic.Pointer[[]int64]
+		vals := []int64{}
+		mu.Store(&vals)
+		Run(Options{Rate: 100, Duration: 100 * time.Millisecond, Seed: 7},
+			func(r *rand.Rand) error {
+				v := r.Int63()
+				for {
+					cur := mu.Load()
+					next := append(append([]int64{}, *cur...), v)
+					if mu.CompareAndSwap(cur, &next) {
+						return nil
+					}
+				}
+			})
+		return *mu.Load()
+	}
+	a, b := collect(), collect()
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("empty runs")
+	}
+	seen := map[int64]bool{}
+	for _, v := range a {
+		seen[v] = true
+	}
+	match := 0
+	for _, v := range b {
+		if seen[v] {
+			match++
+		}
+	}
+	if match < len(b)/2 {
+		t.Errorf("only %d/%d request streams matched across seeded runs", match, len(b))
+	}
+}
