@@ -169,6 +169,7 @@ type DeploymentOptions struct {
 type Deployment struct {
 	opts     DeploymentOptions
 	runtimes map[string]*core.Runtime
+	durable  *DurableAsync
 }
 
 // NewDeployment creates an empty deployment.
@@ -226,8 +227,12 @@ func (d *Deployment) StartCollectors() {
 	}
 }
 
-// Stop halts all collector timers.
+// Stop halts all collector timers and, when durable async is enabled, the
+// event-source mappers.
 func (d *Deployment) Stop() {
+	if d.durable != nil {
+		d.durable.Stop()
+	}
 	for _, rt := range d.runtimes {
 		rt.Stop()
 	}

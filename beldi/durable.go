@@ -1,0 +1,163 @@
+package beldi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/queue"
+)
+
+// This file wires the durable event-queue subsystem (internal/queue and the
+// platform's event-source mappers) into a Deployment: one invocation queue
+// and one queue→function mapping per SSF, plus the transport that reroutes
+// every AsyncInvoke through them. With durable async enabled, an
+// asynchronous workflow edge is an intent-table registration *paired with a
+// durable message*, so it survives the caller crashing right after
+// registration, the platform dropping the in-process handoff, and the
+// consumer crashing mid-handler — the redelivery/dedup pairing the paper's
+// §4.5 fire-and-forget protocol assumes of its provider.
+
+// DurableAsyncOptions configure EnableDurableAsync.
+type DurableAsyncOptions struct {
+	// VisibilityTimeout hides an in-flight message until its consumer acks
+	// or dies; 0 means queue.DefaultVisibilityTimeout.
+	VisibilityTimeout time.Duration
+	// MaxReceives is the per-message redelivery budget before dead-
+	// lettering; 0 means queue.DefaultMaxReceives, negative disables.
+	MaxReceives int
+	// BatchSize is how many messages each mapper poll claims; 0 means
+	// platform.DefaultBatchSize.
+	BatchSize int
+	// PollInterval is the mapper's idle poll delay; 0 means
+	// platform.DefaultPollInterval.
+	PollInterval time.Duration
+	// NackOnError requeues failed deliveries immediately instead of waiting
+	// out the visibility timeout.
+	NackOnError bool
+}
+
+// DurableAsync is a deployment's event-queue wiring: the broker, the
+// per-function invocation queues, and their event-source mappers.
+type DurableAsync struct {
+	broker    *queue.Broker
+	transport *queue.Transport
+	mappers   map[string]*platform.Mapper
+}
+
+// EnableDurableAsync switches every registered function's AsyncInvoke to
+// queue-backed delivery and returns the wiring. Call it after all Function
+// registrations; then either Start the mappers' background pollers or drive
+// delivery deterministically with PollAll/Drain. Functions in ModeBaseline
+// keep the raw platform handoff (the baseline measures the provider's own
+// semantics).
+func (d *Deployment) EnableDurableAsync(opts DurableAsyncOptions) *DurableAsync {
+	broker := queue.NewBroker(queue.BrokerOptions{Store: d.opts.Store, Clock: d.opts.Clock, IDs: d.opts.IDs})
+	transport := queue.NewTransport(broker, queue.Options{
+		VisibilityTimeout: opts.VisibilityTimeout,
+		MaxReceives:       opts.MaxReceives,
+	})
+	da := &DurableAsync{broker: broker, transport: transport, mappers: make(map[string]*platform.Mapper)}
+	for name, rt := range d.runtimes {
+		if rt.Mode() == ModeBaseline {
+			continue
+		}
+		if err := transport.EnsureQueueFor(name); err != nil {
+			panic(fmt.Sprintf("beldi: EnableDurableAsync: %v", err))
+		}
+		rt.SetAsyncTransport(transport)
+		da.mappers[name] = platform.MustNewMapper(broker, d.opts.Platform, platform.EventSourceOptions{
+			Queue:        queue.QueueFor(name),
+			Function:     name,
+			BatchSize:    opts.BatchSize,
+			PollInterval: opts.PollInterval,
+			NackOnError:  opts.NackOnError,
+		})
+	}
+	d.durable = da
+	return da
+}
+
+// DurableAsync returns the deployment's event-queue wiring, or nil when
+// EnableDurableAsync has not been called.
+func (d *Deployment) DurableAsync() *DurableAsync { return d.durable }
+
+// Broker exposes the underlying queue broker (inspection, direct
+// enqueueing, DLQ access).
+func (da *DurableAsync) Broker() *queue.Broker { return da.broker }
+
+// Mapper returns the event-source mapping for one function, or nil.
+func (da *DurableAsync) Mapper(fn string) *platform.Mapper { return da.mappers[fn] }
+
+// Start launches every mapping's background poll loop.
+func (da *DurableAsync) Start() {
+	for _, m := range da.mappers {
+		m.Start()
+	}
+}
+
+// Stop halts every mapping's poll loop.
+func (da *DurableAsync) Stop() {
+	for _, m := range da.mappers {
+		m.Stop()
+	}
+}
+
+// PollAll runs one poll over every mapping, returning total messages
+// processed successfully and failed — the deterministic drive for tests.
+func (da *DurableAsync) PollAll() (processed, failed int, err error) {
+	for _, m := range da.mappers {
+		p, f, perr := m.PollOnce()
+		processed += p
+		failed += f
+		if perr != nil && err == nil {
+			err = perr
+		}
+	}
+	return processed, failed, err
+}
+
+// Depth sums live messages (visible and in flight) across all invocation
+// queues.
+func (da *DurableAsync) Depth() (int, error) {
+	total := 0
+	for _, q := range da.broker.Queues() {
+		n, err := da.broker.Depth(q)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Drain polls every mapping until all invocation queues are empty — waiting
+// out visibility timeouts of crashed consumers, so redelivery and
+// dead-lettering run to completion — or until timeout. Returns the number of
+// successful deliveries.
+func (da *DurableAsync) Drain(timeout time.Duration) (int, error) {
+	deadline := time.Now().Add(timeout)
+	delivered := 0
+	for {
+		p, _, err := da.PollAll()
+		delivered += p
+		if err != nil {
+			return delivered, err
+		}
+		depth, err := da.Depth()
+		if err != nil {
+			return delivered, err
+		}
+		if depth == 0 {
+			return delivered, nil
+		}
+		if time.Now().After(deadline) {
+			return delivered, fmt.Errorf("beldi: Drain: %d messages still queued after %v", depth, timeout)
+		}
+		if p == 0 {
+			// Nothing visible: in-flight claims must expire before the
+			// redelivery (or dead-lettering) can happen.
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

@@ -141,6 +141,39 @@ func BenchmarkFig16GCEffect(b *testing.B) {
 	}
 }
 
+// BenchmarkQueueBatchSweep measures the durable event-queue subsystem's
+// consume throughput across event-source-mapper batch sizes (the queue
+// figure; full series via `figures -fig queue`). Each sub-benchmark drains a
+// fixed backlog at one batch size.
+func BenchmarkQueueBatchSweep(b *testing.B) {
+	for _, batch := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts, err := bench.QueueSweep(bench.QueueSweepOptions{
+					Messages:   150,
+					BatchSizes: []int{batch},
+					Scale:      0.02,
+					Seed:       1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(pts[0].Throughput, "tput-msg/s")
+				b.ReportMetric(float64(pts[0].Polls), "polls")
+			}
+		})
+	}
+}
+
+// BenchmarkFigOrdersEventPipeline measures the event-driven order pipeline
+// under load: entry latency is the client-visible placement, while the
+// pipeline drains through queues in the background.
+func BenchmarkFigOrdersEventPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSweepPoint(b, "orders", beldi.ModeBeldi)
+	}
+}
+
 // BenchmarkCostsAccounting regenerates the §7.3 storage/IO numbers.
 func BenchmarkCostsAccounting(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -14,6 +14,8 @@
 //	figures -fig costs               # §7.3 storage / IO accounting
 //	figures -fig 15b                 # §7.4 Beldi-without-transactions ablation
 //	figures -fig ablation            # §4.1 DAAL traversal strategy ablation
+//	figures -fig queue               # event-queue throughput vs mapper batch size
+//	figures -fig orders              # event-driven order pipeline under load
 //
 // Numbers are simulator-relative; the shapes (ratios, knees, growth trends)
 // are the reproduction targets. See EXPERIMENTS.md.
@@ -33,7 +35,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 13, 14, 15, 15b, 16, 25, 26, costs, ablation, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 13, 14, 15, 15b, 16, 25, 26, costs, ablation, queue, orders, all")
 		scale    = flag.Float64("scale", 0.1, "latency compression factor (1.0 = DynamoDB-like milliseconds)")
 		duration = flag.Duration("duration", 3*time.Second, "measurement duration per sweep point")
 		minutes  = flag.Int("minutes", 30, "simulated minutes for fig 16")
@@ -64,6 +66,24 @@ func main() {
 	run("26", func() error { return runSweep("26", "social", rateList, *duration, *scale, *seed) })
 	run("costs", runCosts)
 	run("ablation", func() error { return runAblation(*scale, *seed) })
+	run("queue", func() error { return runQueueSweep(*scale, *seed) })
+	run("orders", func() error { return runSweep("orders", "orders", rateList, *duration, *scale, *seed) })
+}
+
+// runQueueSweep prints the event-queue subsystem's consume throughput versus
+// event-source-mapper batch size.
+func runQueueSweep(scale float64, seed int64) error {
+	fmt.Println("# Queue — durable event-queue consume throughput vs mapper batch size")
+	fmt.Printf("%-8s %12s %10s %12s\n", "batch", "tput(msg/s)", "polls", "elapsed(ms)")
+	pts, err := bench.QueueSweep(bench.QueueSweepOptions{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Printf("%-8d %12.1f %10d %12.2f\n", p.Batch, p.Throughput, p.Polls, ms(p.Elapsed))
+	}
+	fmt.Println()
+	return nil
 }
 
 // runNoTxnSweep is the §7.4 ablation: the travel site with Beldi's fault

@@ -2,10 +2,11 @@
 // Transactional Stateful Serverless Workflows" (Beldi, OSDI 2020).
 //
 // The public API lives in package repro/beldi; the substrates (an in-memory
-// DynamoDB-like store and a goroutine-based serverless platform) and the
-// Beldi core (linked DAAL, intent/garbage collectors, cross-SSF
-// transactions) live under internal/. The benchmarks in bench_test.go and
-// the cmd/figures binary regenerate every table and figure of the paper's
-// evaluation; see DESIGN.md for the system inventory and EXPERIMENTS.md for
+// DynamoDB-like store, a goroutine-based serverless platform, and a durable
+// message-queue subsystem with event-source triggers) and the Beldi core
+// (linked DAAL, intent/garbage collectors, cross-SSF transactions) live
+// under internal/. The benchmarks in bench_test.go and the cmd/figures
+// binary regenerate every table and figure of the paper's evaluation; see
+// README.md for the system inventory and EXPERIMENTS.md for
 // paper-versus-measured results.
 package repro

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"io"
 	"testing"
 	"time"
 
@@ -59,15 +60,65 @@ func TestSweepSmoke(t *testing.T) {
 }
 
 func TestSweepAllAppsBuild(t *testing.T) {
-	for _, app := range []string{"media", "travel", "social"} {
+	for _, app := range []string{"media", "travel", "social", "orders"} {
 		sys := NewSystem(SystemOptions{Mode: beldi.ModeBeldi, Scale: 0.0001, Concurrency: 10000})
-		if _, err := BuildApp(sys, app); err != nil {
+		a, err := BuildApp(sys, app)
+		if err != nil {
 			t.Errorf("%s: %v", app, err)
+		}
+		if c, ok := a.(io.Closer); ok {
+			c.Close() //nolint:errcheck
 		}
 	}
 	sys := NewSystem(SystemOptions{Scale: 0.0001})
 	if _, err := BuildApp(sys, "nope"); err == nil {
 		t.Error("unknown app accepted")
+	}
+}
+
+func TestOrdersSweepSmoke(t *testing.T) {
+	pts, err := Sweep(SweepOptions{
+		App: "orders", Mode: beldi.ModeBeldi,
+		Rates:    []float64{40},
+		Duration: 300 * time.Millisecond,
+		Warmup:   50 * time.Millisecond,
+		Scale:    0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Throughput <= 0 || pts[0].P50 <= 0 {
+		t.Fatalf("point: %+v", pts)
+	}
+	if pts[0].Errors != 0 {
+		t.Errorf("%d errors at trivial load", pts[0].Errors)
+	}
+}
+
+func TestQueueSweepSmoke(t *testing.T) {
+	pts, err := QueueSweep(QueueSweepOptions{
+		Messages:   40,
+		BatchSizes: []int{1, 8},
+		Scale:      0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Throughput <= 0 || p.Polls <= 0 {
+			t.Errorf("batch %d: %+v", p.Batch, p)
+		}
+	}
+	// Batching must amortize the poll round trip: batch 8 strictly beats
+	// batch 1, and uses fewer polls.
+	if pts[1].Throughput <= pts[0].Throughput {
+		t.Errorf("batch 8 tput %.1f <= batch 1 tput %.1f", pts[1].Throughput, pts[0].Throughput)
+	}
+	if pts[1].Polls >= pts[0].Polls {
+		t.Errorf("batch 8 polls %d >= batch 1 polls %d", pts[1].Polls, pts[0].Polls)
 	}
 }
 

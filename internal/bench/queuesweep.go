@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+	"repro/internal/queue"
+)
+
+// QueueSweep measures the durable event-queue subsystem's consume throughput
+// as a function of the event-source mapper's batch size — the Netherite
+// observation that batching receives and dispatches is what amortizes
+// per-message round trips. Each point drains the same backlog through one
+// mapper with cloud-shaped store latency; small batches pay one poll's scan
+// round trip for little work, large batches claim and trigger many handlers
+// per poll.
+
+// QueueSweepOptions configure a queue throughput sweep.
+type QueueSweepOptions struct {
+	// Messages is the backlog drained per point. 0 means 300.
+	Messages int
+	// BatchSizes are the mapper batch sizes to sweep. nil means
+	// 1,2,4,8,16,32.
+	BatchSizes []int
+	// Scale compresses simulated latency; 0 means 0.05.
+	Scale float64
+	Seed  int64
+}
+
+func (o QueueSweepOptions) withDefaults() QueueSweepOptions {
+	if o.Messages == 0 {
+		o.Messages = 300
+	}
+	if o.BatchSizes == nil {
+		o.BatchSizes = []int{1, 2, 4, 8, 16, 32}
+	}
+	if o.Scale == 0 {
+		o.Scale = 0.05
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// QueueSweepPoint is one batch-size position of the sweep.
+type QueueSweepPoint struct {
+	Batch      int
+	Throughput float64 // messages consumed per second
+	Polls      int64   // batches claimed
+	Elapsed    time.Duration
+}
+
+// QueueSweep drains a fixed backlog at each batch size and reports consume
+// throughput.
+func QueueSweep(opts QueueSweepOptions) ([]QueueSweepPoint, error) {
+	opts = opts.withDefaults()
+	var out []QueueSweepPoint
+	for _, batch := range opts.BatchSizes {
+		store := dynamo.NewStore(dynamo.WithLatency(dynamo.NewCloudLatency(opts.Scale, opts.Seed)))
+		broker := queue.NewBroker(queue.BrokerOptions{Store: store})
+		broker.MustCreate("bench", queue.Options{VisibilityTimeout: time.Minute})
+		plat := platform.New(platform.Options{
+			WarmStart: time.Duration(float64(15*time.Millisecond) * opts.Scale),
+			ColdStart: time.Duration(float64(60*time.Millisecond) * opts.Scale),
+			Jitter:    0.2,
+			Seed:      opts.Seed,
+		})
+		var consumed atomic.Int64
+		plat.Register("consume", func(inv *platform.Invocation, input platform.Value) (platform.Value, error) {
+			consumed.Add(1)
+			return dynamo.Null, nil
+		}, 0)
+		mapper := platform.MustNewMapper(broker, plat, platform.EventSourceOptions{
+			Queue: "bench", Function: "consume", BatchSize: batch,
+		})
+		for i := 0; i < opts.Messages; i++ {
+			if _, err := broker.Enqueue("bench", dynamo.NInt(int64(i))); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		for consumed.Load() < int64(opts.Messages) {
+			if _, _, err := mapper.PollOnce(); err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		if n := consumed.Load(); n != int64(opts.Messages) {
+			return nil, fmt.Errorf("bench: queue sweep batch %d consumed %d/%d", batch, n, opts.Messages)
+		}
+		out = append(out, QueueSweepPoint{
+			Batch:      batch,
+			Throughput: float64(opts.Messages) / elapsed.Seconds(),
+			Polls:      mapper.Metrics().Batches.Load(),
+			Elapsed:    elapsed,
+		})
+	}
+	return out, nil
+}

@@ -2,11 +2,13 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
 	"repro/beldi"
 	"repro/internal/apps/media"
+	"repro/internal/apps/orders"
 	"repro/internal/apps/social"
 	"repro/internal/apps/travel"
 	"repro/internal/workload"
@@ -25,9 +27,12 @@ type workloadApp interface {
 	Request(r *rand.Rand) beldi.Value
 }
 
-// BuildApp wires the named app ("media", "travel", "travel-notxn" or
-// "social") onto a system and seeds it. "travel-notxn" is the §7.4 ablation:
-// Beldi fault tolerance without the reservation transaction.
+// BuildApp wires the named app ("media", "travel", "travel-notxn", "social"
+// or "orders") onto a system and seeds it. "travel-notxn" is the §7.4
+// ablation: Beldi fault tolerance without the reservation transaction.
+// "orders" is the event-driven pipeline: its workflow edges run over durable
+// queues drained by background event-source mappers (apps implementing
+// io.Closer are closed by Sweep when the run ends).
 func BuildApp(sys *System, name string) (workloadApp, error) {
 	switch name {
 	case "media":
@@ -43,6 +48,17 @@ func BuildApp(sys *System, name string) (workloadApp, error) {
 	case "social":
 		app := social.Build(sys.D)
 		return app, app.Seed()
+	case "orders":
+		app := orders.Build(sys.D)
+		if err := app.Seed(); err != nil {
+			return nil, err
+		}
+		eo := orders.DefaultEventOptions()
+		// Queue parameters scale with the system's latency compression the
+		// same way the platform's dispatch costs do.
+		eo.VisibilityTimeout = time.Duration(float64(500*time.Millisecond) * sys.Scale)
+		app.EnableEvents(eo)
+		return app, nil
 	default:
 		return nil, fmt.Errorf("bench: unknown app %q", name)
 	}
@@ -122,6 +138,9 @@ func Sweep(opts SweepOptions) ([]SweepPoint, error) {
 	app, err := BuildApp(sys, opts.App)
 	if err != nil {
 		return nil, err
+	}
+	if c, ok := app.(io.Closer); ok {
+		defer c.Close() //nolint:errcheck // background mappers; nothing to report
 	}
 	var out []SweepPoint
 	for _, rate := range opts.Rates {

@@ -109,19 +109,6 @@ func fsckDAALTable(rt *Runtime, table string, doneIntents map[string]bool, repor
 					report("%s/%s row %s: recycled mark %s has no log entry", table, key, id, mark)
 				}
 			}
-			// A lock held by a completed intent means release was lost.
-			if !r.lock.IsNull() {
-				ownerID, _ := r.lock.MapGet(attrID)
-				owner := ownerID.Str()
-				// Transaction locks are owned by txn ids ("instance#tx...");
-				// resolve to the owning instance.
-				if i := strings.Index(owner, "#tx"); i >= 0 {
-					owner = owner[:i]
-				}
-				if doneIntents[owner] {
-					report("%s/%s row %s: lock held by completed intent %s", table, key, id, owner)
-				}
-			}
 		}
 		// Chain invariants.
 		chain := chainOrder(rows)
@@ -147,6 +134,24 @@ func fsckDAALTable(rt *Runtime, table string, doneIntents map[string]bool, repor
 			}
 			if rows[id].logSize != rt.cfg.RowCap {
 				report("%s/%s: non-tail row %s not full (%d/%d)", table, key, id, rows[id].logSize, rt.cfg.RowCap)
+			}
+		}
+		// A lock held by a completed intent means release was lost. Only the
+		// tail's lock is authoritative: appendRow copies a then-held lock
+		// onto the new row and the filled predecessor is immutable from that
+		// point, so interior rows legitimately retain stale owners.
+		if len(chain) > 0 {
+			if lock := rows[chain[len(chain)-1]].lock; !lock.IsNull() {
+				ownerID, _ := lock.MapGet(attrID)
+				owner := ownerID.Str()
+				// Transaction locks are owned by txn ids ("instance#tx...");
+				// resolve to the owning instance.
+				if i := strings.Index(owner, "#tx"); i >= 0 {
+					owner = owner[:i]
+				}
+				if doneIntents[owner] {
+					report("%s/%s: tail %s lock held by completed intent %s", table, key, chain[len(chain)-1], owner)
+				}
 			}
 		}
 	}

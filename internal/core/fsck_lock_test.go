@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+)
+
+// Reproduce: lock held across a DAAL row transition leaves a stale LockOwner
+// on the filled (immutable) row; fsck must not flag it once the owner
+// completes.
+func TestFsckLockAcrossRowTransition(t *testing.T) {
+	store := dynamo.NewStore()
+	plat := platform.New(platform.Options{})
+	rt := MustNewRuntime(RuntimeOptions{Function: "f", Store: store, Platform: plat, Config: Config{RowCap: 4}})
+	rt.MustCreateDataTable("t")
+	Register(rt, func(e *Env, in Value) (Value, error) {
+		if err := e.Lock("t", "k"); err != nil {
+			return dynamo.Null, err
+		}
+		for i := 0; i < 10; i++ {
+			if err := e.Write("t", "k", dynamo.NInt(int64(i))); err != nil {
+				return dynamo.Null, err
+			}
+		}
+		if err := e.Unlock("t", "k"); err != nil {
+			return dynamo.Null, err
+		}
+		return dynamo.Null, nil
+	})
+	if _, err := plat.Invoke("f", dynamo.Null); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fsck(rt); err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+}

@@ -85,10 +85,24 @@ func TestFsckDetectsCorruption(t *testing.T) {
 		t.Fatalf("state not clean after repair: %v", err)
 	}
 
-	// Corruption 2: a lock held by a completed intent.
+	// Corruption 2: a lock held by a completed intent. Only the chain tail's
+	// lock is authoritative (filled rows legitimately retain stale owners),
+	// so plant the stale owner there.
 	items, _ := f.store.Scan(rt.intentTable, dynamo.QueryOpts{})
 	doneID := items[0][attrInstanceID].Str()
-	if err := f.store.Update(table, dynamo.HSK(dynamo.S("k"), dynamo.S(headRowID)), nil,
+	daalItems, _ := f.store.Scan(table, dynamo.QueryOpts{})
+	rows := make(map[string]daalRow)
+	for _, it := range daalItems {
+		if r := decodeDAALRow(it); r.key == "k" {
+			rows[r.rowID] = r
+		}
+	}
+	chain := chainOrder(rows)
+	tailID := chain[len(chain)-1]
+	if tailID == headRowID {
+		t.Fatal("test setup: expected the chain to have grown past the head")
+	}
+	if err := f.store.Update(table, dynamo.HSK(dynamo.S("k"), dynamo.S(tailID)), nil,
 		dynamo.Set(dynamo.A(attrLockOwner), lockOwnerValue(doneID, 1))); err != nil {
 		t.Fatal(err)
 	}

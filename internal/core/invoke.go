@@ -196,9 +196,19 @@ func (e *Env) AsyncInvoke(callee string, input Value) error {
 	e.crash("ainvoke:mid:" + stepKey)
 
 	// Step 2: the actual asynchronous invocation. At-least-once is enough:
-	// the run stub skips intents that are missing (GC'd) or complete.
+	// the run stub skips intents that are missing (GC'd) or complete. With a
+	// durable transport configured, the run envelope becomes a queue message
+	// instead of an in-process handoff: the registered intent now pairs with
+	// a durable record an event-source mapper will drain even if this caller
+	// and the platform's async goroutine both die. A crash between the
+	// enqueue and the next crash point re-enqueues on re-execution — a
+	// duplicate the callee's intent dedup absorbs.
 	run := envelope{Kind: kindAsyncRun, InstanceID: calleeID, Input: input, Async: true, App: e.shared.app}
-	if err := e.rt.plat.InvokeAsyncInternal(callee, run.encode()); err != nil {
+	if t := e.rt.asyncTransport(); t != nil {
+		if err := t.Deliver(callee, run.encode()); err != nil {
+			return fmt.Errorf("core: asyncInvoke %s: durable delivery: %w", callee, err)
+		}
+	} else if err := e.rt.plat.InvokeAsyncInternal(callee, run.encode()); err != nil {
 		return fmt.Errorf("core: asyncInvoke %s: run: %w", callee, err)
 	}
 	e.crash("ainvoke:post:" + stepKey)

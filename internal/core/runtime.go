@@ -121,6 +121,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// AsyncTransport delivers asynchronous run envelopes durably, decoupling
+// AsyncInvoke's fire from the in-process platform handoff. Implementations
+// (queue.Transport) must provide at-least-once delivery of payload to an
+// eventual invocation of fn; Beldi's intent-table dedup turns that into
+// exactly-once execution. Deliver is called from live instances and must be
+// safe for concurrent use.
+type AsyncTransport interface {
+	Deliver(fn string, payload Value) error
+}
+
 // Runtime is the per-SSF infrastructure: its function name, its own
 // database, the platform it runs on, and its configuration.
 type Runtime struct {
@@ -131,6 +141,9 @@ type Runtime struct {
 	mode  Mode
 	clk   clock.Clock
 	ids   uuid.Source
+
+	transportMu sync.RWMutex
+	transport   AsyncTransport
 
 	body Body
 
@@ -176,6 +189,10 @@ type RuntimeOptions struct {
 	Clock clock.Clock
 	// IDs defaults to random UUIDs.
 	IDs uuid.Source
+	// AsyncTransport, when set, makes AsyncInvoke deliver its run envelope
+	// through a durable queue instead of the platform's in-process async
+	// handoff. Settable later with SetAsyncTransport.
+	AsyncTransport AsyncTransport
 }
 
 // NewRuntime creates the SSF's runtime and its backing tables.
@@ -204,6 +221,7 @@ func NewRuntime(opts RuntimeOptions) (*Runtime, error) {
 		invokeLog:   opts.Function + ".invokelog",
 		txCallees:   opts.Function + ".txcallees",
 		txLocks:     opts.Function + ".txlocks",
+		transport:   opts.AsyncTransport,
 		stopCh:      make(chan struct{}),
 	}
 	if rt.mode != ModeBaseline {
@@ -315,6 +333,22 @@ func (rt *Runtime) writeLogTable(logical string) string {
 }
 func (rt *Runtime) shadowWriteLogTable(logical string) string {
 	return rt.fn + ".data." + logical + ".shadow.wlog"
+}
+
+// SetAsyncTransport installs (or clears, with nil) the durable async
+// delivery path at runtime. Deployments call it when durable async is
+// enabled after functions were registered.
+func (rt *Runtime) SetAsyncTransport(t AsyncTransport) {
+	rt.transportMu.Lock()
+	rt.transport = t
+	rt.transportMu.Unlock()
+}
+
+// asyncTransport returns the current durable delivery path, or nil.
+func (rt *Runtime) asyncTransport() AsyncTransport {
+	rt.transportMu.RLock()
+	defer rt.transportMu.RUnlock()
+	return rt.transport
 }
 
 // Function returns the SSF's platform name.

@@ -1,0 +1,237 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/queue"
+)
+
+// This file is the trigger half of the event-queue subsystem: an event-source
+// mapping in the AWS Lambda/Triggerflow sense. A Mapper polls one durable
+// queue in configurable batches and triggers a registered function once per
+// message, acking on success and leaving failures to reappear after the
+// queue's visibility timeout — so a consumer instance that crashes
+// mid-handler is redelivered, and the function's own idempotence (for Beldi
+// SSFs, intent-table dedup) turns at-least-once delivery into exactly-once
+// processing. Batch size is the throughput lever (the Netherite observation:
+// fetching and dispatching work in batches is what amortizes per-message
+// round trips).
+
+// EventSourceOptions configure one queue→function mapping.
+type EventSourceOptions struct {
+	// Queue is the source queue name. Required.
+	Queue string
+	// Function is the platform function triggered per message. Required.
+	Function string
+	// BatchSize is how many messages one poll claims. 0 means
+	// DefaultBatchSize.
+	BatchSize int
+	// PollInterval is the idle delay between polls when the queue was empty;
+	// a non-empty batch polls again immediately. 0 means
+	// DefaultPollInterval.
+	PollInterval time.Duration
+	// NackOnError returns failed messages to the queue immediately instead
+	// of letting the visibility timeout expire. Faster redelivery, but a
+	// crash-looping consumer burns its redelivery budget just as fast;
+	// default false (SQS semantics: a dead consumer cannot nack).
+	NackOnError bool
+}
+
+// Defaults for EventSourceOptions zero values.
+const (
+	DefaultBatchSize    = 10
+	DefaultPollInterval = 10 * time.Millisecond
+)
+
+func (o EventSourceOptions) withDefaults() EventSourceOptions {
+	if o.BatchSize == 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.PollInterval == 0 {
+		o.PollInterval = DefaultPollInterval
+	}
+	return o
+}
+
+// Mapper polls a queue and triggers its function. Create with NewMapper,
+// then either Start a background poll loop or drive it deterministically
+// with PollOnce.
+type Mapper struct {
+	broker *queue.Broker
+	plat   *Platform
+	opts   EventSourceOptions
+
+	metrics MapperMetrics
+
+	mu      sync.Mutex
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	started bool
+}
+
+// NewMapper creates an event-source mapping from broker's queue to a
+// platform function. The queue must exist by the time messages flow.
+func NewMapper(broker *queue.Broker, plat *Platform, opts EventSourceOptions) (*Mapper, error) {
+	if opts.Queue == "" || opts.Function == "" {
+		return nil, fmt.Errorf("platform: NewMapper: Queue and Function are required")
+	}
+	return &Mapper{broker: broker, plat: plat, opts: opts.withDefaults()}, nil
+}
+
+// MustNewMapper is NewMapper, panicking on error; for setup code.
+func MustNewMapper(broker *queue.Broker, plat *Platform, opts EventSourceOptions) *Mapper {
+	m, err := NewMapper(broker, plat, opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Options returns the mapping's effective configuration.
+func (m *Mapper) Options() EventSourceOptions { return m.opts }
+
+// Metrics exposes the mapping's counters.
+func (m *Mapper) Metrics() *MapperMetrics { return &m.metrics }
+
+// PollOnce claims one batch and triggers the function once per message,
+// concurrently across the batch. It returns how many messages were processed
+// successfully (invoked and acked) and how many failed (left in flight for
+// redelivery, or nacked under NackOnError). Queue-level errors are returned;
+// handler errors are not — they are the redelivery path, not the mapper's
+// failure.
+func (m *Mapper) PollOnce() (processed, failed int, err error) {
+	msgs, err := m.broker.Receive(m.opts.Queue, m.opts.BatchSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(msgs) == 0 {
+		return 0, 0, nil
+	}
+	m.metrics.Batches.Add(1)
+	var ok, bad atomic.Int64
+	var wg sync.WaitGroup
+	for _, msg := range msgs {
+		wg.Add(1)
+		go func(msg queue.Message) {
+			defer wg.Done()
+			if m.deliver(msg) {
+				ok.Add(1)
+			} else {
+				bad.Add(1)
+			}
+		}(msg)
+	}
+	wg.Wait()
+	return int(ok.Load()), int(bad.Load()), nil
+}
+
+// deliver triggers the function for one message and settles the message by
+// the outcome. Reports success.
+//
+// Admission depends on the platform's saturation policy. Under
+// RejectWhenSaturated the entry path fails fast with ErrThrottled, which we
+// turn into an immediate nack-and-retry. Under blocking admission the entry
+// path would park this goroutine in the admission queue while the message's
+// visibility clock keeps running — a saturated platform would burn healthy
+// messages' redelivery budgets — so the trigger runs with internal
+// admission, which consumes capacity but never waits for it.
+func (m *Mapper) deliver(msg queue.Message) bool {
+	var err error
+	if m.plat.opts.RejectWhenSaturated {
+		_, err = m.plat.Invoke(m.opts.Function, msg.Body)
+	} else {
+		_, err = m.plat.InvokeInternal(m.opts.Function, msg.Body)
+	}
+	if err != nil {
+		m.metrics.Failures.Add(1)
+		if errors.Is(err, ErrThrottled) || m.opts.NackOnError {
+			// Throttling is the platform refusing admission, not the handler
+			// failing: return the message immediately so another poll retries
+			// as soon as capacity frees, instead of waiting out the
+			// visibility timeout.
+			if nerr := m.broker.Nack(m.opts.Queue, msg.ID, msg.Receipt); nerr != nil && !errors.Is(nerr, queue.ErrStaleReceipt) {
+				m.metrics.SettleErrors.Add(1)
+			}
+			return false
+		}
+		// The instance died (crash, timeout) or the handler errored: like a
+		// real dead consumer it cannot nack. The claim expires and the
+		// message is redelivered with its receive count advanced.
+		return false
+	}
+	if aerr := m.broker.Ack(m.opts.Queue, msg.ID, msg.Receipt); aerr != nil {
+		if errors.Is(aerr, queue.ErrStaleReceipt) {
+			// The handler outlived the visibility timeout and the message was
+			// redelivered meanwhile. The other delivery owns settlement now;
+			// the function's idempotence already absorbed the duplicate run.
+			m.metrics.StaleDeliveries.Add(1)
+			return true
+		}
+		m.metrics.SettleErrors.Add(1)
+		return false
+	}
+	m.metrics.Delivered.Add(1)
+	return true
+}
+
+// Start launches the background poll loop. A non-empty batch loops
+// immediately; an empty poll sleeps PollInterval. Start is idempotent while
+// running.
+func (m *Mapper) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return
+	}
+	m.started = true
+	m.stopCh = make(chan struct{})
+	m.doneCh = make(chan struct{})
+	go m.loop(m.stopCh, m.doneCh)
+}
+
+func (m *Mapper) loop(stopCh, doneCh chan struct{}) {
+	defer close(doneCh)
+	for {
+		select {
+		case <-stopCh:
+			return
+		default:
+		}
+		n, _, err := m.PollOnce()
+		if err != nil || n == 0 {
+			select {
+			case <-stopCh:
+				return
+			case <-time.After(m.opts.PollInterval):
+			}
+		}
+	}
+}
+
+// Stop halts the poll loop and waits for the in-flight poll to finish.
+// Messages already claimed keep their visibility timeout; nothing is lost.
+func (m *Mapper) Stop() {
+	m.mu.Lock()
+	if !m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = false
+	stopCh, doneCh := m.stopCh, m.doneCh
+	m.mu.Unlock()
+	close(stopCh)
+	<-doneCh
+}
+
+// MapperMetrics counts one event-source mapping's activity.
+type MapperMetrics struct {
+	Batches         atomic.Int64
+	Delivered       atomic.Int64
+	Failures        atomic.Int64
+	StaleDeliveries atomic.Int64
+	SettleErrors    atomic.Int64
+}

@@ -1,0 +1,49 @@
+package queue
+
+// Transport adapts a Broker to the delivery interface core.Env.AsyncInvoke
+// uses for durable asynchronous invocations (core.AsyncTransport, satisfied
+// structurally so this package stays independent of core). Each function
+// gets its own invocation queue, auto-provisioned on first delivery; the
+// platform-side event-source mapper drains it back into the function.
+//
+// Delivery here is at least once — a caller crash between enqueue and its
+// next crash point re-enqueues on re-execution — which is exactly what
+// Beldi's asyncInvoke protocol budgets for: the payload is an
+// intent-addressed run envelope, and the callee skips intents that are
+// already complete.
+type Transport struct {
+	broker *Broker
+	opts   Options
+}
+
+// NewTransport creates a transport delivering through broker; queues it
+// provisions use opts.
+func NewTransport(broker *Broker, opts Options) *Transport {
+	return &Transport{broker: broker, opts: opts}
+}
+
+// InvokeQueuePrefix namespaces the per-function invocation queues.
+const InvokeQueuePrefix = "invoke."
+
+// QueueFor names the invocation queue of a function.
+func QueueFor(fn string) string { return InvokeQueuePrefix + fn }
+
+// Broker returns the underlying broker (for wiring mappers and inspection).
+func (t *Transport) Broker() *Broker { return t.broker }
+
+// Deliver durably enqueues payload for fn, creating fn's invocation queue if
+// this is the first delivery.
+func (t *Transport) Deliver(fn string, payload Value) error {
+	q := QueueFor(fn)
+	if err := t.broker.EnsureQueue(q, t.opts); err != nil {
+		return err
+	}
+	_, err := t.broker.Enqueue(q, payload)
+	return err
+}
+
+// EnsureQueueFor provisions fn's invocation queue ahead of any delivery (so
+// event-source mappers can be registered before the first message flows).
+func (t *Transport) EnsureQueueFor(fn string) error {
+	return t.broker.EnsureQueue(QueueFor(fn), t.opts)
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/hist"
+)
+
+// Edge cases of the open-loop generator: degenerate durations and the
+// in-flight backstop.
+
+func TestZeroDurationRunIsEmptyAndSafe(t *testing.T) {
+	var ran atomic.Int64
+	res := Run(Options{Rate: 1000, Duration: 0}, func(r *rand.Rand) error {
+		ran.Add(1)
+		return nil
+	})
+	if res.Offered != 0 || res.Completed != 0 || res.Errors != 0 || res.Dropped != 0 {
+		t.Fatalf("zero-duration counts: %+v", res)
+	}
+	if res.Throughput() != 0 {
+		t.Fatalf("Throughput = %f, want 0", res.Throughput())
+	}
+	if res.Latency.Count() != 0 {
+		t.Fatalf("latency recorded %d samples in an empty run", res.Latency.Count())
+	}
+}
+
+func TestZeroDurationWithWarmupMeasuresNothing(t *testing.T) {
+	var ran atomic.Int64
+	res := Run(Options{Rate: 500, Duration: 0, Warmup: 30 * time.Millisecond}, func(r *rand.Rand) error {
+		ran.Add(1)
+		return nil
+	})
+	// Warmup requests still run — they warm the system — but none of them
+	// count.
+	if ran.Load() == 0 {
+		t.Fatal("warmup issued no requests")
+	}
+	if res.Offered != 0 || res.Completed != 0 {
+		t.Fatalf("warmup leaked into measurements: %+v", res)
+	}
+}
+
+func TestThroughputZeroElapsedGuard(t *testing.T) {
+	r := &Result{Completed: 10}
+	if got := r.Throughput(); got != 0 {
+		t.Fatalf("Throughput with zero elapsed = %f, want 0", got)
+	}
+}
+
+func TestInFlightCapShedsInsteadOfQueueing(t *testing.T) {
+	block := make(chan struct{})
+	res := make(chan *Result, 1)
+	go func() {
+		res <- Run(Options{
+			Rate:        500,
+			Duration:    80 * time.Millisecond,
+			MaxInFlight: 1,
+		}, func(r *rand.Rand) error {
+			<-block
+			return nil
+		})
+	}()
+	// Let the run finish its offered schedule, then unblock the lone
+	// in-flight request.
+	time.Sleep(120 * time.Millisecond)
+	close(block)
+	r := <-res
+
+	if r.Dropped == 0 {
+		t.Fatal("no requests shed at the in-flight cap")
+	}
+	if r.Completed > 1 {
+		t.Fatalf("completed = %d with cap 1 and a blocked handler", r.Completed)
+	}
+	// Conservation: every measured request completed, errored, or was shed.
+	if r.Completed+r.Errors+r.Dropped != r.Offered {
+		t.Fatalf("offered %d != completed %d + errors %d + dropped %d",
+			r.Offered, r.Completed, r.Errors, r.Dropped)
+	}
+}
+
+func TestShedRequestsRecordNoLatency(t *testing.T) {
+	block := make(chan struct{})
+	done := make(chan *Result, 1)
+	go func() {
+		done <- Run(Options{
+			Rate:        200,
+			Duration:    50 * time.Millisecond,
+			MaxInFlight: 1,
+		}, func(r *rand.Rand) error {
+			<-block
+			return nil
+		})
+	}()
+	time.Sleep(80 * time.Millisecond)
+	close(block)
+	r := <-done
+	if got := r.Latency.Count(); got != r.Completed {
+		t.Fatalf("latency has %d samples, want %d (completed only)", got, r.Completed)
+	}
+	var zero hist.Histogram
+	if zero.Count() != 0 {
+		t.Fatal("histogram zero value not empty")
+	}
+}
