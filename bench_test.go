@@ -165,6 +165,38 @@ func BenchmarkQueueBatchSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkShardSweep measures committed logged-step throughput versus the
+// store's shard count at fixed offered load, with the group-commit path off
+// and on (the shard figure; full series via `figures -fig shard`). Each
+// sub-benchmark runs one (shards, commit-mode) cell.
+func BenchmarkShardSweep(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, batched := range []bool{false, true} {
+			commit := "plain"
+			if batched {
+				commit = "batched"
+			}
+			b.Run(fmt.Sprintf("shards=%d/%s", shards, commit), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pts, err := bench.ShardSweep(bench.ShardSweepOptions{
+						Shards:   []int{shards},
+						Commit:   []bool{batched},
+						Duration: 250 * time.Millisecond,
+						Seed:     1,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, p := range pts {
+						b.ReportMetric(p.Throughput, "tput-steps/s")
+						b.ReportMetric(p.MeanBatch, "mean-batch")
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFigOrdersEventPipeline measures the event-driven order pipeline
 // under load: entry latency is the client-visible placement, while the
 // pipeline drains through queues in the background.

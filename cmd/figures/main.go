@@ -16,6 +16,7 @@
 //	figures -fig ablation            # §4.1 DAAL traversal strategy ablation
 //	figures -fig queue               # event-queue throughput vs mapper batch size
 //	figures -fig orders              # event-driven order pipeline under load
+//	figures -fig shard               # store shard-count scaling, group commit on/off
 //
 // Numbers are simulator-relative; the shapes (ratios, knees, growth trends)
 // are the reproduction targets. See EXPERIMENTS.md.
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 13, 14, 15, 15b, 16, 25, 26, costs, ablation, queue, orders, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 13, 14, 15, 15b, 16, 25, 26, costs, ablation, queue, orders, shard, all")
 		scale    = flag.Float64("scale", 0.1, "latency compression factor (1.0 = DynamoDB-like milliseconds)")
 		duration = flag.Duration("duration", 3*time.Second, "measurement duration per sweep point")
 		minutes  = flag.Int("minutes", 30, "simulated minutes for fig 16")
@@ -68,6 +69,36 @@ func main() {
 	run("ablation", func() error { return runAblation(*scale, *seed) })
 	run("queue", func() error { return runQueueSweep(*scale, *seed) })
 	run("orders", func() error { return runSweep("orders", "orders", rateList, *duration, *scale, *seed) })
+	run("shard", func() error { return runShardSweep(*duration, *scale, *seed) })
+}
+
+// runShardSweep prints committed logged-step throughput versus the store's
+// shard count at a fixed offered load, with the group-commit path off and
+// on (the Netherite-style partition-scaling experiment; see EXPERIMENTS.md).
+// The global -duration flag is the window per (shards, commit) cell and
+// -scale compresses the per-op cloud latency; the flush cost that dominates
+// this figure is fixed, so the shapes survive both knobs.
+func runShardSweep(duration time.Duration, scale float64, seed int64) error {
+	fmt.Println("# Shard sweep — committed steps/s vs store shard count, fixed offered load")
+	fmt.Printf("%-8s %-10s %14s %10s %12s %10s\n", "shards", "commit", "tput(steps/s)", "steps", "batches", "mean batch")
+	pts, err := bench.ShardSweep(bench.ShardSweepOptions{
+		Duration: duration,
+		Scale:    scale,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		commit := "plain"
+		if p.Batched {
+			commit = "batched"
+		}
+		fmt.Printf("%-8d %-10s %14.1f %10d %12d %10.1f\n",
+			p.Shards, commit, p.Throughput, p.Steps, p.GroupCommits, p.MeanBatch)
+	}
+	fmt.Println()
+	return nil
 }
 
 // runQueueSweep prints the event-queue subsystem's consume throughput versus

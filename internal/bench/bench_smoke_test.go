@@ -163,3 +163,79 @@ func TestCostsSmoke(t *testing.T) {
 		t.Errorf("beldi stored bytes per op = %f", rep.StoredBytesPerOpBeldi)
 	}
 }
+
+func TestShardSweepSmoke(t *testing.T) {
+	// Throughput assertions on wall-clock measurements can flake on a badly
+	// oversubscribed CI runner, so the sweep gets one retry: the expected
+	// gap between adjacent shard counts is ~2×, which a scheduling hiccup
+	// essentially never erases twice in a row.
+	var pts []ShardSweepPoint
+	for attempt := 0; ; attempt++ {
+		var err error
+		pts, err = ShardSweep(ShardSweepOptions{
+			Duration: 250 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shardSweepMonotone(pts) || attempt == 1 {
+			break
+		}
+		t.Log("plain-commit curve not monotone; retrying once")
+	}
+	if len(pts) != 8 { // 4 shard counts × {plain, batched}
+		t.Fatalf("%d points", len(pts))
+	}
+	byMode := map[bool][]ShardSweepPoint{}
+	for _, p := range pts {
+		if p.Steps <= 0 || p.Throughput <= 0 {
+			t.Fatalf("empty point: %+v", p)
+		}
+		byMode[p.Batched] = append(byMode[p.Batched], p)
+	}
+	// The tentpole claim: with the store flush-bound, committed-steps/sec
+	// rises monotonically with the shard count at fixed offered load (each
+	// doubling roughly doubles the number of independent commit streams, so
+	// the margins are wide).
+	plain := byMode[false]
+	for i := 1; i < len(plain); i++ {
+		if plain[i].Throughput <= plain[i-1].Throughput {
+			t.Errorf("plain commit: tput not increasing %d→%d shards: %.1f <= %.1f",
+				plain[i-1].Shards, plain[i].Shards, plain[i].Throughput, plain[i-1].Throughput)
+		}
+	}
+	// Group commit amortizes the flush across queued writers: on one shard
+	// (maximum contention) it must beat the plain path by a wide margin and
+	// report real batching.
+	batched := byMode[true]
+	if batched[0].Throughput <= 2*plain[0].Throughput {
+		t.Errorf("group commit on 1 shard: %.1f steps/s <= 2x plain %.1f",
+			batched[0].Throughput, plain[0].Throughput)
+	}
+	if batched[0].GroupCommits <= 0 || batched[0].MeanBatch <= 1.5 {
+		t.Errorf("no real batching: %d batches, mean %.2f",
+			batched[0].GroupCommits, batched[0].MeanBatch)
+	}
+	// Plain points must not have touched the batcher.
+	for _, p := range plain {
+		if p.GroupCommits != 0 {
+			t.Errorf("plain point at %d shards recorded %d group commits", p.Shards, p.GroupCommits)
+		}
+	}
+}
+
+// shardSweepMonotone reports whether the sweep's plain-commit throughput
+// column rises strictly with the shard count.
+func shardSweepMonotone(pts []ShardSweepPoint) bool {
+	var prev float64
+	for _, p := range pts {
+		if p.Batched {
+			continue
+		}
+		if p.Throughput <= prev {
+			return false
+		}
+		prev = p.Throughput
+	}
+	return true
+}

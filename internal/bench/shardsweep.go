@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+	"repro/internal/uuid"
+)
+
+// ShardSweep measures the substrate-level scaling the sharded store buys
+// Beldi's hot logging path: committed steps per second versus the store's
+// shard count, at a fixed offered load of closed-loop workers, with the
+// group-commit path on and off. The store runs flush-bound (CommitCost holds
+// each shard's write latch for a per-batch flush window, the way a real
+// partition holds its latch across the persistence round), so one shard
+// serializes every logged write behind one latch — the seed's behavior —
+// while N shards give N independent commit streams and group commit
+// amortizes the flush across every write queued behind it. This is the
+// partition-scaling experiment of Netherite ("Serverless Workflows with
+// Durable Functions and Netherite"), transplanted onto Beldi's substrate.
+
+// ShardSweepOptions configure a shard-scaling sweep.
+type ShardSweepOptions struct {
+	// Shards are the shard counts to sweep. nil means 1, 2, 4, 8.
+	Shards []int
+	// Commit selects the commit modes per shard count: false = plain,
+	// true = group commit. nil means both, plain first.
+	Commit []bool
+	// Workers is the fixed offered load: closed-loop invokers running for
+	// the whole point. 0 means 32.
+	Workers int
+	// Duration is the measurement window per point. 0 means 400ms.
+	Duration time.Duration
+	// Keys is the number of distinct item keys the workers write, spread
+	// uniformly (more keys than shards, so striping has partitions to
+	// distribute). 0 means 256.
+	Keys int
+	// Flush is the per-batch commit-latch cost charged inside the shard
+	// critical section. 0 means 300µs.
+	Flush time.Duration
+	// Scale compresses the per-op cloud latency; 0 means 0.02.
+	Scale float64
+	Seed  int64
+}
+
+func (o ShardSweepOptions) withDefaults() ShardSweepOptions {
+	if o.Shards == nil {
+		o.Shards = []int{1, 2, 4, 8}
+	}
+	if o.Commit == nil {
+		o.Commit = []bool{false, true}
+	}
+	if o.Workers == 0 {
+		o.Workers = 32
+	}
+	if o.Duration == 0 {
+		o.Duration = 400 * time.Millisecond
+	}
+	if o.Keys == 0 {
+		o.Keys = 256
+	}
+	if o.Flush == 0 {
+		o.Flush = 300 * time.Microsecond
+	}
+	if o.Scale == 0 {
+		o.Scale = 0.02
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ShardSweepPoint is one (shard count, commit mode) cell of the sweep.
+type ShardSweepPoint struct {
+	Shards  int
+	Batched bool // group-commit path on
+	// Steps is the number of logged write steps committed in the window;
+	// Throughput is Steps per second.
+	Steps      int64
+	Throughput float64
+	// GroupCommits / MeanBatch describe the batcher's amortization:
+	// committed batches and average writes per batch (1.0 when unbatched).
+	GroupCommits int64
+	MeanBatch    float64
+	Elapsed      time.Duration
+}
+
+// ShardSweep runs the full grid: every shard count, group commit off then
+// on, each against a fresh flush-bound system under the same offered load.
+func ShardSweep(opts ShardSweepOptions) ([]ShardSweepPoint, error) {
+	opts = opts.withDefaults()
+	var out []ShardSweepPoint
+	for _, shards := range opts.Shards {
+		if shards < 1 {
+			return nil, fmt.Errorf("bench: shard sweep: invalid shard count %d", shards)
+		}
+		for _, batched := range opts.Commit {
+			pt, err := shardSweepPoint(opts, shards, batched)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// shardSweepPoint measures one cell: a fresh deployment whose single SSF
+// logs one write step per invocation, hammered by Workers closed-loop
+// invokers for Duration.
+func shardSweepPoint(opts ShardSweepOptions, shards int, batched bool) (ShardSweepPoint, error) {
+	store := dynamo.NewStore(
+		dynamo.WithShards(shards),
+		dynamo.WithGroupCommit(batched),
+		dynamo.WithLatency(dynamo.CommitCost{
+			Inner: dynamo.NewCloudLatency(opts.Scale, opts.Seed),
+			Flush: opts.Flush,
+		}),
+	)
+	plat := platform.New(platform.Options{
+		ConcurrencyLimit: opts.Workers * 2,
+		Seed:             opts.Seed,
+		IDs:              &uuid.Seq{Prefix: "req"},
+	})
+	d := beldi.NewDeployment(beldi.DeploymentOptions{
+		Store: store, Platform: plat, Mode: beldi.ModeBeldi,
+		Config: beldi.Config{RowCap: 16},
+	})
+	d.Function("step", func(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
+		m := input.Map()
+		if err := e.Write("state", m["Key"].Str(), m["Val"]); err != nil {
+			return beldi.Null, err
+		}
+		return beldi.Null, nil
+	}, "state")
+
+	var steps atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	before := store.Metrics().Snapshot()
+	deadline := time.Now().Add(opts.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				key := fmt.Sprintf("k%04d", (w*31+i)%opts.Keys)
+				_, err := d.Invoke("step", beldi.Map(map[string]beldi.Value{
+					"Key": beldi.Str(key),
+					"Val": beldi.Int(int64(i)),
+				}))
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				steps.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	d.Stop()
+	if firstErr != nil {
+		return ShardSweepPoint{}, fmt.Errorf("bench: shard sweep (%d shards, batched=%v): %w", shards, batched, firstErr)
+	}
+	delta := store.Metrics().Snapshot().Sub(before)
+	pt := ShardSweepPoint{
+		Shards:       shards,
+		Batched:      batched,
+		Steps:        steps.Load(),
+		Throughput:   float64(steps.Load()) / elapsed.Seconds(),
+		GroupCommits: delta.GroupCommits,
+		MeanBatch:    1,
+		Elapsed:      elapsed,
+	}
+	if delta.GroupCommits > 0 {
+		pt.MeanBatch = float64(delta.GroupCommitOps) / float64(delta.GroupCommits)
+	}
+	return pt, nil
+}

@@ -94,6 +94,14 @@ type Config struct {
 	// LockRetryMax bounds standalone-lock retries per Lock call; retries
 	// consume log entries, so they are bounded. 0 means 50.
 	LockRetryMax int
+	// TableShards is the shard count for this SSF's own tables — the DAAL
+	// data tables where appends and lock rows live, the read/invoke logs,
+	// the intent table, and the transaction bookkeeping tables. Striping
+	// them lets concurrent instances log steps, register intents, and take
+	// item locks without serializing on one table latch (the substrate-level
+	// scaling lever; see ARCHITECTURE.md). 0 means the store's default shard
+	// count, so existing deployments are unchanged.
+	TableShards int
 }
 
 // Defaults for Config zero values.
@@ -242,13 +250,18 @@ func MustNewRuntime(opts RuntimeOptions) *Runtime {
 }
 
 func (rt *Runtime) createInfraTables() error {
+	// Every hot-path table inherits the configured shard count: intent
+	// registration, read/invoke-log appends, and transaction bookkeeping all
+	// key by instance or transaction id, so striping spreads concurrent
+	// instances across independent latches.
+	n := rt.cfg.TableShards
 	tables := []dynamo.Schema{
-		{Name: rt.intentTable, HashKey: attrInstanceID,
+		{Name: rt.intentTable, HashKey: attrInstanceID, Shards: n,
 			Indexes: []dynamo.IndexSchema{{Name: indexPending, HashKey: attrPending, SortKey: attrLastLaunch}}},
-		{Name: rt.readLog, HashKey: attrID, SortKey: attrStep},
-		{Name: rt.invokeLog, HashKey: attrID, SortKey: attrStep},
-		{Name: rt.txCallees, HashKey: attrTxnID, SortKey: attrCallee},
-		{Name: rt.txLocks, HashKey: attrTxnID, SortKey: attrTableKey},
+		{Name: rt.readLog, HashKey: attrID, SortKey: attrStep, Shards: n},
+		{Name: rt.invokeLog, HashKey: attrID, SortKey: attrStep, Shards: n},
+		{Name: rt.txCallees, HashKey: attrTxnID, SortKey: attrCallee, Shards: n},
+		{Name: rt.txLocks, HashKey: attrTxnID, SortKey: attrTableKey, Shards: n},
 	}
 	for _, s := range tables {
 		if err := rt.store.CreateTable(s); err != nil {
@@ -263,28 +276,33 @@ func (rt *Runtime) createInfraTables() error {
 // its shadow in Beldi mode; value + write-log + shadows in cross-table mode;
 // one plain table in baseline mode).
 func (rt *Runtime) CreateDataTable(logical string) error {
+	// Data tables key by item, so DAAL appends and lock rows for different
+	// items stripe across shards; all rows of one item's DAAL chain share a
+	// shard (the item key is the hash key), keeping each chain's
+	// scan+update protocol on a single latch.
+	n := rt.cfg.TableShards
 	switch rt.mode {
 	case ModeBeldi:
 		for _, name := range []string{rt.dataTable(logical), rt.shadowTable(logical)} {
 			if err := rt.store.CreateTable(dynamo.Schema{
-				Name: name, HashKey: attrKey, SortKey: attrRowID,
+				Name: name, HashKey: attrKey, SortKey: attrRowID, Shards: n,
 			}); err != nil {
 				return err
 			}
 		}
 	case ModeCrossTable:
 		for _, name := range []string{rt.dataTable(logical), rt.shadowTable(logical)} {
-			if err := rt.store.CreateTable(dynamo.Schema{Name: name, HashKey: attrKey}); err != nil {
+			if err := rt.store.CreateTable(dynamo.Schema{Name: name, HashKey: attrKey, Shards: n}); err != nil {
 				return err
 			}
 		}
 		for _, name := range []string{rt.writeLogTable(logical), rt.shadowWriteLogTable(logical)} {
-			if err := rt.store.CreateTable(dynamo.Schema{Name: name, HashKey: attrID, SortKey: attrStep}); err != nil {
+			if err := rt.store.CreateTable(dynamo.Schema{Name: name, HashKey: attrID, SortKey: attrStep, Shards: n}); err != nil {
 				return err
 			}
 		}
 	case ModeBaseline:
-		if err := rt.store.CreateTable(dynamo.Schema{Name: rt.dataTable(logical), HashKey: attrKey}); err != nil {
+		if err := rt.store.CreateTable(dynamo.Schema{Name: rt.dataTable(logical), HashKey: attrKey, Shards: n}); err != nil {
 			return err
 		}
 	}

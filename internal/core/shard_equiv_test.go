@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+	"repro/internal/uuid"
+)
+
+// Shard-boundary property test: a workload run against a 1-shard store and
+// an 8-shard store (with group commit on) must produce identical observable
+// results — every invocation outcome, every intent's recorded return, and
+// the final committed KV state. Sharding and batching are substrate-level
+// reorganizations; if any observable differs, a write was routed, latched,
+// or batched incorrectly. CI runs this under -race.
+
+const (
+	equivKeys = 12
+	equivOps  = 150
+)
+
+// equivOutcome is the observable result of one workload invocation.
+type equivOutcome struct {
+	ret string
+	err string
+}
+
+// runShardEquivWorkload drives a deterministic op mix (writes, conditional
+// writes, locked read-modify-writes, reads) through one SSF on a store with
+// the given shard layout, then returns the invocation outcomes, the final
+// state of every key, and the re-read intent returns.
+func runShardEquivWorkload(t *testing.T, shards int, groupCommit bool) ([]equivOutcome, map[string]string) {
+	t.Helper()
+	store := dynamo.NewStore(
+		dynamo.WithShards(shards),
+		dynamo.WithGroupCommit(groupCommit),
+	)
+	plat := platform.New(platform.Options{
+		ConcurrencyLimit: 10000,
+		IDs:              &uuid.Seq{Prefix: "req"},
+	})
+	rt, err := NewRuntime(RuntimeOptions{
+		Function: "mix",
+		Store:    store,
+		Platform: plat,
+		Mode:     ModeBeldi,
+		Config:   Config{RowCap: 4, TableShards: shards},
+		IDs:      &uuid.Seq{Prefix: "mix"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.CreateDataTable("state"); err != nil {
+		t.Fatal(err)
+	}
+	Register(rt, func(e *Env, input Value) (Value, error) {
+		m := input.Map()
+		key := m["Key"].Str()
+		switch m["Op"].Str() {
+		case "write":
+			if err := e.Write("state", key, m["Val"]); err != nil {
+				return dynamo.Null, err
+			}
+			return m["Val"], nil
+		case "condwrite":
+			// Monotonic max: only raise the stored value.
+			ok, err := e.CondWrite("state", key, m["Val"],
+				dynamo.Or(
+					dynamo.NotExists(dynamo.A(attrValue)),
+					dynamo.Lt(dynamo.A(attrValue), m["Val"]),
+				))
+			if err != nil {
+				return dynamo.Null, err
+			}
+			return dynamo.Bool(ok), nil
+		case "lockincr":
+			if err := e.Lock("state", key); err != nil {
+				return dynamo.Null, err
+			}
+			v, err := e.Read("state", key)
+			if err != nil {
+				return dynamo.Null, err
+			}
+			next := dynamo.NInt(v.Int() + 1)
+			if err := e.Write("state", key, next); err != nil {
+				return dynamo.Null, err
+			}
+			if err := e.Unlock("state", key); err != nil {
+				return dynamo.Null, err
+			}
+			return next, nil
+		default: // read
+			return e.Read("state", key)
+		}
+	})
+
+	rng := rand.New(rand.NewSource(7))
+	ops := []string{"write", "condwrite", "lockincr", "read"}
+	var outcomes []equivOutcome
+	for i := 0; i < equivOps; i++ {
+		in := dynamo.M(map[string]Value{
+			"Op":  dynamo.S(ops[rng.Intn(len(ops))]),
+			"Key": dynamo.S(fmt.Sprintf("k%02d", rng.Intn(equivKeys))),
+			"Val": dynamo.NInt(int64(rng.Intn(40))),
+		})
+		out, err := plat.Invoke("mix", ClientEnvelope(in))
+		o := equivOutcome{ret: out.String()}
+		if err != nil {
+			o.err = err.Error()
+		}
+		outcomes = append(outcomes, o)
+	}
+
+	// Concurrent phase: parallel locked increments actually exercise the
+	// group-commit batcher with multi-op batches (the sequential phase
+	// above, one blocking invoke at a time, produces only size-1 batches).
+	// Per-invocation outcomes are interleaving-dependent here, but the
+	// final counters are not: each key ends at exactly the number of
+	// increments aimed at it, on any shard layout.
+	const (
+		equivConcWorkers = 8
+		equivConcOps     = 20
+	)
+	var wg sync.WaitGroup
+	errs := make([]error, equivConcWorkers)
+	for w := 0; w < equivConcWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < equivConcOps; i++ {
+				in := dynamo.M(map[string]Value{
+					"Op":  dynamo.S("lockincr"),
+					"Key": dynamo.S(fmt.Sprintf("c%d", (w+i)%4)),
+				})
+				if _, err := plat.Invoke("mix", ClientEnvelope(in)); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Collectors and fsck must behave identically too: the GC walks every
+	// DAAL chain, so a mis-sharded row would surface here.
+	if _, err := rt.RunIntentCollector(); err != nil {
+		t.Fatal(err)
+	}
+	plat.Drain()
+	if _, err := rt.RunGarbageCollector(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fsck(rt); err != nil {
+		t.Fatalf("fsck (%d shards): %v", shards, err)
+	}
+
+	state := make(map[string]string, equivKeys+4)
+	keys := make([]string, 0, equivKeys+4)
+	for k := 0; k < equivKeys; k++ {
+		keys = append(keys, fmt.Sprintf("k%02d", k))
+	}
+	for c := 0; c < 4; c++ {
+		keys = append(keys, fmt.Sprintf("c%d", c))
+	}
+	for _, key := range keys {
+		v, err := rt.PeekState("state", key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		state[key] = v.String()
+	}
+	return outcomes, state
+}
+
+func TestShardEquivalenceProperty(t *testing.T) {
+	out1, state1 := runShardEquivWorkload(t, 1, false)
+	out8, state8 := runShardEquivWorkload(t, 8, true)
+	if len(out1) != len(out8) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(out1), len(out8))
+	}
+	for i := range out1 {
+		if out1[i] != out8[i] {
+			t.Errorf("op %d outcome differs:\n 1 shard:  %+v\n 8 shards: %+v", i, out1[i], out8[i])
+		}
+	}
+	for k, v1 := range state1 {
+		if v8 := state8[k]; v1 != v8 {
+			t.Errorf("final state %s differs: %q vs %q", k, v1, v8)
+		}
+	}
+	// The concurrent locked increments are exactly-once on both layouts:
+	// 8 workers × 20 ops spread evenly over 4 keys = 40 per key.
+	for c := 0; c < 4; c++ {
+		key := fmt.Sprintf("c%d", c)
+		if state1[key] != "40" || state8[key] != "40" {
+			t.Errorf("concurrent counter %s: 1 shard %s, 8 shards %s, want 40",
+				key, state1[key], state8[key])
+		}
+	}
+}

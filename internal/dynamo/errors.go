@@ -31,6 +31,7 @@ type TxCanceledError struct {
 	Reasons []error
 }
 
+// Error summarizes the cancellation: the first failing op and its reason.
 func (e *TxCanceledError) Error() string {
 	for i, r := range e.Reasons {
 		if r != nil {

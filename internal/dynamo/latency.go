@@ -50,6 +50,20 @@ type LatencyModel interface {
 	OpLatency(op OpKind, items, bytes int) time.Duration
 }
 
+// CommitLatencyModel is an optional LatencyModel extension for stores whose
+// write path holds a partition's write latch while the mutation is made
+// durable (an fsync, a replication round). When the installed model
+// implements it, the store charges CommitLatency inside the owning shard's
+// critical section: one charge per write on the plain path, one charge per
+// batch on the group-commit path — which is exactly the cost structure group
+// commit amortizes. Models that don't implement it (the defaults) charge
+// nothing, preserving the seed's behavior.
+type CommitLatencyModel interface {
+	// CommitLatency returns the latch-hold cost of committing a batch of
+	// ops operations.
+	CommitLatency(ops int) time.Duration
+}
+
 // ZeroLatency is the unit-test model: no artificial delay.
 type ZeroLatency struct{}
 
@@ -103,6 +117,34 @@ func NewCloudLatency(scale float64, seed int64) *CloudLatency {
 	// roughly scan+update doubled).
 	m.Base[OpTxWrite] = 22 * time.Millisecond
 	return m
+}
+
+// CommitCost decorates a LatencyModel with a group-commit cost shape: each
+// commit batch pays Flush once plus PerOp per operation, charged while the
+// owning shard's write latch is held. Wrapping CloudLatency with a nonzero
+// Flush turns the store into a flush-bound substrate whose throughput
+// ceiling is shards/Flush unbatched and far higher under group commit — the
+// regime bench.ShardSweep measures.
+type CommitCost struct {
+	// Inner handles per-op round-trip latency; nil means ZeroLatency.
+	Inner LatencyModel
+	// Flush is the fixed per-batch latch-hold cost.
+	Flush time.Duration
+	// PerOp is the incremental latch-hold cost per operation in the batch.
+	PerOp time.Duration
+}
+
+// OpLatency implements LatencyModel by delegating to Inner.
+func (c CommitCost) OpLatency(op OpKind, items, bytes int) time.Duration {
+	if c.Inner == nil {
+		return 0
+	}
+	return c.Inner.OpLatency(op, items, bytes)
+}
+
+// CommitLatency implements CommitLatencyModel.
+func (c CommitCost) CommitLatency(ops int) time.Duration {
+	return c.Flush + time.Duration(ops)*c.PerOp
 }
 
 // sleep blocks for d; a seam kept trivial on purpose (benchmarks rely on

@@ -12,15 +12,22 @@ type Metrics struct {
 	ItemsScanned atomic.Int64
 	BytesRead    atomic.Int64
 	BytesWritten atomic.Int64
+	// GroupCommits counts committed batches on the group-commit path;
+	// GroupCommitOps counts the writes they carried. Their ratio is the mean
+	// batch size — the amortization factor the ShardSweep figure reports.
+	GroupCommits   atomic.Int64
+	GroupCommitOps atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
-	Ops          map[string]int64
-	CondFailures int64
-	ItemsScanned int64
-	BytesRead    int64
-	BytesWritten int64
+	Ops            map[string]int64
+	CondFailures   int64
+	ItemsScanned   int64
+	BytesRead      int64
+	BytesWritten   int64
+	GroupCommits   int64
+	GroupCommitOps int64
 }
 
 // Snapshot copies the counters.
@@ -33,6 +40,8 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.ItemsScanned = m.ItemsScanned.Load()
 	s.BytesRead = m.BytesRead.Load()
 	s.BytesWritten = m.BytesWritten.Load()
+	s.GroupCommits = m.GroupCommits.Load()
+	s.GroupCommitOps = m.GroupCommitOps.Load()
 	return s
 }
 
@@ -46,6 +55,8 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	d.ItemsScanned = s.ItemsScanned - o.ItemsScanned
 	d.BytesRead = s.BytesRead - o.BytesRead
 	d.BytesWritten = s.BytesWritten - o.BytesWritten
+	d.GroupCommits = s.GroupCommits - o.GroupCommits
+	d.GroupCommitOps = s.GroupCommitOps - o.GroupCommitOps
 	return d
 }
 

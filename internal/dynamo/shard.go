@@ -1,0 +1,176 @@
+package dynamo
+
+import "sync"
+
+// This file implements the store's intra-table sharding and the per-shard
+// group-commit path. A table's rows are hash-partitioned across Shards
+// lock-striped shards, so writes to different shards never contend; writes
+// landing on the same shard can additionally be coalesced by a group-commit
+// batcher that applies a whole queue of conditional writes inside one
+// critical section (one latch acquisition, one flush), the way Netherite
+// batches speculative commits per partition. Each operation in a batch still
+// evaluates its own condition against the then-current row, so per-key
+// conditional semantics are exactly those of the unbatched path.
+
+// DefaultShards is the store-wide default shard count per table. The default
+// of 1 preserves the seed's single-latch behavior (and its whole-table
+// consistent snapshots) exactly; deployments opt into striping per store
+// (WithShards) or per table (Schema.Shards).
+const DefaultShards = 1
+
+// shardIndex maps an encoded hash key to a shard by FNV-1a. All rows of one
+// partition (same hash key) land on the same shard, so Query sees a
+// consistent partition snapshot holding a single shard lock.
+func shardIndex(encodedHash string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(encodedHash); i++ {
+		h ^= uint32(encodedHash[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+// shard is one lock stripe of a table: a private partition map under its own
+// RWMutex, plus the group-commit queue for writes routed to this stripe.
+type shard struct {
+	mu    sync.RWMutex
+	parts map[string]*partition
+
+	gc committer
+}
+
+// committer is a shard's group-commit state: a queue of pending write
+// closures and a leader flag. The first writer to find the shard idle
+// becomes the leader, drains the queue in one critical section, and wakes
+// the followers; writers arriving while a batch is in flight just enqueue
+// and wait, forming the next batch.
+type committer struct {
+	mu      sync.Mutex
+	pending []*commitOp
+	active  bool
+}
+
+// commitOp is one queued write: a closure run under the shard's write lock,
+// and a channel closed when its batch has committed.
+type commitOp struct {
+	apply func()
+	done  chan struct{}
+}
+
+// get returns the live item for key, or nil. Caller holds sh.mu.
+func (sh *shard) get(k Key) Item {
+	p, ok := sh.parts[encodeScalar(k.Hash)]
+	if !ok {
+		return nil
+	}
+	i, found := p.find(k.Sort)
+	if !found {
+		return nil
+	}
+	return p.rows[i].item
+}
+
+// put installs item under key, replacing any existing row. Caller holds
+// sh.mu.
+func (sh *shard) put(k Key, it Item) {
+	hk := encodeScalar(k.Hash)
+	p, ok := sh.parts[hk]
+	if !ok {
+		p = &partition{}
+		sh.parts[hk] = p
+	}
+	i, found := p.find(k.Sort)
+	if found {
+		p.rows[i].item = it
+		return
+	}
+	p.insertAt(i, &row{sortVal: k.Sort, item: it})
+}
+
+// delete removes the row for key if present. Caller holds sh.mu.
+func (sh *shard) delete(k Key) {
+	hk := encodeScalar(k.Hash)
+	p, ok := sh.parts[hk]
+	if !ok {
+		return
+	}
+	i, found := p.find(k.Sort)
+	if !found {
+		return
+	}
+	p.removeAt(i)
+	if len(p.rows) == 0 {
+		delete(sh.parts, hk)
+	}
+}
+
+// applyWrite runs fn inside sh's write critical section, charging the
+// latency model's commit cost while the latch is held (real stores hold a
+// partition's write latch for the duration of the persistence flush; see
+// CommitLatencyModel). With group commit off, every write pays its own
+// latch acquisition and flush. With group commit on, fn joins the shard's
+// in-flight batch: a leader drains the whole queue under one latch and one
+// flush, and per-op conditions are evaluated by each closure against the
+// row state its predecessors in the batch left behind — the same
+// serialization the unbatched path produces.
+func (s *Store) applyWrite(sh *shard, fn func()) {
+	if !s.groupCommit.Load() {
+		sh.mu.Lock()
+		fn()
+		s.commitSleep(1)
+		sh.mu.Unlock()
+		return
+	}
+	op := &commitOp{apply: fn, done: make(chan struct{})}
+	sh.gc.mu.Lock()
+	sh.gc.pending = append(sh.gc.pending, op)
+	if sh.gc.active {
+		sh.gc.mu.Unlock()
+		<-op.done
+		return
+	}
+	sh.gc.active = true
+	for {
+		batch := sh.gc.pending
+		sh.gc.pending = nil
+		if len(batch) == 0 {
+			sh.gc.active = false
+			sh.gc.mu.Unlock()
+			return
+		}
+		sh.gc.mu.Unlock()
+
+		sh.mu.Lock()
+		for _, o := range batch {
+			o.apply()
+		}
+		s.commitSleep(len(batch))
+		sh.mu.Unlock()
+
+		s.metrics.GroupCommits.Add(1)
+		s.metrics.GroupCommitOps.Add(int64(len(batch)))
+		for _, o := range batch {
+			close(o.done)
+		}
+		sh.gc.mu.Lock()
+	}
+}
+
+// commitSleep charges the commit-latch cost for a batch of ops, when the
+// latency model defines one.
+func (s *Store) commitSleep(ops int) {
+	m, ok := s.lat().(CommitLatencyModel)
+	if !ok {
+		return
+	}
+	if d := m.CommitLatency(ops); d > 0 {
+		sleep(d)
+	}
+}

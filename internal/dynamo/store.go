@@ -4,14 +4,25 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Store is the in-memory NoSQL service. It is safe for concurrent use; each
 // operation is linearizable, and conditional updates are atomic within a
 // row, which is the atomicity scope Beldi assumes of DynamoDB (§2.2).
+//
+// Internally each table's partitions are hash-distributed across a number
+// of lock-striped shards (WithShards / Schema.Shards; default 1, the seed's
+// single-latch behavior), and conditional writes landing on the same shard
+// can be coalesced into group-commit batches (WithGroupCommit) — the
+// Netherite-style substrate shape that removes the global lock from Beldi's
+// hot logging path. See ARCHITECTURE.md.
 type Store struct {
 	mu     sync.RWMutex
 	tables map[string]*table
+
+	defaultShards int
+	groupCommit   atomic.Bool
 
 	latency LatencyModel
 	metrics Metrics
@@ -25,9 +36,30 @@ func WithLatency(m LatencyModel) Option {
 	return func(s *Store) { s.latency = m }
 }
 
+// WithShards sets the default shard count for tables created without an
+// explicit Schema.Shards. 1 (the default) reproduces the seed's
+// one-latch-per-table behavior exactly.
+func WithShards(n int) Option {
+	return func(s *Store) {
+		if n >= 1 {
+			s.defaultShards = n
+		}
+	}
+}
+
+// WithGroupCommit enables the per-shard group-commit path at construction
+// time (see SetGroupCommit).
+func WithGroupCommit(on bool) Option {
+	return func(s *Store) { s.groupCommit.Store(on) }
+}
+
 // NewStore creates an empty store.
 func NewStore(opts ...Option) *Store {
-	s := &Store{tables: make(map[string]*table), latency: ZeroLatency{}}
+	s := &Store{
+		tables:        make(map[string]*table),
+		latency:       ZeroLatency{},
+		defaultShards: DefaultShards,
+	}
 	for _, o := range opts {
 		o(s)
 	}
@@ -45,17 +77,42 @@ func (s *Store) SetLatency(m LatencyModel) {
 	s.mu.Unlock()
 }
 
+// SetGroupCommit toggles the group-commit write path: when on, conditional
+// writes landing on the same shard while a batch is in flight are applied
+// together inside one critical section, amortizing the latch acquisition and
+// the commit flush. Each batched op still evaluates its own condition
+// against the then-current row, so observable semantics are unchanged.
+func (s *Store) SetGroupCommit(on bool) { s.groupCommit.Store(on) }
+
+// GroupCommitEnabled reports whether the group-commit path is on.
+func (s *Store) GroupCommitEnabled() bool { return s.groupCommit.Load() }
+
+// DefaultShards returns the store's default per-table shard count.
+func (s *Store) DefaultShards() int { return s.defaultShards }
+
+// TableShards reports the shard count of an existing table.
+func (s *Store) TableShards(name string) (int, error) {
+	t, err := s.table(name)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.shards), nil
+}
+
 // CreateTable registers a new table.
 func (s *Store) CreateTable(schema Schema) error {
 	if schema.Name == "" || schema.HashKey == "" {
 		return fmt.Errorf("dynamo: CreateTable: name and hash key are required")
+	}
+	if schema.Shards < 0 {
+		return fmt.Errorf("dynamo: CreateTable: negative shard count %d", schema.Shards)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.tables[schema.Name]; ok {
 		return fmt.Errorf("%w: %s", ErrTableExists, schema.Name)
 	}
-	s.tables[schema.Name] = newTable(schema)
+	s.tables[schema.Name] = newTable(schema, s.defaultShards)
 	return nil
 }
 
@@ -108,13 +165,14 @@ func (s *Store) Get(tableName string, key Key) (Item, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	t.mu.RLock()
-	it := t.get(key)
+	sh := t.shardOf(key)
+	sh.mu.RLock()
+	it := sh.get(key)
 	var out Item
 	if it != nil {
 		out = it.Clone()
 	}
-	t.mu.RUnlock()
+	sh.mu.RUnlock()
 	bytes := 0
 	if out != nil {
 		bytes = out.Size()
@@ -130,13 +188,14 @@ func (s *Store) GetProj(tableName string, key Key, proj []Path) (Item, bool, err
 	if err != nil {
 		return nil, false, err
 	}
-	t.mu.RLock()
-	it := t.get(key)
+	sh := t.shardOf(key)
+	sh.mu.RLock()
+	it := sh.get(key)
 	var out Item
 	if it != nil {
 		out = project(it, proj)
 	}
-	t.mu.RUnlock()
+	sh.mu.RUnlock()
 	bytes := 0
 	if out != nil {
 		bytes = out.Size()
@@ -160,16 +219,21 @@ func (s *Store) Put(tableName string, item Item, cond Cond) error {
 		return fmt.Errorf("%w: table %s key %s (%d bytes)", ErrItemTooLarge, tableName, key, item.Size())
 	}
 	stored := item.Clone()
-	t.mu.Lock()
-	cur := t.get(key)
-	if cond != nil && !evalAgainst(cond, cur) {
-		t.mu.Unlock()
+	sh := t.shardOf(key)
+	var applyErr error
+	s.applyWrite(sh, func() {
+		cur := sh.get(key)
+		if cond != nil && !evalAgainst(cond, cur) {
+			applyErr = condFailure(tableName, key, cond)
+			return
+		}
+		sh.put(key, stored)
+	})
+	if applyErr != nil {
 		s.metrics.CondFailures.Add(1)
 		s.charge(OpPut, 1, 0)
-		return condFailure(tableName, key, cond)
+		return applyErr
 	}
-	t.put(key, stored)
-	t.mu.Unlock()
 	s.metrics.BytesWritten.Add(int64(stored.Size()))
 	s.charge(OpPut, 1, 0)
 	return nil
@@ -186,32 +250,38 @@ func (s *Store) Update(tableName string, key Key, cond Cond, updates ...Update) 
 	if err != nil {
 		return err
 	}
-	t.mu.Lock()
-	cur := t.get(key)
-	if cond != nil && !evalAgainst(cond, cur) {
-		t.mu.Unlock()
-		s.metrics.CondFailures.Add(1)
-		s.charge(OpUpdate, 1, 0)
-		return condFailure(tableName, key, cond)
-	}
-	next := t.materialize(cur, key)
+	sh := t.shardOf(key)
 	var applyErr error
-	for _, u := range updates {
-		if applyErr = u.apply(next); applyErr != nil {
-			break
+	var condFailed bool
+	var written int
+	s.applyWrite(sh, func() {
+		cur := sh.get(key)
+		if cond != nil && !evalAgainst(cond, cur) {
+			applyErr = condFailure(tableName, key, cond)
+			condFailed = true
+			return
 		}
-	}
-	if applyErr == nil && next.Size() > t.maxSize {
-		applyErr = fmt.Errorf("%w: table %s key %s (%d bytes)", ErrItemTooLarge, tableName, key, next.Size())
-	}
+		next := t.materialize(cur, key)
+		for _, u := range updates {
+			if applyErr = u.apply(next); applyErr != nil {
+				return
+			}
+		}
+		if next.Size() > t.maxSize {
+			applyErr = fmt.Errorf("%w: table %s key %s (%d bytes)", ErrItemTooLarge, tableName, key, next.Size())
+			return
+		}
+		sh.put(key, next)
+		written = next.Size()
+	})
 	if applyErr != nil {
-		t.mu.Unlock()
+		if condFailed {
+			s.metrics.CondFailures.Add(1)
+		}
 		s.charge(OpUpdate, 1, 0)
 		return applyErr
 	}
-	t.put(key, next)
-	t.mu.Unlock()
-	s.metrics.BytesWritten.Add(int64(next.Size()))
+	s.metrics.BytesWritten.Add(int64(written))
 	s.charge(OpUpdate, 1, 0)
 	return nil
 }
@@ -223,16 +293,21 @@ func (s *Store) Delete(tableName string, key Key, cond Cond) error {
 	if err != nil {
 		return err
 	}
-	t.mu.Lock()
-	cur := t.get(key)
-	if cond != nil && !evalAgainst(cond, cur) {
-		t.mu.Unlock()
+	sh := t.shardOf(key)
+	var applyErr error
+	s.applyWrite(sh, func() {
+		cur := sh.get(key)
+		if cond != nil && !evalAgainst(cond, cur) {
+			applyErr = condFailure(tableName, key, cond)
+			return
+		}
+		sh.delete(key)
+	})
+	if applyErr != nil {
 		s.metrics.CondFailures.Add(1)
 		s.charge(OpDelete, 1, 0)
-		return condFailure(tableName, key, cond)
+		return applyErr
 	}
-	t.delete(key)
-	t.mu.Unlock()
 	s.charge(OpDelete, 1, 0)
 	return nil
 }
@@ -251,20 +326,23 @@ type QueryOpts struct {
 }
 
 // Query returns the rows of one partition in sort-key order, filtered and
-// projected. The result is a consistent snapshot.
+// projected. The result is a consistent snapshot. A partition lives entirely
+// on one shard, so only that shard's lock is taken.
 func (s *Store) Query(tableName string, hash Value, opts QueryOpts) ([]Item, error) {
 	t, err := s.table(tableName)
 	if err != nil {
 		return nil, err
 	}
-	t.mu.RLock()
-	p := t.parts[encodeScalar(hash)]
+	hk := encodeScalar(hash)
+	sh := t.shardFor(hk)
+	sh.mu.RLock()
+	p := sh.parts[hk]
 	var rows []*row
 	if p != nil {
 		rows = append(rows, p.rows...)
 	}
 	out, scanned, bytes := filterRows(rows, opts)
-	t.mu.RUnlock()
+	sh.mu.RUnlock()
 	s.metrics.ItemsScanned.Add(int64(scanned))
 	s.charge(OpQuery, scanned, bytes)
 	return out, nil
@@ -272,7 +350,7 @@ func (s *Store) Query(tableName string, hash Value, opts QueryOpts) ([]Item, err
 
 // QueryIndex queries a secondary index by its hash attribute. Results are
 // ordered by the index sort attribute (or primary key order when the index
-// has none).
+// has none). The snapshot spans every shard.
 func (s *Store) QueryIndex(tableName, indexName string, hash Value, opts QueryOpts) ([]Item, error) {
 	t, err := s.table(tableName)
 	if err != nil {
@@ -282,10 +360,10 @@ func (s *Store) QueryIndex(tableName, indexName string, hash Value, opts QueryOp
 	if !ok {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNoSuchIndex, tableName, indexName)
 	}
-	t.mu.RLock()
+	t.rlockAll()
 	var matched []*row
 	for _, hk := range t.sortedHashKeys() {
-		for _, r := range t.parts[hk].rows {
+		for _, r := range t.partFor(hk).rows {
 			v, has := r.item[ix.HashKey]
 			if has && v.Equal(hash) {
 				matched = append(matched, r)
@@ -300,26 +378,26 @@ func (s *Store) QueryIndex(tableName, indexName string, hash Value, opts QueryOp
 		})
 	}
 	out, scanned, bytes := filterRows(matched, opts)
-	t.mu.RUnlock()
+	t.runlockAll()
 	s.metrics.ItemsScanned.Add(int64(scanned))
 	s.charge(OpQuery, scanned, bytes)
 	return out, nil
 }
 
 // Scan walks the whole table in deterministic partition order. The result is
-// a consistent snapshot.
+// a consistent snapshot (all shard read locks are held for its duration).
 func (s *Store) Scan(tableName string, opts QueryOpts) ([]Item, error) {
 	t, err := s.table(tableName)
 	if err != nil {
 		return nil, err
 	}
-	t.mu.RLock()
+	t.rlockAll()
 	var rows []*row
 	for _, hk := range t.sortedHashKeys() {
-		rows = append(rows, t.parts[hk].rows...)
+		rows = append(rows, t.partFor(hk).rows...)
 	}
 	out, scanned, bytes := filterRows(rows, opts)
-	t.mu.RUnlock()
+	t.runlockAll()
 	s.metrics.ItemsScanned.Add(int64(scanned))
 	s.charge(OpScan, scanned, bytes)
 	return out, nil
@@ -332,8 +410,8 @@ func (s *Store) TableBytes(tableName string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.rlockAll()
+	defer t.runlockAll()
 	return t.bytes(), nil
 }
 
@@ -343,8 +421,8 @@ func (s *Store) TableItemCount(tableName string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.rlockAll()
+	defer t.runlockAll()
 	return t.itemCount(), nil
 }
 
@@ -361,7 +439,8 @@ func (s *Store) TableNames() []string {
 }
 
 // materialize returns a mutable copy of cur, or a fresh item carrying just
-// the key attributes when cur is nil (upsert). Caller holds t.mu.
+// the key attributes when cur is nil (upsert). Caller holds the owning
+// shard's lock.
 func (t *table) materialize(cur Item, key Key) Item {
 	if cur != nil {
 		return cur.Clone()

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
-	"sync"
 )
 
 // DefaultMaxItemSize mirrors DynamoDB's 400 KB item cap [Limits in
@@ -12,7 +11,7 @@ import (
 const DefaultMaxItemSize = 400 * 1024
 
 // Schema describes a table: its name, primary key, optional secondary
-// indexes, and item size cap.
+// indexes, item size cap, and shard count.
 type Schema struct {
 	Name    string
 	HashKey string // required attribute name
@@ -20,6 +19,12 @@ type Schema struct {
 
 	// MaxItemSize caps each row's footprint; 0 means DefaultMaxItemSize.
 	MaxItemSize int
+
+	// Shards is the number of lock stripes the table's partitions are
+	// hash-distributed across. Writes to different shards proceed in
+	// parallel; all rows of one partition share a shard. 0 means the store's
+	// default (WithShards, itself defaulting to DefaultShards).
+	Shards int
 
 	// Indexes are secondary indexes maintained synchronously (the store is
 	// single-node, so "global" indexes are strongly consistent here).
@@ -49,6 +54,7 @@ func HK(hash Value) Key { return Key{Hash: hash} }
 // HSK builds a composite key.
 func HSK(hash, sort Value) Key { return Key{Hash: hash, Sort: sort} }
 
+// String renders the key as "hash" or "hash/sort" for diagnostics.
 func (k Key) String() string {
 	if k.Sort.IsNull() {
 		return k.Hash.String()
@@ -107,26 +113,62 @@ func (p *partition) removeAt(i int) {
 	p.rows = p.rows[:len(p.rows)-1]
 }
 
-// table is the store's internal representation of one table. All access is
-// guarded by mu; queries and scans copy matching rows while holding the read
-// lock, so their results are consistent snapshots — slightly stronger than
-// DynamoDB's per-row linearizability, and sufficient for the property Beldi
-// needs from scans (§4.1: writes completing strictly before the scan are
-// reflected in it).
+// table is the store's internal representation of one table: a fixed array
+// of shards, each a lock-striped slice of the partition space. Single-shard
+// operations (Get, Put, Update, Delete, Query) touch exactly one shard's
+// lock; whole-table operations (Scan, QueryIndex, TableBytes) take every
+// shard's read lock in index order, so their results remain consistent
+// snapshots — slightly stronger than DynamoDB's per-row linearizability,
+// and sufficient for the property Beldi needs from scans (§4.1: writes
+// completing strictly before the scan are reflected in it).
 type table struct {
 	schema  Schema
 	maxSize int
-
-	mu    sync.RWMutex
-	parts map[string]*partition
+	shards  []*shard
 }
 
-func newTable(s Schema) *table {
+func newTable(s Schema, defaultShards int) *table {
 	max := s.MaxItemSize
 	if max == 0 {
 		max = DefaultMaxItemSize
 	}
-	return &table{schema: s, maxSize: max, parts: make(map[string]*partition)}
+	n := s.Shards
+	if n == 0 {
+		n = defaultShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	t := &table{schema: s, maxSize: max, shards: make([]*shard, n)}
+	for i := range t.shards {
+		t.shards[i] = &shard{parts: make(map[string]*partition)}
+	}
+	return t
+}
+
+// shardFor returns the shard owning the partition with the given encoded
+// hash key.
+func (t *table) shardFor(encodedHash string) *shard {
+	return t.shards[shardIndex(encodedHash, len(t.shards))]
+}
+
+// shardOf returns the shard owning key's partition.
+func (t *table) shardOf(k Key) *shard {
+	return t.shardFor(encodeScalar(k.Hash))
+}
+
+// rlockAll read-locks every shard in index order (whole-table snapshot).
+func (t *table) rlockAll() {
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+	}
+}
+
+// runlockAll releases rlockAll in reverse order.
+func (t *table) runlockAll() {
+	for i := len(t.shards) - 1; i >= 0; i-- {
+		t.shards[i].mu.RUnlock()
+	}
 }
 
 // keyOf extracts the primary key from an item.
@@ -146,84 +188,51 @@ func (t *table) keyOf(it Item) (Key, error) {
 	return k, nil
 }
 
-// get returns the live item for key, or nil. Caller holds t.mu.
-func (t *table) get(k Key) Item {
-	p, ok := t.parts[encodeScalar(k.Hash)]
-	if !ok {
-		return nil
-	}
-	i, found := p.find(k.Sort)
-	if !found {
-		return nil
-	}
-	return p.rows[i].item
+// partFor returns the partition for an encoded hash key, or nil. Caller
+// holds the owning shard's lock.
+func (t *table) partFor(encodedHash string) *partition {
+	return t.shardFor(encodedHash).parts[encodedHash]
 }
 
-// put installs item under key, replacing any existing row. Caller holds t.mu.
-func (t *table) put(k Key, it Item) {
-	hk := encodeScalar(k.Hash)
-	p, ok := t.parts[hk]
-	if !ok {
-		p = &partition{}
-		t.parts[hk] = p
-	}
-	i, found := p.find(k.Sort)
-	if found {
-		p.rows[i].item = it
-		return
-	}
-	p.insertAt(i, &row{sortVal: k.Sort, item: it})
-}
-
-// delete removes the row for key if present. Caller holds t.mu.
-func (t *table) delete(k Key) {
-	hk := encodeScalar(k.Hash)
-	p, ok := t.parts[hk]
-	if !ok {
-		return
-	}
-	i, found := p.find(k.Sort)
-	if !found {
-		return
-	}
-	p.removeAt(i)
-	if len(p.rows) == 0 {
-		delete(t.parts, hk)
-	}
-}
-
-// bytes sums the storage footprint of every row. Caller holds t.mu.
+// bytes sums the storage footprint of every row. Caller holds every shard
+// lock.
 func (t *table) bytes() int {
 	n := 0
-	for _, p := range t.parts {
-		for _, r := range p.rows {
-			n += r.item.Size()
+	for _, sh := range t.shards {
+		for _, p := range sh.parts {
+			for _, r := range p.rows {
+				n += r.item.Size()
+			}
 		}
 	}
 	return n
 }
 
-// itemCount counts rows. Caller holds t.mu.
+// itemCount counts rows. Caller holds every shard lock.
 func (t *table) itemCount() int {
 	n := 0
-	for _, p := range t.parts {
-		n += len(p.rows)
+	for _, sh := range t.shards {
+		for _, p := range sh.parts {
+			n += len(p.rows)
+		}
 	}
 	return n
 }
 
-// sortedHashKeys returns partition keys in deterministic order. Caller holds
-// t.mu.
+// sortedHashKeys returns partition keys across all shards in deterministic
+// order. Caller holds every shard lock.
 func (t *table) sortedHashKeys() []string {
-	keys := make([]string, 0, len(t.parts))
-	for k := range t.parts {
-		keys = append(keys, k)
+	var keys []string
+	for _, sh := range t.shards {
+		for k := range sh.parts {
+			keys = append(keys, k)
+		}
 	}
 	sort.Strings(keys)
 	return keys
 }
 
-// index lookup: findIndex returns the IndexSchema by name.
+// findIndex returns the IndexSchema by name.
 func (t *table) findIndex(name string) (IndexSchema, bool) {
 	for _, ix := range t.schema.Indexes {
 		if ix.Name == name {

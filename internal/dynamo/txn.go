@@ -35,10 +35,16 @@ func (s *Store) TransactWrite(ops []TxOp) error {
 		op  TxOp
 		t   *table
 		key Key
+		sh  *shard
 	}
 	preps := make([]prepared, len(ops))
 	seen := make(map[string]bool, len(ops))
-	tablesInvolved := make(map[string]*table)
+	type lockTarget struct {
+		name string // table name, primary lock-order key
+		idx  int    // shard index within the table
+		sh   *shard
+	}
+	lockSet := make(map[*shard]lockTarget)
 	for i, op := range ops {
 		t, err := s.table(op.Table)
 		if err != nil {
@@ -57,24 +63,33 @@ func (s *Store) TransactWrite(ops []TxOp) error {
 			return fmt.Errorf("dynamo: TransactWrite: duplicate target %s %s", op.Table, key)
 		}
 		seen[target] = true
-		preps[i] = prepared{op: op, t: t, key: key}
-		tablesInvolved[op.Table] = t
+		hk := encodeScalar(key.Hash)
+		idx := shardIndex(hk, len(t.shards))
+		sh := t.shards[idx]
+		preps[i] = prepared{op: op, t: t, key: key, sh: sh}
+		lockSet[sh] = lockTarget{name: op.Table, idx: idx, sh: sh}
 	}
 
-	// Lock the involved tables in name order to avoid deadlock with
-	// concurrent transactions, then check all conditions before applying
-	// anything.
-	names := make([]string, 0, len(tablesInvolved))
-	for n := range tablesInvolved {
-		names = append(names, n)
+	// Lock the involved shards in (table name, shard index) order to avoid
+	// deadlock with concurrent transactions, then check all conditions before
+	// applying anything. Single-row writers hold at most one shard lock and
+	// acquire no others, so they cannot participate in a cycle.
+	locks := make([]lockTarget, 0, len(lockSet))
+	for _, lt := range lockSet {
+		locks = append(locks, lt)
 	}
-	sort.Strings(names)
-	for _, n := range names {
-		tablesInvolved[n].mu.Lock()
+	sort.Slice(locks, func(i, j int) bool {
+		if locks[i].name != locks[j].name {
+			return locks[i].name < locks[j].name
+		}
+		return locks[i].idx < locks[j].idx
+	})
+	for _, lt := range locks {
+		lt.sh.mu.Lock()
 	}
 	unlock := func() {
-		for i := len(names) - 1; i >= 0; i-- {
-			tablesInvolved[names[i]].mu.Unlock()
+		for i := len(locks) - 1; i >= 0; i-- {
+			locks[i].sh.mu.Unlock()
 		}
 	}
 
@@ -82,7 +97,7 @@ func (s *Store) TransactWrite(ops []TxOp) error {
 	failed := false
 	staged := make([]Item, len(ops)) // result row per op; nil means delete
 	for i, p := range preps {
-		cur := p.t.get(p.key)
+		cur := p.sh.get(p.key)
 		if p.op.Cond != nil && !evalAgainst(p.op.Cond, cur) {
 			reasons[i] = condFailure(p.op.Table, p.key, p.op.Cond)
 			failed = true
@@ -124,12 +139,13 @@ func (s *Store) TransactWrite(ops []TxOp) error {
 	}
 	for i, p := range preps {
 		if p.op.Delete {
-			p.t.delete(p.key)
+			p.sh.delete(p.key)
 			continue
 		}
-		p.t.put(p.key, staged[i])
+		p.sh.put(p.key, staged[i])
 		s.metrics.BytesWritten.Add(int64(staged[i].Size()))
 	}
+	s.commitSleep(len(ops))
 	unlock()
 	s.charge(OpTxWrite, len(ops), 0)
 	return nil

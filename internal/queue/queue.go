@@ -72,6 +72,16 @@ type Options struct {
 	// its (MaxReceives+1)th delivery is dead-lettered instead. 0 means
 	// DefaultMaxReceives; negative disables dead-lettering.
 	MaxReceives int
+	// Shards is the shard count of the queue's message table. The default
+	// (0, meaning 1) gives each queue single-shard affinity: all of a
+	// queue's enqueues and claims share one commit stream, so the store's
+	// group-commit path coalesces an enqueue burst into a handful of
+	// batches, while different queues — separate tables — never contend.
+	// Very hot queues can raise it to stripe messages across latches at the
+	// cost of that coalescing. A queue reopened over a message table that
+	// survived a prior broker adopts the surviving table's shard count (a
+	// table's layout is fixed at creation).
+	Shards int
 }
 
 // Defaults for Options zero values.
@@ -86,6 +96,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxReceives == 0 {
 		o.MaxReceives = DefaultMaxReceives
+	}
+	if o.Shards == 0 {
+		o.Shards = 1
 	}
 	return o
 }
@@ -160,15 +173,33 @@ func (b *Broker) Create(name string, opts Options) error {
 	if _, ok := b.queues[name]; ok {
 		return fmt.Errorf("%w: %s", ErrQueueExists, name)
 	}
-	for _, t := range []string{tableOf(name), dlqTableOf(name)} {
-		err := b.store.CreateTable(dynamo.Schema{Name: t, HashKey: attrMsgID})
-		if err != nil && !errors.Is(err, dynamo.ErrTableExists) {
+	opts = opts.withDefaults()
+	// The DLQ stays single-shard: it is cold by construction.
+	for _, s := range []dynamo.Schema{
+		{Name: tableOf(name), HashKey: attrMsgID, Shards: opts.Shards},
+		{Name: dlqTableOf(name), HashKey: attrMsgID, Shards: 1},
+	} {
+		err := b.store.CreateTable(s)
+		if errors.Is(err, dynamo.ErrTableExists) {
+			// Tables surviving from a prior broker are the point of
+			// durability: a restarted broker reopens its queues, backlog
+			// intact — and a table's shard layout is fixed at creation, so
+			// the reopened queue adopts the surviving layout rather than
+			// recording a Shards value the store isn't honoring.
+			if s.Name == tableOf(name) {
+				n, err := b.store.TableShards(s.Name)
+				if err != nil {
+					return err
+				}
+				opts.Shards = n
+			}
+			continue
+		}
+		if err != nil {
 			return err
 		}
-		// Tables surviving from a prior broker are the point of durability:
-		// a restarted broker reopens its queues, backlog intact.
 	}
-	b.queues[name] = opts.withDefaults()
+	b.queues[name] = opts
 	return nil
 }
 

@@ -436,3 +436,42 @@ func ExampleBroker() {
 	}
 	// Output: order-1
 }
+
+func TestQueueShardAffinityAndReopenAdoption(t *testing.T) {
+	store := dynamo.NewStore(dynamo.WithShards(8))
+	b1 := NewBroker(BrokerOptions{Store: store})
+	// Default: per-queue single-shard affinity, overriding the store's
+	// 8-shard default; DLQ single-shard too.
+	b1.MustCreate("aff", Options{})
+	for _, tbl := range []string{tableOf("aff"), dlqTableOf("aff")} {
+		if n, err := store.TableShards(tbl); err != nil || n != 1 {
+			t.Errorf("%s: %d shards, err %v; want 1", tbl, n, err)
+		}
+	}
+	// Explicit striping for a hot queue.
+	b1.MustCreate("hot", Options{Shards: 4})
+	if n, _ := store.TableShards(tableOf("hot")); n != 4 {
+		t.Errorf("hot queue: %d shards, want 4", n)
+	}
+	// A broker reopening a surviving table adopts its layout: the store
+	// keeps 4 shards regardless of the reopening Shards value, and the
+	// broker records the adopted count rather than the requested one.
+	b2 := NewBroker(BrokerOptions{Store: store})
+	if err := b2.Create("hot", Options{Shards: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := store.TableShards(tableOf("hot")); n != 4 {
+		t.Errorf("reopen changed table shards to %d", n)
+	}
+	if got := b2.queues["hot"].Shards; got != 4 {
+		t.Errorf("reopened broker recorded Shards=%d, want adopted 4", got)
+	}
+	// The reopened queue still works against the surviving layout.
+	if _, err := b2.Enqueue("hot", dynamo.S("m")); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := b2.Receive("hot", 1)
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("receive after reopen: %v (%d msgs)", err, len(msgs))
+	}
+}
