@@ -33,6 +33,22 @@
 //	d.StartCollectors()
 //	out, err := d.Invoke("counter", beldi.Null)
 //
+// Three further surfaces layer on this dynamic core (see ARCHITECTURE.md,
+// "API layers"):
+//
+//   - Context-first invocation: InvokeCtx/InvokeAppCtx (and Func.InvokeCtx)
+//     carry a context.Context into Env.Context and down call chains; lock
+//     retries, wait-die backoffs and promise awaits observe it, and a
+//     canceled call fails with ErrCanceled while the collectors finish the
+//     workflow exactly once.
+//   - A typed facade: NewTable[T] / RegisterFunc[In, Out] / PromiseOf[T]
+//     give compile-time-checked tables, functions and promises over the
+//     structural ToValue/FromValue codec; typed and dynamic code
+//     interoperate on the same state.
+//   - Durable promises: Env.AsyncInvokePromise returns a Promise backed by
+//     a durable mailbox cell; Promise.Await / Env.AwaitAll are logged
+//     steps, so fan-out/fan-in survives crash and replay on either side.
+//
 // The same Body runs unchanged in three modes — ModeBeldi (the paper's
 // system), ModeCrossTable (the §7.3 comparator that logs to a separate
 // table with cross-table transactions), and ModeBaseline (raw operations,
@@ -40,6 +56,9 @@
 package beldi
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/clock"
@@ -70,6 +89,11 @@ type (
 	TxnMode = core.TxnMode
 	// GCStats reports one garbage-collection pass.
 	GCStats = core.GCStats
+	// Promise is a durable handle on an asynchronously invoked SSF's result
+	// (Env.AsyncInvokePromise); resolve it with Promise.Await or
+	// Env.AwaitAll. Fan-out/fan-in built on promises survives crash and
+	// replay on both sides with exactly-once semantics.
+	Promise = core.Promise
 )
 
 // Modes.
@@ -86,7 +110,24 @@ var (
 	ErrTxnAborted = core.ErrTxnAborted
 	// ErrLockUnavailable reports an exhausted lock retry budget.
 	ErrLockUnavailable = core.ErrLockUnavailable
+	// ErrAwaitTimeout reports a Promise.Await that exhausted its poll budget
+	// before the result was posted; the intent collector retries the
+	// awaiting instance later.
+	ErrAwaitTimeout = core.ErrAwaitTimeout
+	// ErrCanceled reports an invocation killed because its context ended
+	// (InvokeCtx with a canceled context or an expired deadline). The
+	// workflow's intent stays pending and is finished by the collectors:
+	// cancellation never weakens exactly-once.
+	ErrCanceled = platform.ErrCanceled
+	// ErrUnknownFunction reports an Invoke of a function name never
+	// registered on this deployment.
+	ErrUnknownFunction = errors.New("beldi: unknown function")
 )
+
+// AwaitAll resolves promises in order and returns their values in the same
+// order — the package-level spelling of Env.AwaitAll for fan-in code that
+// reads better as a function.
+func AwaitAll(e *Env, ps ...*Promise) ([]Value, error) { return e.AwaitAll(ps...) }
 
 // Value constructors, re-exported for ergonomic application code.
 var (
@@ -105,6 +146,9 @@ func Num(f float64) Value { return dynamo.N(f) }
 
 // BoolVal builds a boolean value.
 func BoolVal(b bool) Value { return dynamo.Bool(b) }
+
+// Bytes builds a binary value.
+func Bytes(b []byte) Value { return dynamo.Bytes(b) }
 
 // List builds a list value.
 func List(vs ...Value) Value { return dynamo.L(vs...) }
@@ -205,9 +249,26 @@ func (d *Deployment) Function(name string, body Body, tables ...string) *core.Ru
 func (d *Deployment) Runtime(name string) *core.Runtime { return d.runtimes[name] }
 
 // Invoke calls a function synchronously from outside any workflow (an
-// external client request).
+// external client request). Unregistered names fail with
+// ErrUnknownFunction.
 func (d *Deployment) Invoke(name string, input Value) (Value, error) {
+	if err := d.known(name); err != nil {
+		return Null, err
+	}
 	return d.opts.Platform.Invoke(name, core.ClientEnvelope(input))
+}
+
+// InvokeCtx is Invoke bounded by a context: admission waits respect
+// cancellation, the workflow's lock retries, wait-die backoffs and promise
+// awaits observe ctx (Env.Context), and the instance is killed at its next
+// operation boundary once ctx ends — failing the call with ErrCanceled
+// while the intent collector finishes (or already finished) the workflow
+// exactly once.
+func (d *Deployment) InvokeCtx(ctx context.Context, name string, input Value) (Value, error) {
+	if err := d.known(name); err != nil {
+		return Null, err
+	}
+	return d.opts.Platform.InvokeCtx(ctx, name, core.ClientEnvelope(input))
 }
 
 // InvokeApp is Invoke on behalf of a named application (§2.2 SSF
@@ -216,7 +277,27 @@ func (d *Deployment) Invoke(name string, input Value) (Value, error) {
 // application's state separate; unscoped tables remain shared across
 // applications.
 func (d *Deployment) InvokeApp(name, app string, input Value) (Value, error) {
+	if err := d.known(name); err != nil {
+		return Null, err
+	}
 	return d.opts.Platform.Invoke(name, core.ClientEnvelopeForApp(app, input))
+}
+
+// InvokeAppCtx is InvokeApp bounded by a context, with InvokeCtx's
+// cancellation semantics.
+func (d *Deployment) InvokeAppCtx(ctx context.Context, name, app string, input Value) (Value, error) {
+	if err := d.known(name); err != nil {
+		return Null, err
+	}
+	return d.opts.Platform.InvokeCtx(ctx, name, core.ClientEnvelopeForApp(app, input))
+}
+
+// known verifies name was registered on this deployment.
+func (d *Deployment) known(name string) error {
+	if _, ok := d.runtimes[name]; !ok {
+		return fmt.Errorf("%w: %q is not registered on this deployment", ErrUnknownFunction, name)
+	}
+	return nil
 }
 
 // StartCollectors starts every function's intent- and garbage-collector

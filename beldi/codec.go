@@ -1,0 +1,226 @@
+package beldi
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// The Value codec behind the typed facade (TableOf, RegisterFunc): a
+// reflection-based, deterministic mapping between Go values and the
+// dynamic Value type the runtime stores and logs. The mapping is
+// structural — structs become map Values keyed by field name (or the
+// `beldi:"name"` tag), slices become lists, integers and floats become
+// numbers — so a typed Put and a hand-built dynamic Map(...) of the same
+// shape produce byte-identical stored state, which is what the
+// typed-vs-dynamic equivalence property test pins.
+
+// ToValue converts a Go value into a dynamic Value.
+//
+// Supported kinds: bool, all int/uint widths, float32/64, string, []byte,
+// slices/arrays, maps with string keys, structs (exported fields; a
+// `beldi:"-"` tag skips a field, `beldi:"name"` renames it), pointers
+// (nil becomes Null), and Value itself (passed through). Unsupported
+// kinds (chan, func, complex, interface holding nothing) return an error.
+func ToValue(v any) (Value, error) {
+	if v == nil {
+		return Null, nil
+	}
+	if val, ok := v.(Value); ok {
+		return val, nil
+	}
+	return toValue(reflect.ValueOf(v))
+}
+
+var valueType = reflect.TypeOf(Value{})
+
+func toValue(rv reflect.Value) (Value, error) {
+	if rv.Type() == valueType {
+		return rv.Interface().(Value), nil
+	}
+	switch rv.Kind() {
+	case reflect.Bool:
+		return BoolVal(rv.Bool()), nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return Int(rv.Int()), nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return Int(int64(rv.Uint())), nil
+	case reflect.Float32, reflect.Float64:
+		return Num(rv.Float()), nil
+	case reflect.String:
+		return Str(rv.String()), nil
+	case reflect.Pointer, reflect.Interface:
+		if rv.IsNil() {
+			return Null, nil
+		}
+		return toValue(rv.Elem())
+	case reflect.Slice:
+		if rv.Type().Elem().Kind() == reflect.Uint8 {
+			return Bytes(append([]byte(nil), rv.Bytes()...)), nil
+		}
+		fallthrough
+	case reflect.Array:
+		elems := make([]Value, rv.Len())
+		for i := 0; i < rv.Len(); i++ {
+			ev, err := toValue(rv.Index(i))
+			if err != nil {
+				return Null, err
+			}
+			elems[i] = ev
+		}
+		return List(elems...), nil
+	case reflect.Map:
+		if rv.Type().Key().Kind() != reflect.String {
+			return Null, fmt.Errorf("beldi: ToValue: map key type %s is not string", rv.Type().Key())
+		}
+		m := make(map[string]Value, rv.Len())
+		iter := rv.MapRange()
+		for iter.Next() {
+			ev, err := toValue(iter.Value())
+			if err != nil {
+				return Null, err
+			}
+			m[iter.Key().String()] = ev
+		}
+		return Map(m), nil
+	case reflect.Struct:
+		m := make(map[string]Value)
+		t := rv.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			name := fieldName(f)
+			if name == "" {
+				continue
+			}
+			ev, err := toValue(rv.Field(i))
+			if err != nil {
+				return Null, fmt.Errorf("field %s: %w", f.Name, err)
+			}
+			m[name] = ev
+		}
+		return Map(m), nil
+	default:
+		return Null, fmt.Errorf("beldi: ToValue: unsupported kind %s", rv.Kind())
+	}
+}
+
+// FromValue converts a dynamic Value back into *out, the inverse of
+// ToValue. Null decodes to the zero value (and to nil for pointers);
+// numbers decode into any numeric kind; missing map keys leave struct
+// fields at their zero value, mirroring how never-written table keys read
+// as Null.
+func FromValue(v Value, out any) error {
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("beldi: FromValue: out must be a non-nil pointer, got %T", out)
+	}
+	return fromValue(v, rv.Elem())
+}
+
+func fromValue(v Value, rv reflect.Value) error {
+	if rv.Type() == valueType {
+		rv.Set(reflect.ValueOf(v))
+		return nil
+	}
+	if rv.Kind() == reflect.Pointer {
+		if v.IsNull() {
+			rv.SetZero()
+			return nil
+		}
+		if rv.IsNil() {
+			rv.Set(reflect.New(rv.Type().Elem()))
+		}
+		return fromValue(v, rv.Elem())
+	}
+	if v.IsNull() {
+		rv.SetZero()
+		return nil
+	}
+	switch rv.Kind() {
+	case reflect.Bool:
+		rv.SetBool(v.BoolVal())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		rv.SetInt(v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		rv.SetUint(uint64(v.Int()))
+	case reflect.Float32, reflect.Float64:
+		rv.SetFloat(v.Num())
+	case reflect.String:
+		rv.SetString(v.Str())
+	case reflect.Slice:
+		if rv.Type().Elem().Kind() == reflect.Uint8 {
+			rv.SetBytes(append([]byte(nil), v.BytesVal()...))
+			return nil
+		}
+		list := v.List()
+		out := reflect.MakeSlice(rv.Type(), len(list), len(list))
+		for i, ev := range list {
+			if err := fromValue(ev, out.Index(i)); err != nil {
+				return err
+			}
+		}
+		rv.Set(out)
+	case reflect.Array:
+		list := v.List()
+		if len(list) != rv.Len() {
+			return fmt.Errorf("beldi: FromValue: list of %d elements into array %s", len(list), rv.Type())
+		}
+		for i, ev := range list {
+			if err := fromValue(ev, rv.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Map:
+		if rv.Type().Key().Kind() != reflect.String {
+			return fmt.Errorf("beldi: FromValue: map key type %s is not string", rv.Type().Key())
+		}
+		m := v.Map()
+		out := reflect.MakeMapWithSize(rv.Type(), len(m))
+		for k, ev := range m {
+			ov := reflect.New(rv.Type().Elem()).Elem()
+			if err := fromValue(ev, ov); err != nil {
+				return err
+			}
+			out.SetMapIndex(reflect.ValueOf(k), ov)
+		}
+		rv.Set(out)
+	case reflect.Struct:
+		t := rv.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			name := fieldName(f)
+			if name == "" {
+				continue
+			}
+			fv, ok := v.MapGet(name)
+			if !ok {
+				rv.Field(i).SetZero()
+				continue
+			}
+			if err := fromValue(fv, rv.Field(i)); err != nil {
+				return fmt.Errorf("field %s: %w", f.Name, err)
+			}
+		}
+	default:
+		return fmt.Errorf("beldi: FromValue: unsupported kind %s", rv.Kind())
+	}
+	return nil
+}
+
+// fieldName resolves a struct field's Value map key: the `beldi` tag when
+// present ("" means the Go field name, "-" skips the field).
+func fieldName(f reflect.StructField) string {
+	tag, ok := f.Tag.Lookup("beldi")
+	if !ok {
+		return f.Name
+	}
+	if tag == "-" {
+		return ""
+	}
+	return tag
+}

@@ -209,3 +209,44 @@ func TestDurableAsyncBackgroundMappers(t *testing.T) {
 func key(i int) string {
 	return "k" + string(rune('a'+i%26)) + string(rune('a'+i/26))
 }
+
+// TestDurableAsyncPromiseFanIn runs durable promises over the queue-backed
+// transport: the fan-out's run envelopes become queue messages (carrying
+// the reply coordinates), background mappers deliver them, and the
+// parent's awaits resolve from the posted mailbox cells — promises and
+// durable async compose.
+func TestDurableAsyncPromiseFanIn(t *testing.T) {
+	promiseParent := func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		ps := make([]*beldi.Promise, 3)
+		for i := range ps {
+			p, err := e.AsyncInvokePromise("child", beldi.Null)
+			if err != nil {
+				return beldi.Null, err
+			}
+			ps[i] = p
+		}
+		outs, err := e.AwaitAll(ps...)
+		if err != nil {
+			return beldi.Null, err
+		}
+		return beldi.Int(int64(len(outs))), nil
+	}
+	r := newDurableRig(t, promiseParent, countingChild)
+	r.da.Start()
+	defer r.da.Stop()
+
+	out, err := r.d.Invoke("parent", beldi.Null)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Int() != 3 {
+		t.Fatalf("fan-in resolved %v promises, want 3", out)
+	}
+	r.plat.Drain()
+	if got := r.count(t); got != 3 {
+		t.Fatalf("child ran %d times, want 3", got)
+	}
+	if err := r.d.FsckAll(); err != nil {
+		t.Fatal(err)
+	}
+}

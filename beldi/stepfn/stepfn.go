@@ -26,6 +26,8 @@ package stepfn
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/beldi"
 )
@@ -97,29 +99,85 @@ func (s parState) run(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
 }
 func (s parState) describe() string { return "par" + describeList(s.states) }
 
-// Choice dispatches on a string field of the input map, falling back to the
-// default state ("" key) when no branch matches.
-func Choice(field string, branches map[string]State) State {
-	return choiceState{field: field, branches: branches}
+// Choice dispatches on a string field of the input map. A missing input
+// field or an unmatched branch value fails the workflow with a descriptive
+// error unless a default branch was declared with WithDefault (the "" key
+// in branches also names the default, for compatibility with older
+// definitions).
+func Choice(field string, branches map[string]State) *ChoiceState {
+	return &ChoiceState{field: field, branches: branches}
 }
 
-type choiceState struct {
+// ChoiceState is a Choice node; WithDefault adds the fallback branch.
+type ChoiceState struct {
 	field    string
 	branches map[string]State
+	def      State
 }
 
-func (s choiceState) run(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
-	v, _ := input.MapGet(s.field)
+// WithDefault sets the branch taken when the input's field value matches
+// no declared branch, and returns the state for chaining.
+func (s *ChoiceState) WithDefault(st State) *ChoiceState {
+	s.def = st
+	return s
+}
+
+func (s *ChoiceState) run(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
+	v, present := input.MapGet(s.field)
+	if !present {
+		return beldi.Null, fmt.Errorf("stepfn: choice(%s): input has no field %q (input kind %s)",
+			s.field, s.field, input.Kind())
+	}
 	st, ok := s.branches[v.Str()]
+	if !ok && s.def != nil {
+		st, ok = s.def, true
+	}
 	if !ok {
 		st, ok = s.branches[""]
 	}
 	if !ok {
-		return beldi.Null, fmt.Errorf("stepfn: no branch for %s=%q and no default", s.field, v.Str())
+		branches := make([]string, 0, len(s.branches))
+		for k := range s.branches {
+			branches = append(branches, k)
+		}
+		sort.Strings(branches)
+		return beldi.Null, fmt.Errorf("stepfn: choice(%s): no branch for value %q (branches: %s) and no default",
+			s.field, v.Str(), strings.Join(branches, ", "))
 	}
 	return st.run(e, input)
 }
-func (s choiceState) describe() string { return fmt.Sprintf("choice(%s)", s.field) }
+func (s *ChoiceState) describe() string { return fmt.Sprintf("choice(%s)", s.field) }
+
+// WaitAll fans the state's input out to the named SSFs as durable
+// asynchronous invocations and awaits all of their results, yielding the
+// list of outputs in declaration order — declarative fan-out/fan-in on
+// durable promises (Env.AsyncInvokePromise / Env.AwaitAll). Unlike
+// Parallel, whose branches run synchronous invocations inside this
+// workflow's instance, WaitAll's callees are independent registered
+// intents: they survive the driver crashing mid-await, and the replayed
+// driver re-awaits the identical posted results.
+func WaitAll(functions ...string) State { return waitAllState{fns: functions} }
+
+type waitAllState struct{ fns []string }
+
+func (s waitAllState) run(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
+	ps := make([]*beldi.Promise, len(s.fns))
+	for i, fn := range s.fns {
+		p, err := e.AsyncInvokePromise(fn, input)
+		if err != nil {
+			return beldi.Null, fmt.Errorf("stepfn: waitAll(%s): %w", fn, err)
+		}
+		ps[i] = p
+	}
+	outs, err := e.AwaitAll(ps...)
+	if err != nil {
+		return beldi.Null, err
+	}
+	return beldi.List(outs...), nil
+}
+func (s waitAllState) describe() string {
+	return "waitAll[" + strings.Join(s.fns, " ∥ ") + "]"
+}
 
 // Txn runs the wrapped subgraph transactionally: the paper's begin/end SSF
 // pair around a workflow region (§6.2, Fig 21). An abort anywhere inside —

@@ -92,6 +92,88 @@ func TestChoiceWithoutDefaultErrors(t *testing.T) {
 	}
 }
 
+func TestChoiceWithDefaultBranch(t *testing.T) {
+	d := newDeployment(t, nil)
+	d.Function("hi", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		return beldi.Str("hello"), nil
+	})
+	d.Function("fallback", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		return beldi.Str("caught"), nil
+	})
+	stepfn.Register(d, "wf", stepfn.Choice("op", map[string]stepfn.State{
+		"greet": stepfn.Task("hi"),
+	}).WithDefault(stepfn.Task("fallback")))
+	out, err := d.Invoke("wf", beldi.Map(map[string]beldi.Value{"op": beldi.Str("greet")}))
+	if err != nil || out.Str() != "hello" {
+		t.Errorf("greet → %v (err %v)", out, err)
+	}
+	out, err = d.Invoke("wf", beldi.Map(map[string]beldi.Value{"op": beldi.Str("unmatched")}))
+	if err != nil || out.Str() != "caught" {
+		t.Errorf("default → %v (err %v)", out, err)
+	}
+}
+
+func TestChoiceMissingFieldIsDescriptiveError(t *testing.T) {
+	d := newDeployment(t, nil)
+	d.Function("hi", appendFn("h"))
+	stepfn.Register(d, "wf", stepfn.Choice("op", map[string]stepfn.State{
+		"greet": stepfn.Task("hi"),
+	}).WithDefault(stepfn.Task("hi")))
+	// The input has no "op" field at all: even with a default, dispatching
+	// on a missing field is a workflow bug and must be named as such.
+	_, err := d.Invoke("wf", beldi.Map(map[string]beldi.Value{"other": beldi.Str("x")}))
+	if err == nil {
+		t.Fatal("missing field accepted")
+	}
+	if !strings.Contains(err.Error(), `no field "op"`) {
+		t.Errorf("error does not name the missing field: %v", err)
+	}
+}
+
+func TestChoiceMissingBranchNamesCandidates(t *testing.T) {
+	d := newDeployment(t, nil)
+	d.Function("hi", appendFn("h"))
+	stepfn.Register(d, "wf", stepfn.Choice("op", map[string]stepfn.State{
+		"greet": stepfn.Task("hi"),
+		"part":  stepfn.Task("hi"),
+	}))
+	_, err := d.Invoke("wf", beldi.Map(map[string]beldi.Value{"op": beldi.Str("x")}))
+	if err == nil {
+		t.Fatal("missing branch accepted")
+	}
+	for _, want := range []string{`value "x"`, "greet", "part", "no default"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestWaitAllFansOutAndCollectsInOrder(t *testing.T) {
+	d := newDeployment(t, nil)
+	d.Function("x", appendFn("x"))
+	d.Function("y", appendFn("y"))
+	d.Function("z", appendFn("z"))
+	stepfn.Register(d, "wf", stepfn.WaitAll("x", "y", "z"))
+	out, err := d.Invoke("wf", beldi.Str("·"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := out.List()
+	if len(l) != 3 || l[0].Str() != "·x" || l[1].Str() != "·y" || l[2].Str() != "·z" {
+		t.Fatalf("out = %v", out)
+	}
+	if err := d.FsckAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAllDescribe(t *testing.T) {
+	got := stepfn.Describe(stepfn.WaitAll("a", "b"))
+	if !strings.Contains(got, "waitAll[") || !strings.Contains(got, "a") || !strings.Contains(got, "b") {
+		t.Errorf("describe = %q", got)
+	}
+}
+
 func TestPassShapesInput(t *testing.T) {
 	d := newDeployment(t, nil)
 	d.Function("echo", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) { return in, nil })

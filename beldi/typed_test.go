@@ -1,0 +1,340 @@
+package beldi_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+	"repro/internal/uuid"
+)
+
+func newTypedTestDeployment(t *testing.T) *beldi.Deployment {
+	t.Helper()
+	store := dynamo.NewStore()
+	plat := platform.New(platform.Options{
+		ConcurrencyLimit: 10000, IDs: &uuid.Seq{Prefix: "req"},
+	})
+	return beldi.NewDeployment(beldi.DeploymentOptions{
+		Store: store, Platform: plat,
+		Config: beldi.Config{T: 50 * time.Millisecond, ICMinAge: time.Millisecond},
+	})
+}
+
+// account is the typed shape the property test round-trips; its ToValue
+// encoding must be byte-identical to the hand-built dynamic map below.
+type account struct {
+	Owner   string
+	Balance int64
+	Flags   []string
+	Meta    map[string]int64 `beldi:"M"`
+}
+
+func dynAccount(a account) beldi.Value {
+	flags := make([]beldi.Value, len(a.Flags))
+	for i, f := range a.Flags {
+		flags[i] = beldi.Str(f)
+	}
+	meta := make(map[string]beldi.Value, len(a.Meta))
+	for k, v := range a.Meta {
+		meta[k] = beldi.Int(v)
+	}
+	return beldi.Map(map[string]beldi.Value{
+		"Owner":   beldi.Str(a.Owner),
+		"Balance": beldi.Int(a.Balance),
+		"Flags":   beldi.List(flags...),
+		"M":       beldi.Map(meta),
+	})
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	in := account{
+		Owner: "ada", Balance: 42,
+		Flags: []string{"vip", "beta"},
+		Meta:  map[string]int64{"logins": 7},
+	}
+	v, err := beldi.ToValue(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(dynAccount(in)) {
+		t.Errorf("encoding diverges from the hand-built dynamic map:\n  typed   %v\n  dynamic %v", v, dynAccount(in))
+	}
+	var out account
+	if err := beldi.FromValue(v, &out); err != nil {
+		t.Fatal(err)
+	}
+	back, err := beldi.ToValue(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(v) {
+		t.Errorf("round trip not stable: %v vs %v", back, v)
+	}
+}
+
+// TestTypedDynamicEquivalenceProperty is the acceptance property test: the
+// same seeded operation sequence, run once through the typed facade
+// (TableOf/RegisterFunc) and once through hand-written dynamic bodies on a
+// separate deployment, must produce identical outputs and identical
+// observable table state — the typed layer is a codec, not different
+// machinery.
+func TestTypedDynamicEquivalenceProperty(t *testing.T) {
+	type op struct {
+		Kind    string // "deposit" | "flag" | "reset"
+		Key     string
+		Amount  int64
+		Flag    string
+		MinBal  int64
+		HasCond bool
+	}
+
+	accounts := beldi.NewTable[account]("state")
+
+	// Typed deployment.
+	td := newTypedTestDeployment(t)
+	typedFn := beldi.RegisterFunc(td, "acct", func(e *beldi.Env, in op) (account, error) {
+		a, err := accounts.Get(e, in.Key)
+		if err != nil {
+			return account{}, err
+		}
+		switch in.Kind {
+		case "deposit":
+			a.Balance += in.Amount
+			if a.Meta == nil {
+				a.Meta = map[string]int64{}
+			}
+			a.Meta["ops"]++
+			if in.HasCond {
+				// Conditional on the stored balance ordering before the new
+				// value's — both sides evaluate the same stored map, so
+				// outcomes must match.
+				ok, err := accounts.CondPut(e, in.Key, a, beldi.ValueAbsent())
+				if err != nil {
+					return account{}, err
+				}
+				if !ok {
+					return a, nil
+				}
+				return a, nil
+			}
+			return a, accounts.Put(e, in.Key, a)
+		case "flag":
+			a.Flags = append(a.Flags, in.Flag)
+			return a, accounts.Put(e, in.Key, a)
+		default:
+			a = account{Owner: in.Flag, Balance: in.MinBal}
+			return a, accounts.Put(e, in.Key, a)
+		}
+	}, "state")
+
+	// Dynamic deployment: the same logic, hand-written against Value maps.
+	dd := newTypedTestDeployment(t)
+	dd.Function("acct", func(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
+		get := func(m beldi.Value, k string) beldi.Value { v, _ := m.MapGet(k); return v }
+		cur, err := e.Read("state", get(input, "Key").Str())
+		if err != nil {
+			return beldi.Null, err
+		}
+		// Decode the stored dynamic map into locals (zero defaults on Null).
+		owner := get(cur, "Owner").Str()
+		balance := get(cur, "Balance").Int()
+		flags := append([]beldi.Value(nil), get(cur, "Flags").List()...)
+		meta := map[string]beldi.Value{}
+		for k, v := range get(cur, "M").Map() {
+			meta[k] = v
+		}
+		enc := func() beldi.Value {
+			return beldi.Map(map[string]beldi.Value{
+				"Owner":   beldi.Str(owner),
+				"Balance": beldi.Int(balance),
+				"Flags":   beldi.List(flags...),
+				"M":       beldi.Map(meta),
+			})
+		}
+		key := get(input, "Key").Str()
+		switch get(input, "Kind").Str() {
+		case "deposit":
+			balance += get(input, "Amount").Int()
+			meta["ops"] = beldi.Int(get(beldi.Map(meta), "ops").Int() + 1)
+			out := enc()
+			if get(input, "HasCond").BoolVal() {
+				if _, err := e.CondWrite("state", key, out, beldi.ValueAbsent()); err != nil {
+					return beldi.Null, err
+				}
+				return out, nil
+			}
+			return out, e.Write("state", key, out)
+		case "flag":
+			flags = append(flags, get(input, "Flag"))
+			out := enc()
+			return out, e.Write("state", key, out)
+		default:
+			owner = get(input, "Flag").Str()
+			balance = get(input, "MinBal").Int()
+			flags = nil
+			meta = map[string]beldi.Value{}
+			out := enc()
+			return out, e.Write("state", key, out)
+		}
+	}, "state")
+
+	rng := rand.New(rand.NewSource(7))
+	kinds := []string{"deposit", "flag", "reset"}
+	keys := []string{"a", "b", "c", "d"}
+	for i := 0; i < 200; i++ {
+		o := op{
+			Kind:    kinds[rng.Intn(len(kinds))],
+			Key:     keys[rng.Intn(len(keys))],
+			Amount:  int64(rng.Intn(100)),
+			Flag:    fmt.Sprintf("f%d", rng.Intn(5)),
+			MinBal:  int64(rng.Intn(10)),
+			HasCond: rng.Intn(4) == 0,
+		}
+		tOut, tErr := typedFn.Invoke(o)
+		ov, err := beldi.ToValue(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dOut, dErr := dd.Invoke("acct", ov)
+		if (tErr == nil) != (dErr == nil) {
+			t.Fatalf("op %d %+v: typed err %v, dynamic err %v", i, o, tErr, dErr)
+		}
+		tv, err := beldi.ToValue(tOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tv.Equal(dOut) {
+			t.Fatalf("op %d %+v: outputs diverge\n  typed   %v\n  dynamic %v", i, o, tv, dOut)
+		}
+	}
+
+	// Identical observable state, key by key.
+	for _, k := range keys {
+		tv, err := beldi.PeekState(td.Runtime("acct"), "state", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dv, err := beldi.PeekState(dd.Runtime("acct"), "state", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tv.Equal(dv) {
+			t.Errorf("state %q diverges:\n  typed   %v\n  dynamic %v", k, tv, dv)
+		}
+	}
+	if err := td.FsckAll(); err != nil {
+		t.Errorf("typed fsck: %v", err)
+	}
+	if err := dd.FsckAll(); err != nil {
+		t.Errorf("dynamic fsck: %v", err)
+	}
+}
+
+func TestTypedAsyncPromise(t *testing.T) {
+	d := newTypedTestDeployment(t)
+	square := beldi.RegisterFunc(d, "square", func(e *beldi.Env, n int64) (int64, error) {
+		return n * n, nil
+	})
+	d.Function("driver", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		ps := make([]*beldi.PromiseOf[int64], 4)
+		for i := range ps {
+			p, err := square.Async(e, int64(i+1))
+			if err != nil {
+				return beldi.Null, err
+			}
+			ps[i] = p
+		}
+		outs, err := beldi.AwaitAllOf(e, ps...)
+		if err != nil {
+			return beldi.Null, err
+		}
+		sum := int64(0)
+		for _, v := range outs {
+			sum += v
+		}
+		return beldi.Int(sum), nil
+	})
+	out, err := d.Invoke("driver", beldi.Null)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Int() != 1+4+9+16 {
+		t.Errorf("sum = %v, want 30", out)
+	}
+}
+
+func TestInvokeUnknownFunction(t *testing.T) {
+	d := newTypedTestDeployment(t)
+	d.Function("real", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) { return in, nil })
+	if _, err := d.Invoke("missing", beldi.Null); !errors.Is(err, beldi.ErrUnknownFunction) {
+		t.Errorf("Invoke err = %v, want ErrUnknownFunction", err)
+	}
+	if _, err := d.InvokeApp("missing", "app", beldi.Null); !errors.Is(err, beldi.ErrUnknownFunction) {
+		t.Errorf("InvokeApp err = %v, want ErrUnknownFunction", err)
+	}
+	if _, err := d.InvokeCtx(context.Background(), "missing", beldi.Null); !errors.Is(err, beldi.ErrUnknownFunction) {
+		t.Errorf("InvokeCtx err = %v, want ErrUnknownFunction", err)
+	}
+	if _, err := d.InvokeAppCtx(context.Background(), "missing", "app", beldi.Null); !errors.Is(err, beldi.ErrUnknownFunction) {
+		t.Errorf("InvokeAppCtx err = %v, want ErrUnknownFunction", err)
+	}
+	if _, err := d.Invoke("real", beldi.Str("x")); err != nil {
+		t.Errorf("registered function rejected: %v", err)
+	}
+}
+
+func TestInvokeCtxCancellation(t *testing.T) {
+	d := newTypedTestDeployment(t)
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	d.Function("slow", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-block
+		return e.Read("kv", "k") // first op after cancel: dies here
+	}, "kv")
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := d.InvokeCtx(ctx, "slow", beldi.Null)
+		errCh <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errCh; !errors.Is(err, beldi.ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+	close(block)
+}
+
+func TestCodecArrayRoundTrip(t *testing.T) {
+	type fixed struct {
+		Sig  [4]int64
+		Name string
+	}
+	in := fixed{Sig: [4]int64{9, 8, 7, 6}, Name: "x"}
+	v, err := beldi.ToValue(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out fixed
+	if err := beldi.FromValue(v, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v want %+v", out, in)
+	}
+	// Length mismatch is a descriptive error, not a silent truncation.
+	var short struct{ Sig [2]int64 }
+	if err := beldi.FromValue(v, &short); err == nil {
+		t.Error("decoding a 4-list into [2]int64 succeeded")
+	}
+}

@@ -197,6 +197,34 @@ func BenchmarkShardSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkFanoutSweep measures durable-promise fan-out/fan-in throughput
+// (awaited worker results per second) versus fan-out width (the fanout
+// figure; full series via `figures -fig fanout`). Each sub-benchmark runs
+// one (width, mode) cell.
+func BenchmarkFanoutSweep(b *testing.B) {
+	for _, width := range []int{1, 4, 8, 16} {
+		for _, mode := range []beldi.Mode{beldi.ModeBeldi, beldi.ModeBaseline} {
+			b.Run(fmt.Sprintf("width=%d/%s", width, bench.ModeLabel(mode)), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pts, err := bench.FanoutSweep(bench.FanoutSweepOptions{
+						Widths:   []int{width},
+						Modes:    []beldi.Mode{mode},
+						Duration: 250 * time.Millisecond,
+						Seed:     1,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, p := range pts {
+						b.ReportMetric(p.Throughput, "tput-results/s")
+						b.ReportMetric(ms(p.P50), "p50-ms")
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFigOrdersEventPipeline measures the event-driven order pipeline
 // under load: entry latency is the client-visible placement, while the
 // pipeline drains through queues in the background.

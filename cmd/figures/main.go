@@ -17,15 +17,22 @@
 //	figures -fig queue               # event-queue throughput vs mapper batch size
 //	figures -fig orders              # event-driven order pipeline under load
 //	figures -fig shard               # store shard-count scaling, group commit on/off
+//	figures -fig fanout              # durable-promise fan-out/fan-in scaling
+//
+// With -json, every sweep-shaped figure additionally writes its series as
+// machine-readable BENCH_<fig>.json into -out (default "."), so CI can
+// archive the bench trajectory across commits.
 //
 // Numbers are simulator-relative; the shapes (ratios, knees, growth trends)
 // are the reproduction targets. See EXPERIMENTS.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -34,9 +41,32 @@ import (
 	"repro/internal/bench"
 )
 
+// jsonDir is the -out directory when -json is set; "" disables emission.
+var jsonDir string
+
+// emitJSON writes series as BENCH_<name>.json when -json is on.
+func emitJSON(name string, series any) error {
+	if jsonDir == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(series, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(jsonDir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "figures: wrote %s\n", path)
+	return nil
+}
+
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 13, 14, 15, 15b, 16, 25, 26, costs, ablation, queue, orders, shard, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 13, 14, 15, 15b, 16, 25, 26, costs, ablation, queue, orders, shard, fanout, all")
 		scale    = flag.Float64("scale", 0.1, "latency compression factor (1.0 = DynamoDB-like milliseconds)")
 		duration = flag.Duration("duration", 3*time.Second, "measurement duration per sweep point")
 		minutes  = flag.Int("minutes", 30, "simulated minutes for fig 16")
@@ -44,8 +74,13 @@ func main() {
 		rates    = flag.String("rates", "", "comma-separated offered rates for sweeps (default 100..800)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		ops      = flag.Int("ops", 60, "operations per fig 13/25 cell")
+		jsonOut  = flag.Bool("json", false, "also write each sweep as BENCH_<fig>.json (see -out)")
+		outDir   = flag.String("out", ".", "directory for -json output files")
 	)
 	flag.Parse()
+	if *jsonOut {
+		jsonDir = *outDir
+	}
 
 	rateList := parseRates(*rates)
 	run := func(name string, f func() error) {
@@ -70,6 +105,29 @@ func main() {
 	run("queue", func() error { return runQueueSweep(*scale, *seed) })
 	run("orders", func() error { return runSweep("orders", "orders", rateList, *duration, *scale, *seed) })
 	run("shard", func() error { return runShardSweep(*duration, *scale, *seed) })
+	run("fanout", func() error { return runFanoutSweep(*duration, *scale, *seed) })
+}
+
+// runFanoutSweep prints committed promise results per second versus fan-out
+// width for the durable path and the in-memory baseline — the price of
+// crash-safe fan-out/fan-in.
+func runFanoutSweep(duration time.Duration, scale float64, seed int64) error {
+	fmt.Println("# Fan-out — durable-promise results/s vs fan-out width, fixed driver population")
+	fmt.Printf("%-8s %-10s %14s %12s %10s %10s %10s\n", "width", "mode", "tput(res/s)", "fanins/s", "rounds", "p50(ms)", "p99(ms)")
+	pts, err := bench.FanoutSweep(bench.FanoutSweepOptions{
+		Duration: duration,
+		Scale:    scale,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Printf("%-8d %-10s %14.1f %12.1f %10d %10.2f %10.2f\n",
+			p.Width, p.Mode, p.Throughput, p.FanInsPerSec, p.FanIns, ms(p.P50), ms(p.P99))
+	}
+	fmt.Println()
+	return emitJSON("fanout", pts)
 }
 
 // runShardSweep prints committed logged-step throughput versus the store's
@@ -98,7 +156,7 @@ func runShardSweep(duration time.Duration, scale float64, seed int64) error {
 			p.Shards, commit, p.Throughput, p.Steps, p.GroupCommits, p.MeanBatch)
 	}
 	fmt.Println()
-	return nil
+	return emitJSON("shard", pts)
 }
 
 // runQueueSweep prints the event-queue subsystem's consume throughput versus
@@ -114,7 +172,7 @@ func runQueueSweep(scale float64, seed int64) error {
 		fmt.Printf("%-8d %12.1f %10d %12.2f\n", p.Batch, p.Throughput, p.Polls, ms(p.Elapsed))
 	}
 	fmt.Println()
-	return nil
+	return emitJSON("queue", pts)
 }
 
 // runNoTxnSweep is the §7.4 ablation: the travel site with Beldi's fault
@@ -191,6 +249,11 @@ func runFig13(rows int, scale float64, seed int64, ops int, label string) error 
 func runSweep(label, app string, rates []float64, duration time.Duration, scale float64, seed int64) error {
 	fmt.Printf("# Figure %s — %s app: response time (ms) vs throughput (req/s)\n", label, app)
 	fmt.Printf("%-10s %8s %10s %10s %10s %8s\n", "mode", "offered", "tput", "p50", "p99", "errors")
+	type modeSeries struct {
+		Mode   string
+		Points []bench.SweepPoint
+	}
+	var series []modeSeries
 	for _, mode := range []beldi.Mode{beldi.ModeBaseline, beldi.ModeBeldi} {
 		pts, err := bench.Sweep(bench.SweepOptions{
 			App: app, Mode: mode, Rates: rates,
@@ -203,9 +266,10 @@ func runSweep(label, app string, rates []float64, duration time.Duration, scale 
 			fmt.Printf("%-10s %8.0f %10.1f %10.2f %10.2f %8d\n",
 				bench.ModeLabel(mode), p.Rate, p.Throughput, ms(p.P50), ms(p.P99), p.Errors+p.Dropped)
 		}
+		series = append(series, modeSeries{Mode: bench.ModeLabel(mode), Points: pts})
 	}
 	fmt.Println()
-	return nil
+	return emitJSON(label, series)
 }
 
 func runFig16(minutes int, minuteDur time.Duration, scale float64, seed int64) error {

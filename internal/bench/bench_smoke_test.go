@@ -224,6 +224,45 @@ func TestShardSweepSmoke(t *testing.T) {
 	}
 }
 
+func TestFanoutSweepSmoke(t *testing.T) {
+	// Like the shard smoke test, wall-clock throughput gets one retry
+	// against scheduling hiccups; the expected amortization gap between
+	// width 1 and width 8 is ~2×.
+	var pts []FanoutSweepPoint
+	for attempt := 0; ; attempt++ {
+		var err error
+		pts, err = FanoutSweep(FanoutSweepOptions{
+			Widths:   []int{1, 8},
+			Modes:    []beldi.Mode{beldi.ModeBeldi},
+			Duration: 250 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) == 2 && pts[1].Throughput > pts[0].Throughput || attempt == 1 {
+			break
+		}
+		t.Log("width-8 results/s did not beat width-1; retrying once")
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.FanIns <= 0 || p.Results != p.FanIns*int64(p.Width) {
+			t.Fatalf("inconsistent point: %+v", p)
+		}
+		if p.P50 <= 0 || p.P99 < p.P50 {
+			t.Errorf("latency stats broken: %+v", p)
+		}
+	}
+	// Wider fan-out amortizes the per-round driver overhead across more
+	// awaited results: results/s must grow with width.
+	if pts[1].Throughput <= pts[0].Throughput {
+		t.Errorf("results/s did not grow with width: %.1f (w=1) vs %.1f (w=8)",
+			pts[0].Throughput, pts[1].Throughput)
+	}
+}
+
 // shardSweepMonotone reports whether the sweep's plain-commit throughput
 // column rises strictly with the shard count.
 func shardSweepMonotone(pts []ShardSweepPoint) bool {

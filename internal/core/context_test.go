@@ -1,0 +1,222 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+)
+
+// Context-first invocation: InvokeCtx's context flows into Env.Context and
+// is observed inside every retry wait. Cancellation must abort promptly
+// and cleanly — the canceled instance holds nothing, the intent stays
+// pending, and the collectors finish the workflow exactly once.
+
+func TestCancelMidLockLeavesNoLockBehind(t *testing.T) {
+	f := newFixture(t, withConfig(Config{
+		RowCap: 4, T: DefaultT, ICMinAge: time.Millisecond,
+		LockRetryBase: 200 * time.Microsecond, LockRetryMax: 10000,
+	}))
+	// Locks are owned by intents within one SSF's tables, so the holder and
+	// the waiter are two instances of the same function, told apart by
+	// input.
+	held := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	f.fn("locker", func(e *Env, in Value) (Value, error) {
+		if err := e.Lock("kv", "m"); err != nil {
+			return dynamo.Null, err
+		}
+		if in.Str() == "hold" {
+			once.Do(func() { close(held) })
+			<-release
+		}
+		if err := e.Write("kv", "data", in); err != nil {
+			return dynamo.Null, err
+		}
+		return dynamo.Null, e.Unlock("kv", "m")
+	}, "kv")
+
+	go f.mustInvoke("locker", dynamo.S("hold"))
+	<-held
+
+	// The waiter queues behind the held lock; cancel it mid-wait.
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := f.plat.InvokeCtx(ctx, "locker", ClientEnvelope(dynamo.S("wait")))
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter enter its backoff loop
+	canceledAt := time.Now()
+	cancel()
+	var err error
+	select {
+	case err = <-errCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled lock wait did not abort within 2s")
+	}
+	promptness := time.Since(canceledAt)
+	if err == nil {
+		t.Fatal("canceled invocation reported success")
+	}
+	if !errors.Is(err, platform.ErrCanceled) && !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want cancellation", err)
+	}
+	if promptness > 500*time.Millisecond {
+		t.Errorf("cancellation took %v, want prompt abort", promptness)
+	}
+
+	// The canceled waiter holds nothing: the lock still belongs to the
+	// holder's intent, untouched.
+	_, lock, _, _ := f.rts["locker"].layer().stateRead("kv", "m")
+	if lock.IsNull() {
+		t.Error("lock vanished while held")
+	}
+
+	// Release the holder; the waiter's pending intent is resurrected by the
+	// collector (with a background context) and completes exactly once.
+	close(release)
+	f.plat.Drain()
+	f.recoverAll()
+	if got := f.readData("locker", "kv", "data"); got.Str() != "wait" {
+		t.Errorf("data = %v, want the collected waiter's write", got)
+	}
+	_, lock, _, _ = f.rts["locker"].layer().stateRead("kv", "m")
+	if !lock.IsNull() {
+		t.Errorf("lock leaked after recovery: %v", lock)
+	}
+	for _, rt := range f.rts {
+		if err := Fsck(rt); err != nil {
+			t.Errorf("fsck %s: %v", rt.fn, err)
+		}
+	}
+}
+
+func TestDeadlineExpiryBehavesLikeCancel(t *testing.T) {
+	f := newFixture(t)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	f.fn("slow", func(e *Env, in Value) (Value, error) {
+		once.Do(func() { close(started) })
+		<-block
+		return e.Read("kv", "x") // first op after the deadline: dies here
+	}, "kv")
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := f.plat.InvokeCtx(ctx, "slow", ClientEnvelope(dynamo.Null))
+		errCh <- err
+	}()
+	<-started
+	err := <-errCh
+	if !errors.Is(err, platform.ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+	close(block)
+	f.plat.Drain()
+	f.recoverAll()
+	for _, rt := range f.rts {
+		if err := Fsck(rt); err != nil {
+			t.Errorf("fsck %s: %v", rt.fn, err)
+		}
+	}
+}
+
+func TestContextPropagatesDownSyncInvokeChain(t *testing.T) {
+	f := newFixture(t)
+	probe := make(chan context.Context, 1)
+	f.fn("leaf", func(e *Env, in Value) (Value, error) {
+		probe <- e.Context()
+		return dynamo.S("ok"), nil
+	})
+	f.fn("root", func(e *Env, in Value) (Value, error) {
+		return e.SyncInvoke("leaf", in)
+	})
+	type ctxKey struct{}
+	ctx := context.WithValue(context.Background(), ctxKey{}, "marker")
+	if _, err := f.plat.InvokeCtx(ctx, "root", ClientEnvelope(dynamo.Null)); err != nil {
+		t.Fatal(err)
+	}
+	leafCtx := <-probe
+	if leafCtx.Value(ctxKey{}) != "marker" {
+		t.Error("caller context did not reach the leaf SSF")
+	}
+}
+
+func TestEnvContextDefaultsToBackground(t *testing.T) {
+	f := newFixture(t)
+	f.fn("plain", func(e *Env, in Value) (Value, error) {
+		if e.Context() == nil {
+			return dynamo.Null, errors.New("nil context")
+		}
+		if e.Context().Done() != nil {
+			return dynamo.Null, errors.New("context-free entry has a cancelable context")
+		}
+		return dynamo.Null, nil
+	})
+	f.mustInvoke("plain", dynamo.Null)
+}
+
+// TestParallelErrorAggregation pins Parallel's semantics: every branch
+// runs to completion (no early cancellation of siblings), the returned
+// error is the declaration-order-first one, and ErrTxnAborted outranks
+// other errors regardless of position.
+func TestParallelErrorAggregation(t *testing.T) {
+	f := newFixture(t)
+	errA := errors.New("branch A failed")
+	errB := errors.New("branch B failed")
+	f.fn("par", func(e *Env, in Value) (Value, error) {
+		ran := make([]bool, 3)
+		err := e.Parallel(
+			func(sub *Env) error {
+				ran[0] = true
+				time.Sleep(5 * time.Millisecond) // errB happens first in time
+				return errA
+			},
+			func(sub *Env) error {
+				ran[1] = true
+				return errB
+			},
+			func(sub *Env) error {
+				ran[2] = true
+				return sub.Write("kv", "c", dynamo.S("done"))
+			},
+		)
+		for i, r := range ran {
+			if !r {
+				return dynamo.Null, fmt.Errorf("branch %d never ran", i)
+			}
+		}
+		// Report the aggregated error as data so the instance completes.
+		return dynamo.S(err.Error()), nil
+	}, "kv")
+	out := f.mustInvoke("par", dynamo.Null)
+	if out.Str() != errA.Error() {
+		t.Errorf("aggregated error = %q, want declaration-order-first %q", out.Str(), errA)
+	}
+	if got := f.readData("par", "kv", "c"); got.Str() != "done" {
+		t.Error("successful branch's effect missing: siblings must not be cancelled")
+	}
+
+	f.fn("parAbort", func(e *Env, in Value) (Value, error) {
+		err := e.Parallel(
+			func(sub *Env) error { return errA },
+			func(sub *Env) error {
+				time.Sleep(2 * time.Millisecond)
+				return ErrTxnAborted
+			},
+		)
+		return dynamo.Bool(errors.Is(err, ErrTxnAborted)), nil
+	})
+	if out := f.mustInvoke("parAbort", dynamo.Null); !out.BoolVal() {
+		t.Error("ErrTxnAborted did not outrank the declaration-order-first error")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -37,6 +38,7 @@ type Body func(e *Env, input Value) (Value, error)
 type Env struct {
 	rt         *Runtime
 	inv        *platform.Invocation
+	ctx        context.Context
 	instanceID string
 	branch     string
 	steps      atomic.Int64
@@ -64,6 +66,44 @@ func (e *Env) App() string { return e.shared.app }
 // InstanceID returns the instance id Beldi assigned to this execution intent
 // (§3.3).
 func (e *Env) InstanceID() string { return e.instanceID }
+
+// Context returns the context this execution runs under: the caller's (an
+// InvokeCtx entry or an SSF-to-SSF call carrying one), or
+// context.Background() for context-free entries and collector restarts.
+// Cancellation is observed at operation boundaries and inside every retry
+// or poll wait (lock backoff, wait-die retries, promise awaits); it aborts
+// the instance cleanly — the intent stays pending and the collector
+// re-executes it later, with a fresh background context, so exactly-once is
+// never weakened by giving up.
+func (e *Env) Context() context.Context {
+	if e.ctx != nil {
+		return e.ctx
+	}
+	if e.inv != nil {
+		return e.inv.Context()
+	}
+	return context.Background()
+}
+
+// waitRetry sleeps d on the runtime clock, returning early with the
+// context's error if the execution's context ends first — the wait primitive
+// under every retry loop (lock acquisition, wait-die backoff, Await polls).
+func (e *Env) waitRetry(d time.Duration) error {
+	ctx := e.Context()
+	if ctx.Done() == nil {
+		e.rt.clk.Sleep(d)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-e.rt.clk.After(d):
+		return nil
+	}
+}
 
 // Runtime returns the SSF's runtime.
 func (e *Env) Runtime() *Runtime { return e.rt }
@@ -240,7 +280,11 @@ func (e *Env) Lock(table, key string) error {
 		if ok {
 			return nil
 		}
-		e.rt.clk.Sleep(backoff)
+		if werr := e.waitRetry(backoff); werr != nil {
+			// Canceled mid-wait: no lock is held (this attempt's acquisition
+			// recorded false), so aborting here leaves nothing to release.
+			return fmt.Errorf("core: lock %s/%s: %w", table, key, werr)
+		}
 		if backoff < 128*e.rt.cfg.LockRetryBase {
 			backoff *= 2
 		}
@@ -294,6 +338,7 @@ func (e *Env) Parallel(branches ...func(*Env) error) error {
 		sub := &Env{
 			rt:         e.rt,
 			inv:        e.inv,
+			ctx:        e.ctx,
 			instanceID: e.instanceID,
 			branch:     fmt.Sprintf("%s-%d-%d", e.branch, group, i),
 			intent:     e.intent,

@@ -33,6 +33,14 @@ type envelope struct {
 	Result   Value
 	HasRes   bool
 
+	// Durable-promise reply coordinates (§4.5 extended): a promise-returning
+	// AsyncInvoke stamps the caller function and instance here so the callee,
+	// on completion, posts its result back into the caller's mailbox (a
+	// kindPromisePost invocation routed to ReplyFn). They ride the registered
+	// run envelope, so collector-restarted runs post too.
+	ReplyFn    string
+	ReplyOwner string
+
 	// Transaction context; nil when outside any transaction.
 	Txn *TxnContext
 }
@@ -43,6 +51,7 @@ const (
 	kindCallback      = "callback"
 	kindAsyncRegister = "asyncRegister"
 	kindAsyncRun      = "asyncRun"
+	kindPromisePost   = "promisePost"
 )
 
 // encode marshals the envelope to a map Value.
@@ -72,6 +81,10 @@ func (ev envelope) encode() Value {
 	}
 	if ev.HasRes {
 		m["Result"] = ev.Result
+	}
+	if ev.ReplyFn != "" {
+		m["ReplyFn"] = dynamo.S(ev.ReplyFn)
+		m["ReplyOwner"] = dynamo.S(ev.ReplyOwner)
 	}
 	if ev.Txn != nil {
 		m["Txn"] = ev.Txn.encode()
@@ -129,6 +142,10 @@ func decodeEnvelope(raw Value) envelope {
 	if v, ok := m["Result"]; ok {
 		ev.Result = v
 		ev.HasRes = true
+	}
+	if v, ok := m["ReplyFn"]; ok {
+		ev.ReplyFn = v.Str()
+		ev.ReplyOwner = m["ReplyOwner"].Str()
 	}
 	if v, ok := m["Txn"]; ok {
 		ev.Txn = decodeTxnContext(v)

@@ -75,6 +75,18 @@ func Fsck(rt *Runtime) error {
 		}
 	}
 
+	// Promise mailbox cells must belong to live intents: a cell whose owner
+	// was collected is a leak (the GC reaps cells with their owning intent).
+	cells, err := rt.mailbox.Cells()
+	if err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if !live[c.Owner] {
+			report("mailbox: cell %s owned by collected intent %s leaked", c.ID, c.Owner)
+		}
+	}
+
 	if len(problems) == 0 {
 		return nil
 	}

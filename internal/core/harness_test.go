@@ -131,6 +131,7 @@ func (f *fixture) gcAll() GCStats {
 		total.RowsDisconnected += st.RowsDisconnected
 		total.RowsDeleted += st.RowsDeleted
 		total.IntentsDeleted += st.IntentsDeleted
+		total.MailboxReaped += st.MailboxReaped
 	}
 	return total
 }

@@ -85,7 +85,7 @@ func (e *Env) syncInvoke(callee string, input Value, txn *TxnContext) (Value, er
 	var out Value
 	var callErr error
 	for attempt := 0; attempt < syncInvokeRetries; attempt++ {
-		out, callErr = e.rt.plat.InvokeInternal(callee, ev.encode())
+		out, callErr = e.rt.plat.InvokeInternalCtx(e.Context(), callee, ev.encode())
 		e.crash("invoke:post:" + stepKey)
 		if callErr == nil {
 			// The callee completed, which means its callback already
@@ -145,6 +145,18 @@ func (e *Env) AsyncInvoke(callee string, input Value) error {
 	if e.inExecute() {
 		return ErrAsyncInTxn
 	}
+	_, err := e.asyncInvoke(callee, input, "", "")
+	return err
+}
+
+// asyncInvoke is the §4.5/Fig 20 fire protocol shared by AsyncInvoke and
+// AsyncInvokePromise: register the intent synchronously (minting the callee
+// id exactly once), then fire the run. replyFn/replyOwner, when set, ride
+// both the registered intent and the run envelope so every eventual
+// execution of the callee — direct or collector-restarted — posts its result
+// into the caller's mailbox. Returns the callee instance id, which doubles
+// as the promise id.
+func (e *Env) asyncInvoke(callee string, input Value, replyFn, replyOwner string) (string, error) {
 	stepKey := e.nextStepKey()
 	logKey := dynamo.HSK(dynamo.S(e.instanceID), dynamo.S(stepKey))
 
@@ -156,14 +168,14 @@ func (e *Env) AsyncInvoke(callee string, input Value) error {
 		dynamo.Set(dynamo.A(attrCalleeID), dynamo.S(calleeID)))
 	if err != nil {
 		if !errors.Is(err, dynamo.ErrConditionFailed) {
-			return err
+			return "", err
 		}
 		rec, ok, gerr := e.rt.store.Get(e.rt.invokeLog, logKey)
 		if gerr != nil {
-			return gerr
+			return "", gerr
 		}
 		if !ok {
-			return fmt.Errorf("core: invoke log row vanished: %s %s", e.instanceID, stepKey)
+			return "", fmt.Errorf("core: invoke log row vanished: %s %s", e.instanceID, stepKey)
 		}
 		calleeID = rec[attrCalleeID].Str()
 		_, registered = rec[attrResult]
@@ -181,16 +193,18 @@ func (e *Env) AsyncInvoke(callee string, input Value) error {
 			CallerFn:       e.rt.fn,
 			CallerInstance: e.instanceID,
 			CallerStep:     stepKey,
+			ReplyFn:        replyFn,
+			ReplyOwner:     replyOwner,
 		}
-		if _, err := e.rt.plat.InvokeInternal(callee, reg.encode()); err != nil {
-			return fmt.Errorf("core: asyncInvoke %s: registration: %w", callee, err)
+		if _, err := e.rt.plat.InvokeInternalCtx(e.Context(), callee, reg.encode()); err != nil {
+			return "", fmt.Errorf("core: asyncInvoke %s: registration: %w", callee, err)
 		}
 		rec, ok, gerr := e.rt.store.Get(e.rt.invokeLog, logKey)
 		if gerr != nil {
-			return gerr
+			return "", gerr
 		}
 		if !ok || !func() bool { _, has := rec[attrResult]; return has }() {
-			return fmt.Errorf("core: asyncInvoke %s: registration not confirmed", callee)
+			return "", fmt.Errorf("core: asyncInvoke %s: registration not confirmed", callee)
 		}
 	}
 	e.crash("ainvoke:mid:" + stepKey)
@@ -203,16 +217,17 @@ func (e *Env) AsyncInvoke(callee string, input Value) error {
 	// and the platform's async goroutine both die. A crash between the
 	// enqueue and the next crash point re-enqueues on re-execution — a
 	// duplicate the callee's intent dedup absorbs.
-	run := envelope{Kind: kindAsyncRun, InstanceID: calleeID, Input: input, Async: true, App: e.shared.app}
+	run := envelope{Kind: kindAsyncRun, InstanceID: calleeID, Input: input, Async: true,
+		App: e.shared.app, ReplyFn: replyFn, ReplyOwner: replyOwner}
 	if t := e.rt.asyncTransport(); t != nil {
 		if err := t.Deliver(callee, run.encode()); err != nil {
-			return fmt.Errorf("core: asyncInvoke %s: durable delivery: %w", callee, err)
+			return "", fmt.Errorf("core: asyncInvoke %s: durable delivery: %w", callee, err)
 		}
 	} else if err := e.rt.plat.InvokeAsyncInternal(callee, run.encode()); err != nil {
-		return fmt.Errorf("core: asyncInvoke %s: run: %w", callee, err)
+		return "", fmt.Errorf("core: asyncInvoke %s: run: %w", callee, err)
 	}
 	e.crash("ainvoke:post:" + stepKey)
-	return nil
+	return calleeID, nil
 }
 
 // issueCallback delivers result to the caller SSF's invoke log (§4.5). It

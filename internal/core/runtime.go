@@ -18,6 +18,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/dynamo"
 	"repro/internal/platform"
+	"repro/internal/queue"
 	"repro/internal/uuid"
 )
 
@@ -94,6 +95,11 @@ type Config struct {
 	// LockRetryMax bounds standalone-lock retries per Lock call; retries
 	// consume log entries, so they are bounded. 0 means 50.
 	LockRetryMax int
+	// AwaitRetryMax bounds mailbox polls per Promise.Await before the await
+	// gives up with ErrAwaitTimeout (the instance fails and the intent
+	// collector retries it later). Await polls back off exponentially from
+	// LockRetryBase, capped at 128×. 0 means 200.
+	AwaitRetryMax int
 	// TableShards is the shard count for this SSF's own tables — the DAAL
 	// data tables where appends and lock rows live, the read/invoke logs,
 	// the intent table, and the transaction bookkeeping tables. Striping
@@ -125,6 +131,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LockRetryMax == 0 {
 		c.LockRetryMax = 50
+	}
+	if c.AwaitRetryMax == 0 {
+		c.AwaitRetryMax = 200
 	}
 	return c
 }
@@ -160,6 +169,7 @@ type Runtime struct {
 	invokeLog   string
 	txCallees   string
 	txLocks     string
+	mailbox     *queue.Mailbox
 
 	mu           sync.Mutex
 	dataTables_  []string
@@ -268,6 +278,13 @@ func (rt *Runtime) createInfraTables() error {
 			return fmt.Errorf("core: %s: %w", rt.fn, err)
 		}
 	}
+	// The promise mailbox: one durable result cell per promise this SSF's
+	// instances fan out (reaped together with the owning intent).
+	mb, err := queue.NewMailbox(rt.store, rt.fn+".mailbox", n)
+	if err != nil {
+		return fmt.Errorf("core: %s: %w", rt.fn, err)
+	}
+	rt.mailbox = mb
 	return nil
 }
 

@@ -15,6 +15,12 @@ type Stats struct {
 	Locks      atomic.Int64
 	Unlocks    atomic.Int64
 
+	// Durable promises: promise-returning async invocations issued, awaits
+	// resolved, and results posted into this SSF's mailbox.
+	PromiseCalls atomic.Int64
+	Awaits       atomic.Int64
+	PromisePosts atomic.Int64
+
 	// Replays counts operations resolved from logs instead of executing —
 	// the visible footprint of re-executions (each one is an effect the
 	// protocol deduplicated).
@@ -43,6 +49,7 @@ type Stats struct {
 // StatsView is a point-in-time copy for reporting.
 type StatsView struct {
 	Reads, Writes, CondWrites, SyncCalls, AsyncCalls, Locks, Unlocks int64
+	PromiseCalls, Awaits, PromisePosts                               int64
 	Replays                                                          int64
 	TxnBegun, TxnCommitted, TxnAborted                               int64
 	IntentsStarted, IntentsCompleted, Restarts                       int64
@@ -64,6 +71,9 @@ func (rt *Runtime) StatsSnapshot() StatsView {
 		AsyncCalls:       s.AsyncCalls.Load(),
 		Locks:            s.Locks.Load(),
 		Unlocks:          s.Unlocks.Load(),
+		PromiseCalls:     s.PromiseCalls.Load(),
+		Awaits:           s.Awaits.Load(),
+		PromisePosts:     s.PromisePosts.Load(),
 		Replays:          s.Replays.Load(),
 		TxnBegun:         s.TxnBegun.Load(),
 		TxnCommitted:     s.TxnCommitted.Load(),

@@ -152,7 +152,12 @@ func (e *Env) txnLock(table, key string) error {
 				return ErrTxnAborted // die: the holder has priority
 			}
 		}
-		e.rt.clk.Sleep(backoff)
+		if werr := e.waitRetry(backoff); werr != nil {
+			// Canceled while waiting (wait-die's "wait" arm): abort the
+			// transaction the same way a die would — the lock intention is
+			// registered, so the abort phase releases anything actually held.
+			return fmt.Errorf("%w: txn lock %s/%s: %v", ErrTxnAborted, table, key, werr)
+		}
 		if backoff < 128*e.rt.cfg.LockRetryBase {
 			backoff *= 2
 		}

@@ -44,6 +44,8 @@ func (rt *Runtime) handler(inv *platform.Invocation, raw Value) (Value, error) {
 		return rt.handleAsyncRegister(inv, ev)
 	case kindAsyncRun:
 		return rt.handleAsyncRun(inv, ev)
+	case kindPromisePost:
+		return rt.handlePromisePost(ev)
 	default:
 		return rt.handleCall(inv, ev)
 	}
@@ -132,7 +134,11 @@ func (rt *Runtime) runBody(env *Env, input Value) (Value, error) {
 // log the intent (flagged async, carrying the run envelope for the intent
 // collector), confirm to the caller via callback, and return.
 func (rt *Runtime) handleAsyncRegister(inv *platform.Invocation, ev envelope) (Value, error) {
-	runEv := envelope{Kind: kindAsyncRun, InstanceID: ev.InstanceID, Input: ev.Input, Async: true}
+	// The stored run envelope keeps the app scope and the promise reply
+	// coordinates, so a collector-restarted execution behaves exactly like
+	// the directly fired one — including posting its result back.
+	runEv := envelope{Kind: kindAsyncRun, InstanceID: ev.InstanceID, Input: ev.Input, Async: true,
+		App: ev.App, ReplyFn: ev.ReplyFn, ReplyOwner: ev.ReplyOwner}
 	if _, err := rt.ensureIntent(ev.InstanceID, runEv); err != nil {
 		return dynamo.Null, err
 	}
@@ -166,6 +172,17 @@ func (rt *Runtime) handleAsyncRun(inv *platform.Invocation, ev envelope) (Value,
 		return dynamo.Null, err
 	}
 	inv.CrashPoint("body:done")
+	// Post the promise result BEFORE done-marking (the same Fig 9 ordering
+	// as callbacks): once the intent is done it can be collected, so the
+	// result must already sit durably in the caller's mailbox. A crash in
+	// between re-runs this intent, which replays the identical result and
+	// re-posts it into the already-won cell — a no-op.
+	if ev.ReplyFn != "" {
+		if err := rt.postPromise(ev.ReplyFn, ev.ReplyOwner, ev.InstanceID, ret); err != nil {
+			return dynamo.Null, fmt.Errorf("core: %s: promise post to %s failed: %w", rt.fn, ev.ReplyFn, err)
+		}
+		inv.CrashPoint("promise:posted")
+	}
 	if err := rt.markIntentDone(ev.InstanceID, ret); err != nil {
 		return dynamo.Null, err
 	}

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -206,6 +207,27 @@ func (m *Mapper) loop(stopCh, doneCh chan struct{}) {
 			select {
 			case <-stopCh:
 				return
+			case <-time.After(m.opts.PollInterval):
+			}
+		}
+	}
+}
+
+// Run polls until ctx ends — the context-first alternative to Start/Stop for
+// callers that manage lifecycles with contexts. A non-empty batch polls again
+// immediately; an empty poll sleeps PollInterval (or less, if the context
+// ends first). Run returns ctx.Err() once the context is done; messages
+// already claimed keep their visibility timeout, so nothing is lost.
+func (m *Mapper) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n, _, err := m.PollOnce()
+		if err != nil || n == 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
 			case <-time.After(m.opts.PollInterval):
 			}
 		}

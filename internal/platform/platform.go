@@ -13,6 +13,7 @@
 package platform
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -46,6 +47,12 @@ var (
 	// ErrThrottled reports rejection at the concurrency ceiling when the
 	// platform is configured to reject rather than queue.
 	ErrThrottled = errors.New("platform: concurrency limit exceeded")
+	// ErrCanceled reports that the invocation's context was canceled (or its
+	// deadline expired) and the instance was killed at its next operation
+	// boundary — the context-first analogue of ErrTimeout. Like any other
+	// instance death, partial state is left for Beldi's collectors to
+	// resolve: cancellation never weakens exactly-once.
+	ErrCanceled = errors.New("platform: invocation canceled")
 )
 
 // Options configure a Platform.
@@ -173,7 +180,15 @@ func (p *Platform) Metrics() *Metrics { return &p.metrics }
 // rejected, per RejectWhenSaturated) — the account-level admission that
 // bottlenecks the paper's saturation experiments.
 func (p *Platform) Invoke(name string, input Value) (Value, error) {
-	return p.invoke(name, input, false, false)
+	return p.invoke(context.Background(), name, input, false, false)
+}
+
+// InvokeCtx is Invoke bounded by a context: the admission wait respects
+// cancellation, and the instance carries the context (Invocation.Context) so
+// it is killed at its next operation boundary once the context ends — the
+// entry point workflows with client deadlines use.
+func (p *Platform) InvokeCtx(ctx context.Context, name string, input Value) (Value, error) {
+	return p.invoke(ctx, name, input, false, false)
 }
 
 // InvokeInternal runs name synchronously on behalf of an already-running
@@ -185,7 +200,13 @@ func (p *Platform) Invoke(name string, input Value) (Value, error) {
 // Capacity pressure from internal calls still starves entry admission, so
 // the saturation knee is preserved.
 func (p *Platform) InvokeInternal(name string, input Value) (Value, error) {
-	return p.invoke(name, input, false, true)
+	return p.invoke(context.Background(), name, input, false, true)
+}
+
+// InvokeInternalCtx is InvokeInternal carrying a caller's context, so
+// cancellation and deadlines propagate down SSF-to-SSF call chains.
+func (p *Platform) InvokeInternalCtx(ctx context.Context, name string, input Value) (Value, error) {
+	return p.invoke(ctx, name, input, false, true)
 }
 
 // InvokeAsync starts function name and returns immediately. Errors occurring
@@ -211,7 +232,7 @@ func (p *Platform) invokeAsync(name string, input Value, internal bool) error {
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
-		p.invoke(name, input, true, internal) //nolint:errcheck // async errors are dropped by design
+		p.invoke(context.Background(), name, input, true, internal) //nolint:errcheck // async errors are dropped by design
 	}()
 	return nil
 }
@@ -219,20 +240,35 @@ func (p *Platform) invokeAsync(name string, input Value, internal bool) error {
 // Drain blocks until all asynchronous invocations have finished.
 func (p *Platform) Drain() { p.wg.Wait() }
 
-func (p *Platform) invoke(name string, input Value, async, internal bool) (Value, error) {
+func (p *Platform) invoke(ctx context.Context, name string, input Value, async, internal bool) (Value, error) {
+	out, err := p.invokeInner(ctx, name, input, async, internal)
+	// Cancellation can surface from several places (the entry check, the
+	// admission wait, the watcher select, or the instance dying at a crash
+	// point); counting at the single exit keeps Cancels at exactly one per
+	// canceled invocation.
+	if errors.Is(err, ErrCanceled) {
+		p.metrics.Cancels.Add(1)
+	}
+	return out, err
+}
+
+func (p *Platform) invokeInner(ctx context.Context, name string, input Value, async, internal bool) (Value, error) {
 	p.mu.RLock()
 	fn, ok := p.fns[name]
 	p.mu.RUnlock()
 	if !ok {
 		return dynamo.Null, fmt.Errorf("%w: %s", ErrNoSuchFunction, name)
 	}
+	if err := ctx.Err(); err != nil {
+		return dynamo.Null, fmt.Errorf("%w: %s: %v", ErrCanceled, name, err)
+	}
 
 	// Concurrency admission. Every instance — entry or internal — counts
 	// against the account limit, but only entry invocations wait for room:
 	// an internal call blocking for a slot its own ancestors hold would
-	// deadlock the account (real platforms break this cycle by throttling
-	// internal calls with errors; the paper's evaluation relies on entry
-	// admission as the visible bottleneck).
+	// otherwise deadlock the account at its own limit (real platforms break
+	// this cycle by throttling internal calls with errors; the paper's
+	// evaluation relies on entry admission as the visible bottleneck).
 	limit := int64(p.opts.ConcurrencyLimit)
 	if internal {
 		p.running.Add(1)
@@ -241,8 +277,8 @@ func (p *Platform) invoke(name string, input Value, async, internal bool) (Value
 			p.metrics.Throttles.Add(1)
 			return dynamo.Null, ErrThrottled
 		}
-	} else {
-		p.admitWait(limit)
+	} else if err := p.admitWait(ctx, limit); err != nil {
+		return dynamo.Null, fmt.Errorf("%w: %s: %v", ErrCanceled, name, err)
 	}
 	defer p.running.Add(-1)
 	p.trackConcurrency()
@@ -272,6 +308,7 @@ func (p *Platform) invoke(name string, input Value, async, internal bool) (Value
 		RequestID: p.ids.NewString(),
 		Function:  name,
 		Async:     async,
+		ctx:       ctx,
 		platform:  p,
 		started:   time.Now(),
 	}
@@ -301,10 +338,13 @@ func (p *Platform) runInstance(fn *function, inv *Invocation, input Value) (Valu
 		defer func() {
 			if r := recover(); r != nil {
 				if c, ok := r.(crash); ok {
-					if c.timeout {
+					switch {
+					case c.timeout:
 						p.metrics.Timeouts.Add(1)
 						done <- result{dynamo.Null, fmt.Errorf("%w: %s at %q", ErrTimeout, inv.Function, c.label)}
-					} else {
+					case c.canceled:
+						done <- result{dynamo.Null, fmt.Errorf("%w: %s at %q", ErrCanceled, inv.Function, c.label)}
+					default:
 						p.metrics.Crashes.Add(1)
 						done <- result{dynamo.Null, fmt.Errorf("%w: %s at %q", ErrCrashed, inv.Function, c.label)}
 					}
@@ -319,21 +359,25 @@ func (p *Platform) runInstance(fn *function, inv *Invocation, input Value) (Valu
 		done <- result{out, err}
 	}()
 
-	if inv.deadline.IsZero() {
-		r := <-done
-		p.metrics.Completions.Add(1)
-		return r.out, r.err
+	var expired <-chan time.Time
+	if !inv.deadline.IsZero() {
+		expired = time.After(time.Until(inv.deadline) + 10*time.Millisecond)
 	}
 	select {
 	case r := <-done:
 		p.metrics.Completions.Add(1)
 		return r.out, r.err
-	case <-time.After(time.Until(inv.deadline) + 10*time.Millisecond):
+	case <-expired:
 		// The instance missed its deadline and has not yet hit a crash
 		// point; report the timeout to the caller. The goroutine will die at
 		// its next CrashPoint.
 		p.metrics.Timeouts.Add(1)
 		return dynamo.Null, fmt.Errorf("%w: %s", ErrTimeout, inv.Function)
+	case <-inv.ctx.Done():
+		// The caller gave up; report promptly. The instance goroutine dies at
+		// its next CrashPoint (the same boundary discipline as timeouts), and
+		// whatever it leaves behind is the intent collector's to finish.
+		return dynamo.Null, fmt.Errorf("%w: %s: %v", ErrCanceled, inv.Function, inv.ctx.Err())
 	}
 }
 
@@ -352,15 +396,21 @@ func (p *Platform) admitOnce(limit int64) bool {
 
 // admitWait claims a slot, waiting for one to free (entry queueing — where
 // saturation latency comes from in the sweep figures). The wait backs off
-// so a deep admission queue doesn't burn CPU polling.
-func (p *Platform) admitWait(limit int64) {
+// so a deep admission queue doesn't burn CPU polling, and aborts with the
+// context's error if the caller gives up while queued.
+func (p *Platform) admitWait(ctx context.Context, limit int64) error {
 	backoff := 200 * time.Microsecond
 	for !p.admitOnce(limit) {
-		time.Sleep(backoff)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
 		if backoff < 2*time.Millisecond {
 			backoff *= 2
 		}
 	}
+	return nil
 }
 
 func (p *Platform) trackConcurrency() {
@@ -392,16 +442,28 @@ type Invocation struct {
 	Function  string
 	Async     bool
 
+	ctx      context.Context
 	platform *Platform
 	started  time.Time
 	deadline time.Time
 	ops      atomic.Int64
 }
 
+// Context returns the context the invocation runs under —
+// context.Background() unless the caller used an InvokeCtx variant. Beldi
+// exposes it to bodies as Env.Context.
+func (inv *Invocation) Context() context.Context {
+	if inv.ctx == nil {
+		return context.Background()
+	}
+	return inv.ctx
+}
+
 // crash is the panic payload used to kill an instance.
 type crash struct {
-	label   string
-	timeout bool
+	label    string
+	timeout  bool
+	canceled bool
 }
 
 // IsInjectedCrash reports whether a recovered panic value is the platform's
@@ -421,6 +483,13 @@ func (inv *Invocation) CrashPoint(label string) {
 	n := inv.ops.Add(1)
 	if !inv.deadline.IsZero() && time.Now().After(inv.deadline) {
 		panic(crash{label: label, timeout: true})
+	}
+	if inv.ctx != nil && inv.ctx.Err() != nil {
+		// The invocation's context ended: die at this operation boundary, the
+		// same way a timeout kills. The intent stays pending — cancellation
+		// aborts cleanly; it never produces a partial effect the collectors
+		// cannot finish or that replay would duplicate.
+		panic(crash{label: label, canceled: true})
 	}
 	p := inv.platform
 	if p == nil {
@@ -450,6 +519,7 @@ type Metrics struct {
 	Completions          atomic.Int64
 	Crashes              atomic.Int64
 	Timeouts             atomic.Int64
+	Cancels              atomic.Int64
 	Throttles            atomic.Int64
 	ColdStarts           atomic.Int64
 	ConcurrencyHighWater atomic.Int64

@@ -1,0 +1,106 @@
+package queue
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dynamo"
+)
+
+// Mailbox is a durable result store keyed by promise id — the fan-in half of
+// the durable-promise protocol (core.Env.AsyncInvokePromise). Each cell is a
+// single-assignment slot: the first Post wins and every later Post of the
+// same id is a no-op, so a crashed-and-replayed callee (which recomputes the
+// byte-identical result from its logs) can post idempotently, and a
+// crashed-and-replayed awaiter always fetches the value the first completion
+// deposited. Cells carry the owning caller instance so the caller's garbage
+// collector can reap them together with the caller's intent.
+//
+// Like the broker's queues, a mailbox is a table on the shared dynamo
+// substrate: posting and fetching pay store-shaped latency, and atomicity is
+// per row — exactly the DynamoDB slice the rest of the reproduction builds
+// on.
+type Mailbox struct {
+	store *dynamo.Store
+	table string
+}
+
+// Mailbox table attributes.
+const (
+	attrPromiseID = "PromiseId"
+	attrResult    = "Result"
+	attrOwner     = "Owner"
+)
+
+// NewMailbox declares a mailbox table (idempotently — a table surviving a
+// prior process is adopted, cells intact, which is what makes promises
+// durable) and returns the handle. shards stripes the cell rows; 0 means the
+// store's default.
+func NewMailbox(store *dynamo.Store, name string, shards int) (*Mailbox, error) {
+	if name == "" {
+		return nil, fmt.Errorf("queue: NewMailbox: name is required")
+	}
+	err := store.CreateTable(dynamo.Schema{Name: name, HashKey: attrPromiseID, Shards: shards})
+	if err != nil && !errors.Is(err, dynamo.ErrTableExists) {
+		return nil, err
+	}
+	return &Mailbox{store: store, table: name}, nil
+}
+
+// Name returns the mailbox's table name.
+func (m *Mailbox) Name() string { return m.table }
+
+// Post deposits v as the result of promise id, owned by caller instance
+// owner. First write wins: posting an already-posted id changes nothing and
+// returns nil, which makes replayed completions (that deterministically
+// recompute the same result) safe.
+func (m *Mailbox) Post(id, owner string, v Value) error {
+	item := dynamo.Item{
+		attrPromiseID: dynamo.S(id),
+		attrResult:    v,
+		attrOwner:     dynamo.S(owner),
+	}
+	err := m.store.Put(m.table, item, dynamo.NotExists(dynamo.A(attrPromiseID)))
+	if err != nil && !errors.Is(err, dynamo.ErrConditionFailed) {
+		return err
+	}
+	return nil
+}
+
+// Fetch reads the posted result of promise id, reporting whether it has been
+// posted yet.
+func (m *Mailbox) Fetch(id string) (Value, bool, error) {
+	it, ok, err := m.store.Get(m.table, dynamo.HK(dynamo.S(id)))
+	if err != nil || !ok {
+		return dynamo.Null, false, err
+	}
+	return it[attrResult], true, nil
+}
+
+// Cell identifies one mailbox cell: the promise id and the caller instance
+// that owns it.
+type Cell struct {
+	ID    string
+	Owner string
+}
+
+// Cells lists every cell's (id, owner) pair — the inspection surface the
+// caller's garbage collector and fsck walk.
+func (m *Mailbox) Cells() ([]Cell, error) {
+	rows, err := m.store.Scan(m.table, dynamo.QueryOpts{
+		Projection: []dynamo.Path{dynamo.A(attrPromiseID), dynamo.A(attrOwner)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Cell, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, Cell{ID: row[attrPromiseID].Str(), Owner: row[attrOwner].Str()})
+	}
+	return out, nil
+}
+
+// Delete removes cell id; deleting an absent cell is a no-op.
+func (m *Mailbox) Delete(id string) error {
+	return m.store.Delete(m.table, dynamo.HK(dynamo.S(id)), nil)
+}
