@@ -65,6 +65,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynamo"
 	"repro/internal/platform"
+	"repro/internal/storage"
 	"repro/internal/uuid"
 )
 
@@ -94,6 +95,10 @@ type (
 	// Env.AwaitAll. Fan-out/fan-in built on promises survives crash and
 	// replay on both sides with exactly-once semantics.
 	Promise = core.Promise
+	// Backend is the pluggable storage seam every deployment runs on: the
+	// in-memory dynamo store or any durable implementation (walstore). See
+	// internal/storage.
+	Backend = storage.Backend
 )
 
 // Modes.
@@ -192,10 +197,12 @@ func Not(c Cond) Cond { return dynamo.Not(c) }
 
 // DeploymentOptions configure NewDeployment.
 type DeploymentOptions struct {
-	// Store backs every function's tables. Required. Use one store per SSF
-	// for strict data sovereignty, or share one (tables are namespaced per
-	// function) as teams sharing infrastructure would (§3).
-	Store *dynamo.Store
+	// Store backs every function's tables — any Backend implementation (the
+	// in-memory dynamo store, the durable WAL-backed walstore, …). Required.
+	// Use one store per SSF for strict data sovereignty, or share one
+	// (tables are namespaced per function) as teams sharing infrastructure
+	// would (§3).
+	Store Backend
 	// Platform hosts the functions. Required.
 	Platform *platform.Platform
 	// Mode selects the machinery; ModeBeldi by default.

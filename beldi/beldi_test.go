@@ -6,14 +6,14 @@ import (
 	"time"
 
 	"repro/beldi"
-	"repro/internal/dynamo"
 	"repro/internal/platform"
+	"repro/internal/storage/storagetest"
 	"repro/internal/uuid"
 )
 
 func newDeployment(t *testing.T, mode beldi.Mode) (*beldi.Deployment, *platform.Platform) {
 	t.Helper()
-	store := dynamo.NewStore()
+	store := storagetest.Open(t)
 	plat := platform.New(platform.Options{IDs: &uuid.Seq{Prefix: "req"}})
 	d := beldi.NewDeployment(beldi.DeploymentOptions{
 		Store: store, Platform: plat, Mode: mode,

@@ -5,8 +5,9 @@ import (
 	"time"
 
 	"repro/beldi"
-	"repro/internal/dynamo"
 	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/storage/storagetest"
 )
 
 // These tests cover the durable (queue-backed) AsyncInvoke path end to end:
@@ -15,7 +16,7 @@ import (
 // turning at-least-once delivery into exactly-once execution.
 
 type durableRig struct {
-	store *dynamo.Store
+	store storage.Backend
 	plat  *platform.Platform
 	d     *beldi.Deployment
 	da    *beldi.DurableAsync
@@ -23,7 +24,7 @@ type durableRig struct {
 
 func newDurableRig(t *testing.T, parentBody, childBody beldi.Body) *durableRig {
 	t.Helper()
-	store := dynamo.NewStore()
+	store := storagetest.Open(t)
 	plat := platform.New(platform.Options{})
 	d := beldi.NewDeployment(beldi.DeploymentOptions{
 		Store: store, Platform: plat,
@@ -47,11 +48,19 @@ func asyncParent(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
 }
 
 func countingChild(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+	// Batched mappers deliver concurrently, so the shared counter's
+	// read-modify-write needs the item lock to count every run.
+	if err := e.Lock("state", "count"); err != nil {
+		return beldi.Null, err
+	}
 	n, err := e.Read("state", "count")
 	if err != nil {
 		return beldi.Null, err
 	}
 	if err := e.Write("state", "count", beldi.Int(n.Int()+1)); err != nil {
+		return beldi.Null, err
+	}
+	if err := e.Unlock("state", "count"); err != nil {
 		return beldi.Null, err
 	}
 	return beldi.Str("done"), nil

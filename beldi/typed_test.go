@@ -9,14 +9,14 @@ import (
 	"time"
 
 	"repro/beldi"
-	"repro/internal/dynamo"
 	"repro/internal/platform"
+	"repro/internal/storage/storagetest"
 	"repro/internal/uuid"
 )
 
 func newTypedTestDeployment(t *testing.T) *beldi.Deployment {
 	t.Helper()
-	store := dynamo.NewStore()
+	store := storagetest.Open(t)
 	plat := platform.New(platform.Options{
 		ConcurrencyLimit: 10000, IDs: &uuid.Seq{Prefix: "req"},
 	})

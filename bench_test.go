@@ -261,3 +261,30 @@ func sanitize(s string) string {
 	}
 	return string(out)
 }
+
+// BenchmarkBackendSweep measures committed logged-step throughput per
+// storage backend: the in-memory store versus the durable WAL-backed store
+// with fsync batching on and off (the backend figure; full series via
+// `figures -fig backend`). Each sub-benchmark runs one backend cell.
+func BenchmarkBackendSweep(b *testing.B) {
+	for _, kind := range []bench.BackendKind{
+		bench.BackendMemory, bench.BackendWALNoSync, bench.BackendWALBatched, bench.BackendWALEach,
+	} {
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts, err := bench.BackendSweep(bench.BackendSweepOptions{
+					Backends: []bench.BackendKind{kind},
+					Duration: 250 * time.Millisecond,
+					Seed:     1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range pts {
+					b.ReportMetric(p.Throughput, "tput-steps/s")
+					b.ReportMetric(float64(p.Fsyncs), "fsyncs")
+				}
+			}
+		})
+	}
+}

@@ -33,6 +33,9 @@ var defaultDirs = []string{
 	"beldi/stepfn",
 	"internal/core",
 	"internal/dynamo",
+	"internal/storage",
+	"internal/storage/storagetest",
+	"internal/walstore",
 	"internal/queue",
 	"internal/platform",
 	"internal/hist",

@@ -18,6 +18,7 @@
 //	figures -fig orders              # event-driven order pipeline under load
 //	figures -fig shard               # store shard-count scaling, group commit on/off
 //	figures -fig fanout              # durable-promise fan-out/fan-in scaling
+//	figures -fig backend             # storage backends: memory vs durable WAL, fsync batching
 //
 // With -json, every sweep-shaped figure additionally writes its series as
 // machine-readable BENCH_<fig>.json into -out (default "."), so CI can
@@ -66,7 +67,7 @@ func emitJSON(name string, series any) error {
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 13, 14, 15, 15b, 16, 25, 26, costs, ablation, queue, orders, shard, fanout, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 13, 14, 15, 15b, 16, 25, 26, costs, ablation, queue, orders, shard, fanout, backend, all")
 		scale    = flag.Float64("scale", 0.1, "latency compression factor (1.0 = DynamoDB-like milliseconds)")
 		duration = flag.Duration("duration", 3*time.Second, "measurement duration per sweep point")
 		minutes  = flag.Int("minutes", 30, "simulated minutes for fig 16")
@@ -106,6 +107,30 @@ func main() {
 	run("orders", func() error { return runSweep("orders", "orders", rateList, *duration, *scale, *seed) })
 	run("shard", func() error { return runShardSweep(*duration, *scale, *seed) })
 	run("fanout", func() error { return runFanoutSweep(*duration, *scale, *seed) })
+	run("backend", func() error { return runBackendSweep(*duration, *seed) })
+}
+
+// runBackendSweep prints committed logged-step throughput for the same
+// closed-loop workload on the in-memory backend versus the durable
+// WAL-backed store, with fsync group-commit batching on and off — the
+// price of real durability and what batching buys back. Disk-bound, so
+// -scale does not apply.
+func runBackendSweep(duration time.Duration, seed int64) error {
+	fmt.Println("# Backend sweep — committed steps/s: memory vs WAL, fsync batching on/off")
+	fmt.Printf("%-14s %14s %10s %10s %12s %12s\n", "backend", "tput(steps/s)", "steps", "fsyncs", "mean batch", "wal KiB")
+	pts, err := bench.BackendSweep(bench.BackendSweepOptions{
+		Duration: duration,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Printf("%-14s %14.1f %10d %10d %12.1f %12.1f\n",
+			p.Backend, p.Throughput, p.Steps, p.Fsyncs, p.MeanBatch, float64(p.WALBytes)/1024)
+	}
+	fmt.Println()
+	return emitJSON("backend", pts)
 }
 
 // runFanoutSweep prints committed promise results per second versus fan-out

@@ -1,0 +1,139 @@
+// Restart: recover a crashed workflow from nothing but the WAL directory.
+//
+// Phase 1 runs a two-SSF payment workflow on the durable walstore backend
+// and kills the front SSF mid-flight — after the money moved, before the
+// order was recorded. Then it throws away every live object (store,
+// platform, deployment: a hard process exit in miniature; nothing is
+// closed, nothing flushed beyond what each commit already fsynced).
+//
+// Phase 2 reopens the directory cold: the write-ahead log replays into a
+// fresh store, the rebuilt deployment adopts the recovered tables — the
+// pending intent included — and the intent collector finishes the workflow
+// exactly once.
+//
+//	go run ./examples/restart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/platform"
+	"repro/internal/walstore"
+)
+
+// register wires the workflow onto a deployment: "payment" moves money,
+// "front" calls it and records the order.
+func register(d *beldi.Deployment) {
+	d.Function("payment", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		charged, err := e.Read("ledger", "charged")
+		if err != nil {
+			return beldi.Null, err
+		}
+		next := beldi.Int(charged.Int() + in.Int())
+		if err := e.Write("ledger", "charged", next); err != nil {
+			return beldi.Null, err
+		}
+		return next, nil
+	}, "ledger")
+	d.Function("front", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		total, err := e.SyncInvoke("payment", beldi.Int(42))
+		if err != nil {
+			return beldi.Null, err
+		}
+		if err := e.Write("orders", "last-total", total); err != nil {
+			return beldi.Null, err
+		}
+		return total, nil
+	}, "orders")
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "beldi-restart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := beldi.Config{T: 50 * time.Millisecond, ICMinAge: time.Millisecond}
+
+	// --- Phase 1: run on the durable backend, die mid-flight ------------
+	fmt.Printf("1. opening WAL-backed store in %s\n", dir)
+	store1, err := walstore.Open(dir, walstore.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plat1 := platform.New(platform.Options{Faults: &platform.CrashOnce{Function: "front", Label: "body:done"}})
+	d1 := beldi.NewDeployment(beldi.DeploymentOptions{Store: store1, Platform: plat1, Config: cfg})
+	register(d1)
+
+	fmt.Println("2. client sends the order; the worker is killed mid-flight ...")
+	_, err = d1.Invoke("front", beldi.Null)
+	fmt.Printf("   client saw: %v\n", err)
+	charged, err := beldi.PeekState(d1.Runtime("payment"), "ledger", "charged")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   payment ledger already charged: %v (the money moved!)\n", charged)
+	fmt.Printf("   WAL so far: %d records in %d bytes, %d fsyncs\n",
+		store1.WAL().Records.Load(), store1.WAL().BytesAppended.Load(), store1.WAL().Fsyncs.Load())
+
+	fmt.Println("3. hard exit: store, platform and deployment are abandoned, not closed.")
+	plat1.Drain()
+	store1, plat1, d1 = nil, nil, nil //nolint:ineffassign,wastedassign // the point: nothing survives but the directory
+
+	// --- Phase 2: cold restart from the directory alone -----------------
+	fmt.Println("4. reopening the directory cold; the log replays into a fresh store ...")
+	store2, err := walstore.Open(dir, walstore.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   recovered %d records (%d torn bytes discarded)\n",
+		store2.WAL().RecoveredRecords.Load(), store2.WAL().TruncatedBytes.Load())
+	plat2 := platform.New(platform.Options{})
+	d2 := beldi.NewDeployment(beldi.DeploymentOptions{Store: store2, Platform: plat2, Config: cfg})
+	register(d2) // tables (and the pending intent) are adopted, not re-created
+
+	fmt.Println("5. the intent collector finds the recovered intent and finishes it ...")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := d2.RunAllCollectors(); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+		v, err := beldi.PeekState(d2.Runtime("front"), "orders", "last-total")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !v.IsNull() {
+			fmt.Printf("   order completed: last-total = %v\n", v)
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("recovery did not complete")
+		}
+	}
+
+	charged, err = beldi.PeekState(d2.Runtime("payment"), "ledger", "charged")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("6. payment ledger after the restart: %v\n", charged)
+	if charged.Int() == 42 {
+		fmt.Println("   exactly-once: the replay reused the logged charge instead of repeating it")
+	} else {
+		fmt.Println("   DOUBLE CHARGE — this must never print")
+	}
+	if err := d2.FsckAll(); err != nil {
+		log.Fatalf("beldi fsck: %v", err)
+	}
+	if err := store2.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := walstore.Fsck(dir); err != nil {
+		log.Fatalf("walstore fsck: %v", err)
+	}
+	fmt.Println("7. beldi fsck and walstore fsck both clean.")
+}

@@ -6,16 +6,17 @@ import (
 	"time"
 
 	"repro/beldi"
-	"repro/internal/dynamo"
 	"repro/internal/platform"
 	"repro/internal/queue"
+	"repro/internal/storage"
+	"repro/internal/storage/storagetest"
 )
 
 // rig builds the pipeline on a fresh store/platform with queue-backed async
 // edges. Mappers are not started: tests drive delivery deterministically
 // with da.Drain / da.PollAll unless they opt into background polling.
 type rig struct {
-	store *dynamo.Store
+	store storage.Backend
 	plat  *platform.Platform
 	d     *beldi.Deployment
 	app   *App
@@ -24,7 +25,7 @@ type rig struct {
 
 func newRig(t *testing.T, opts beldi.DurableAsyncOptions) *rig {
 	t.Helper()
-	store := dynamo.NewStore()
+	store := storagetest.Open(t)
 	plat := platform.New(platform.Options{})
 	d := beldi.NewDeployment(beldi.DeploymentOptions{
 		Store: store, Platform: plat,

@@ -8,6 +8,7 @@ import (
 	"repro/beldi"
 	"repro/internal/dynamo"
 	"repro/internal/platform"
+	"repro/internal/storage/storagetest"
 	"repro/internal/uuid"
 )
 
@@ -16,7 +17,7 @@ import (
 
 func newNoTxnDeployment(t *testing.T) (*beldi.Deployment, *App) {
 	t.Helper()
-	store := dynamo.NewStore()
+	store := storagetest.Open(t)
 	plat := platform.New(platform.Options{ConcurrencyLimit: 10000, IDs: &uuid.Seq{Prefix: "req"}})
 	d := beldi.NewDeployment(beldi.DeploymentOptions{
 		Store: store, Platform: plat,

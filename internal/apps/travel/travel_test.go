@@ -9,12 +9,13 @@ import (
 	"repro/beldi"
 	"repro/internal/dynamo"
 	"repro/internal/platform"
+	"repro/internal/storage/storagetest"
 	"repro/internal/uuid"
 )
 
 func newDeployment(t *testing.T, mode beldi.Mode) (*beldi.Deployment, *App) {
 	t.Helper()
-	store := dynamo.NewStore()
+	store := storagetest.Open(t)
 	plat := platform.New(platform.Options{ConcurrencyLimit: 10000, IDs: &uuid.Seq{Prefix: "req"}})
 	d := beldi.NewDeployment(beldi.DeploymentOptions{
 		Store: store, Platform: plat, Mode: mode,

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/uuid"
+	"repro/internal/walstore"
+)
+
+// BackendSweep measures what durability costs on Beldi's hot logging path:
+// committed steps per second for the same closed-loop workload on the
+// in-memory backend versus the WAL-backed store, with fsync group-commit
+// batching on and off. The memory backend runs with zero simulated latency
+// (the raw substrate ceiling); the walstore points pay real disk writes and
+// real fsyncs, so the batched-vs-each gap is the measured amortization of
+// the group-commit flush — the same lever Netherite pulls by batching a
+// partition's speculative commits into one persistence round.
+
+// BackendKind names one backend configuration of the sweep.
+type BackendKind string
+
+// The swept backend configurations.
+const (
+	// BackendMemory is the in-memory dynamo store, zero latency.
+	BackendMemory BackendKind = "memory"
+	// BackendWALBatched is the walstore with group-committed fsyncs.
+	BackendWALBatched BackendKind = "wal-batched"
+	// BackendWALEach is the walstore fsyncing every record individually.
+	BackendWALEach BackendKind = "wal-each"
+	// BackendWALNoSync is the walstore journaling without fsync — isolates
+	// the write-path cost from the flush cost.
+	BackendWALNoSync BackendKind = "wal-nosync"
+)
+
+// BackendSweepOptions configure a backend sweep.
+type BackendSweepOptions struct {
+	// Backends are the configurations to sweep. nil means all four.
+	Backends []BackendKind
+	// Workers is the fixed offered load of closed-loop invokers. 0 means 32.
+	Workers int
+	// Duration is the measurement window per point. 0 means 400ms.
+	Duration time.Duration
+	// Keys is the number of distinct item keys written. 0 means 256.
+	Keys int
+	Seed int64
+}
+
+func (o BackendSweepOptions) withDefaults() BackendSweepOptions {
+	if o.Backends == nil {
+		o.Backends = []BackendKind{BackendMemory, BackendWALNoSync, BackendWALBatched, BackendWALEach}
+	}
+	if o.Workers == 0 {
+		o.Workers = 32
+	}
+	if o.Duration == 0 {
+		o.Duration = 400 * time.Millisecond
+	}
+	if o.Keys == 0 {
+		o.Keys = 256
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// BackendSweepPoint is one backend cell of the sweep.
+type BackendSweepPoint struct {
+	Backend BackendKind
+	// Steps is the number of logged write steps committed in the window;
+	// Throughput is Steps per second.
+	Steps      int64
+	Throughput float64
+	// Fsyncs counts disk flushes in the window and MeanBatch the records
+	// per commit-path flush (0 for backends that never flush); their
+	// relation is the group-commit amortization the figure shows.
+	Fsyncs    int64
+	MeanBatch float64
+	// WALBytes is the log volume appended during the window.
+	WALBytes int64
+	Elapsed  time.Duration
+}
+
+// BackendSweep runs every configured backend cell under the same offered
+// load, each against a fresh store (walstore cells journal into a fresh
+// temp directory, removed afterwards).
+func BackendSweep(opts BackendSweepOptions) ([]BackendSweepPoint, error) {
+	opts = opts.withDefaults()
+	var out []BackendSweepPoint
+	for _, kind := range opts.Backends {
+		pt, err := backendSweepPoint(opts, kind)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// backendSweepPoint measures one cell: a fresh deployment whose single SSF
+// logs one write step per invocation, hammered by closed-loop invokers.
+func backendSweepPoint(opts BackendSweepOptions, kind BackendKind) (BackendSweepPoint, error) {
+	var store storage.Backend
+	var wal *walstore.Store
+	switch kind {
+	case BackendMemory:
+		store = dynamo.NewStore()
+	case BackendWALBatched, BackendWALEach, BackendWALNoSync:
+		dir, err := os.MkdirTemp("", "beldi-backend-sweep-*")
+		if err != nil {
+			return BackendSweepPoint{}, err
+		}
+		defer os.RemoveAll(dir)
+		policy := walstore.SyncBatched
+		switch kind {
+		case BackendWALEach:
+			policy = walstore.SyncEach
+		case BackendWALNoSync:
+			policy = walstore.SyncNone
+		}
+		wal, err = walstore.Open(dir, walstore.Options{Sync: policy})
+		if err != nil {
+			return BackendSweepPoint{}, err
+		}
+		defer wal.Close()
+		store = wal
+	default:
+		return BackendSweepPoint{}, fmt.Errorf("bench: backend sweep: unknown backend %q", kind)
+	}
+
+	plat := platform.New(platform.Options{
+		ConcurrencyLimit: opts.Workers * 2,
+		Seed:             opts.Seed,
+		IDs:              &uuid.Seq{Prefix: "req"},
+	})
+	d := beldi.NewDeployment(beldi.DeploymentOptions{
+		Store: store, Platform: plat, Mode: beldi.ModeBeldi,
+		Config: beldi.Config{RowCap: 16},
+	})
+	d.Function("step", func(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
+		m := input.Map()
+		if err := e.Write("state", m["Key"].Str(), m["Val"]); err != nil {
+			return beldi.Null, err
+		}
+		return beldi.Null, nil
+	}, "state")
+
+	var baseFsyncs, baseBatches, baseBatched, baseBytes int64
+	if wal != nil {
+		baseFsyncs = wal.WAL().Fsyncs.Load()
+		baseBatches = wal.WAL().SyncBatches.Load()
+		baseBatched = wal.WAL().BatchedRecords.Load()
+		baseBytes = wal.WAL().BytesAppended.Load()
+	}
+	var steps atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	deadline := time.Now().Add(opts.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				key := fmt.Sprintf("k%04d", (w*31+i)%opts.Keys)
+				_, err := d.Invoke("step", beldi.Map(map[string]beldi.Value{
+					"Key": beldi.Str(key),
+					"Val": beldi.Int(int64(i)),
+				}))
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				steps.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	d.Stop()
+	if firstErr != nil {
+		return BackendSweepPoint{}, fmt.Errorf("bench: backend sweep (%s): %w", kind, firstErr)
+	}
+	pt := BackendSweepPoint{
+		Backend:    kind,
+		Steps:      steps.Load(),
+		Throughput: float64(steps.Load()) / elapsed.Seconds(),
+		Elapsed:    elapsed,
+	}
+	if wal != nil {
+		pt.Fsyncs = wal.WAL().Fsyncs.Load() - baseFsyncs
+		pt.WALBytes = wal.WAL().BytesAppended.Load() - baseBytes
+		if batches := wal.WAL().SyncBatches.Load() - baseBatches; batches > 0 {
+			pt.MeanBatch = float64(wal.WAL().BatchedRecords.Load()-baseBatched) / float64(batches)
+		} else if pt.Fsyncs > 0 {
+			pt.MeanBatch = 1
+		}
+	}
+	return pt, nil
+}

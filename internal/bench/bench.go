@@ -15,13 +15,14 @@ import (
 	"repro/beldi"
 	"repro/internal/dynamo"
 	"repro/internal/platform"
+	"repro/internal/storage"
 	"repro/internal/uuid"
 )
 
 // System is a fully rigged deployment: store + platform + Beldi runtime in
 // one mode, with cloud-shaped latency.
 type System struct {
-	Store *dynamo.Store
+	Store storage.Backend
 	Plat  *platform.Platform
 	D     *beldi.Deployment
 	Mode  beldi.Mode

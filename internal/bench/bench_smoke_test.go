@@ -278,3 +278,53 @@ func shardSweepMonotone(pts []ShardSweepPoint) bool {
 	}
 	return true
 }
+
+// TestBackendSweepSmoke pins the backend figure's shape: every cell
+// commits work; the WAL cells actually journal; batching amortizes fsyncs
+// (several records per flush) while the unbatched cell pays at least one
+// fsync per committed step.
+func TestBackendSweepSmoke(t *testing.T) {
+	pts, err := BackendSweep(BackendSweepOptions{Duration: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	byKind := map[BackendKind]BackendSweepPoint{}
+	for _, p := range pts {
+		if p.Steps <= 0 || p.Throughput <= 0 {
+			t.Fatalf("empty point: %+v", p)
+		}
+		byKind[p.Backend] = p
+	}
+	for _, k := range []BackendKind{BackendWALNoSync, BackendWALBatched, BackendWALEach} {
+		if byKind[k].WALBytes == 0 {
+			t.Errorf("%s journaled nothing", k)
+		}
+	}
+	if byKind[BackendMemory].Fsyncs != 0 {
+		t.Errorf("memory backend fsynced %d times", byKind[BackendMemory].Fsyncs)
+	}
+	// The nosync cell never flushes on the commit path, but segment
+	// rotation still fsyncs the old file; on a fast machine the window can
+	// cross the segment cap, so allow a handful, not per-commit flushing.
+	if ns := byKind[BackendWALNoSync]; ns.Fsyncs*10 > ns.Steps {
+		t.Errorf("wal-nosync fsyncs=%d for %d steps (should be rotation-only)", ns.Fsyncs, ns.Steps)
+	}
+	each := byKind[BackendWALEach]
+	if each.Fsyncs < each.Steps {
+		t.Errorf("wal-each fsyncs=%d < steps=%d", each.Fsyncs, each.Steps)
+	}
+	batched := byKind[BackendWALBatched]
+	if batched.Fsyncs == 0 || batched.MeanBatch < 2 {
+		t.Errorf("wal-batched shows no amortization: fsyncs=%d mean batch=%.1f",
+			batched.Fsyncs, batched.MeanBatch)
+	}
+	// Batching must beat per-record fsyncs under concurrent load. The gap
+	// is ~5× here; a CI scheduling hiccup does not erase it.
+	if batched.Throughput <= each.Throughput {
+		t.Errorf("batched (%0.1f steps/s) not faster than fsync-each (%0.1f)",
+			batched.Throughput, each.Throughput)
+	}
+}

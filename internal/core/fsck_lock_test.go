@@ -5,13 +5,14 @@ import (
 
 	"repro/internal/dynamo"
 	"repro/internal/platform"
+	"repro/internal/storage/storagetest"
 )
 
 // Reproduce: lock held across a DAAL row transition leaves a stale LockOwner
 // on the filled (immutable) row; fsck must not flag it once the owner
 // completes.
 func TestFsckLockAcrossRowTransition(t *testing.T) {
-	store := dynamo.NewStore()
+	store := storagetest.Open(t)
 	plat := platform.New(platform.Options{})
 	rt := MustNewRuntime(RuntimeOptions{Function: "f", Store: store, Platform: plat, Config: Config{RowCap: 4}})
 	rt.MustCreateDataTable("t")

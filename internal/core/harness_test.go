@@ -6,13 +6,18 @@ import (
 
 	"repro/internal/dynamo"
 	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/storage/storagetest"
 	"repro/internal/uuid"
 )
 
-// fixture bundles a store, platform and runtimes for core tests.
+// fixture bundles a store, platform and runtimes for core tests. The
+// store comes from the backend matrix (storagetest.Open): BELDI_BACKEND=wal
+// runs every core test — crash sweeps included — against the durable
+// walstore backend.
 type fixture struct {
 	t     *testing.T
-	store *dynamo.Store
+	store storage.Backend
 	plat  *platform.Platform
 	rts   map[string]*Runtime
 	mode  Mode
@@ -32,7 +37,7 @@ func newFixture(t *testing.T, opts ...fixtureOpt) *fixture {
 	t.Helper()
 	f := &fixture{
 		t:     t,
-		store: dynamo.NewStore(),
+		store: storagetest.Open(t),
 		rts:   make(map[string]*Runtime),
 		mode:  ModeBeldi,
 		cfg:   Config{RowCap: 4, T: 50 * time.Millisecond, ICMinAge: time.Millisecond},

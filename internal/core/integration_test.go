@@ -122,17 +122,34 @@ func TestIntegrationEverythingAtOnce(t *testing.T) {
 	collectorWG.Wait()
 
 	// Recovery must leave no pending intents before the GC assertions mean
-	// anything.
-	for _, rt := range f.rts {
-		items, err := f.store.Scan(rt.intentTable, dynamo.QueryOpts{
-			Filter: dynamo.Eq(dynamo.A(attrDone), dynamo.Bool(false)),
-		})
-		if err != nil {
-			t.Fatal(err)
+	// anything. The background chaos collector races the final recovery
+	// rounds — an intent it relaunched can still be in flight when
+	// recoverAll's own count reaches zero — so give recovery a bounded
+	// retry instead of failing on the first scan.
+	pendingIntents := func() (string, int) {
+		for _, rt := range f.rts {
+			items, err := f.store.Scan(rt.intentTable, dynamo.QueryOpts{
+				Filter: dynamo.Eq(dynamo.A(attrDone), dynamo.Bool(false)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(items) != 0 {
+				return rt.fn, len(items)
+			}
 		}
-		if len(items) != 0 {
-			t.Fatalf("%s: %d intents still pending after recovery", rt.fn, len(items))
+		return "", 0
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fn, n := pendingIntents()
+		if n == 0 {
+			break
 		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: %d intents still pending after recovery", fn, n)
+		}
+		f.recoverAll()
 	}
 
 	for k := 0; k < keys; k++ {

@@ -15,10 +15,13 @@ import (
 	"sync"
 	"time"
 
+	"errors"
+
 	"repro/internal/clock"
 	"repro/internal/dynamo"
 	"repro/internal/platform"
 	"repro/internal/queue"
+	"repro/internal/storage"
 	"repro/internal/uuid"
 )
 
@@ -152,7 +155,7 @@ type AsyncTransport interface {
 // database, the platform it runs on, and its configuration.
 type Runtime struct {
 	fn    string
-	store *dynamo.Store
+	store storage.Backend
 	plat  *platform.Platform
 	cfg   Config
 	mode  Mode
@@ -194,9 +197,10 @@ func (rt *Runtime) dataTables() []string {
 type RuntimeOptions struct {
 	// Function is the SSF's platform name. Required.
 	Function string
-	// Store is the SSF's own database. Required. SSFs of the same team may
-	// share a store; tables are namespaced by function name.
-	Store *dynamo.Store
+	// Store is the SSF's own database — any storage.Backend (the in-memory
+	// dynamo store, the durable walstore, …). Required. SSFs of the same
+	// team may share a store; tables are namespaced by function name.
+	Store storage.Backend
 	// Platform hosts the SSF and its collectors. Required.
 	Platform *platform.Platform
 	// Mode selects Beldi / cross-table / baseline machinery.
@@ -274,7 +278,7 @@ func (rt *Runtime) createInfraTables() error {
 		{Name: rt.txLocks, HashKey: attrTxnID, SortKey: attrTableKey, Shards: n},
 	}
 	for _, s := range tables {
-		if err := rt.store.CreateTable(s); err != nil {
+		if err := rt.createOrAdopt(s); err != nil {
 			return fmt.Errorf("core: %s: %w", rt.fn, err)
 		}
 	}
@@ -286,6 +290,46 @@ func (rt *Runtime) createInfraTables() error {
 	}
 	rt.mailbox = mb
 	return nil
+}
+
+// createOrAdopt creates one of the runtime's tables, adopting a table that
+// already exists in the store. On an in-memory store a fresh runtime never
+// collides; on a durable backend reopened from disk (walstore), the
+// surviving tables — pending intents, logs, DAAL chains — are exactly the
+// state a restarted deployment must recover, so existing tables are kept
+// as-is (a table's layout is fixed at creation). Adoption is verified: the
+// surviving table's keys and indexes must match what this runtime's mode
+// would have created — reopening a directory with a different Mode (or a
+// colliding function name whose tables have another shape) fails loudly
+// instead of silently running the protocol on the wrong layout.
+func (rt *Runtime) createOrAdopt(s dynamo.Schema) error {
+	err := rt.store.CreateTable(s)
+	if !errors.Is(err, dynamo.ErrTableExists) {
+		return err
+	}
+	have, err := rt.store.TableSchema(s.Name)
+	if err != nil {
+		return err
+	}
+	if have.HashKey != s.HashKey || have.SortKey != s.SortKey || !sameIndexes(have.Indexes, s.Indexes) {
+		return fmt.Errorf("core: adopt table %s: existing schema (hash %q, sort %q, %d indexes) does not match required (hash %q, sort %q, %d indexes); was the store written by a different mode or function?",
+			s.Name, have.HashKey, have.SortKey, len(have.Indexes), s.HashKey, s.SortKey, len(s.Indexes))
+	}
+	return nil
+}
+
+// sameIndexes reports whether two index lists declare the same indexes (in
+// the same order — creation order is deterministic per mode).
+func sameIndexes(a, b []dynamo.IndexSchema) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // CreateDataTable declares a logical data table owned by this SSF, creating
@@ -301,7 +345,7 @@ func (rt *Runtime) CreateDataTable(logical string) error {
 	switch rt.mode {
 	case ModeBeldi:
 		for _, name := range []string{rt.dataTable(logical), rt.shadowTable(logical)} {
-			if err := rt.store.CreateTable(dynamo.Schema{
+			if err := rt.createOrAdopt(dynamo.Schema{
 				Name: name, HashKey: attrKey, SortKey: attrRowID, Shards: n,
 			}); err != nil {
 				return err
@@ -309,17 +353,17 @@ func (rt *Runtime) CreateDataTable(logical string) error {
 		}
 	case ModeCrossTable:
 		for _, name := range []string{rt.dataTable(logical), rt.shadowTable(logical)} {
-			if err := rt.store.CreateTable(dynamo.Schema{Name: name, HashKey: attrKey, Shards: n}); err != nil {
+			if err := rt.createOrAdopt(dynamo.Schema{Name: name, HashKey: attrKey, Shards: n}); err != nil {
 				return err
 			}
 		}
 		for _, name := range []string{rt.writeLogTable(logical), rt.shadowWriteLogTable(logical)} {
-			if err := rt.store.CreateTable(dynamo.Schema{Name: name, HashKey: attrID, SortKey: attrStep, Shards: n}); err != nil {
+			if err := rt.createOrAdopt(dynamo.Schema{Name: name, HashKey: attrID, SortKey: attrStep, Shards: n}); err != nil {
 				return err
 			}
 		}
 	case ModeBaseline:
-		if err := rt.store.CreateTable(dynamo.Schema{Name: rt.dataTable(logical), HashKey: attrKey, Shards: n}); err != nil {
+		if err := rt.createOrAdopt(dynamo.Schema{Name: rt.dataTable(logical), HashKey: attrKey, Shards: n}); err != nil {
 			return err
 		}
 	}
@@ -393,8 +437,9 @@ func (rt *Runtime) Function() string { return rt.fn }
 func (rt *Runtime) Mode() Mode { return rt.mode }
 
 // Store returns the SSF's database (tests and the figure harness inspect
-// it).
-func (rt *Runtime) Store() *dynamo.Store { return rt.store }
+// it). The returned value is the storage seam; use storage.AsDynamo to
+// reach in-memory-specific knobs where a bench needs them.
+func (rt *Runtime) Store() storage.Backend { return rt.store }
 
 // Platform returns the platform hosting the SSF.
 func (rt *Runtime) Platform() *platform.Platform { return rt.plat }

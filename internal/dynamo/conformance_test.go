@@ -1,0 +1,30 @@
+package dynamo_test
+
+import (
+	"testing"
+
+	"repro/internal/dynamo"
+	"repro/internal/storage"
+	"repro/internal/storage/storagetest"
+)
+
+// The in-memory store must pass the backend conformance suite in every
+// interesting configuration: the seed's single-latch layout, a striped
+// layout, and the striped layout with the group-commit batcher on.
+func TestConformanceSingleShard(t *testing.T) {
+	storagetest.Run(t, func(tb testing.TB) storage.Backend {
+		return dynamo.NewStore()
+	})
+}
+
+func TestConformanceSharded(t *testing.T) {
+	storagetest.Run(t, func(tb testing.TB) storage.Backend {
+		return dynamo.NewStore(dynamo.WithShards(8))
+	})
+}
+
+func TestConformanceShardedGroupCommit(t *testing.T) {
+	storagetest.Run(t, func(tb testing.TB) storage.Backend {
+		return dynamo.NewStore(dynamo.WithShards(8), dynamo.WithGroupCommit(true))
+	})
+}

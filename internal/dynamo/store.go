@@ -99,6 +99,20 @@ func (s *Store) TableShards(name string) (int, error) {
 	return len(t.shards), nil
 }
 
+// TableSchema returns the schema of an existing table, with Shards set to
+// the effective stripe count (the layout is fixed at creation, so a schema
+// created with Shards=0 reports the default it resolved to).
+func (s *Store) TableSchema(name string) (Schema, error) {
+	t, err := s.table(name)
+	if err != nil {
+		return Schema{}, err
+	}
+	sch := t.schema
+	sch.Shards = len(t.shards)
+	sch.Indexes = append([]IndexSchema(nil), t.schema.Indexes...)
+	return sch, nil
+}
+
 // CreateTable registers a new table.
 func (s *Store) CreateTable(schema Schema) error {
 	if schema.Name == "" || schema.HashKey == "" {

@@ -55,3 +55,50 @@ func (u updateRemove) apply(it Item) error {
 	return nil
 }
 func (u updateRemove) String() string { return fmt.Sprintf("REMOVE %s", u.p) }
+
+// UpdateKind discriminates the action of an UpdateDesc.
+type UpdateKind uint8
+
+// The update action kinds.
+const (
+	UpdateSet UpdateKind = iota + 1
+	UpdateAdd
+	UpdateRemove
+)
+
+// UpdateDesc is a serializable description of an Update action — the form
+// storage backends that journal logical mutations (internal/walstore) write
+// to disk and replay. Value carries the SET payload; Delta the ADD payload.
+type UpdateDesc struct {
+	Kind  UpdateKind
+	Path  Path
+	Value Value
+	Delta float64
+}
+
+// DescribeUpdate decomposes an Update built by Set, Add or Remove into its
+// serializable description. It reports false for foreign implementations.
+func DescribeUpdate(u Update) (UpdateDesc, bool) {
+	switch a := u.(type) {
+	case updateSet:
+		return UpdateDesc{Kind: UpdateSet, Path: a.p, Value: a.v}, true
+	case updateAdd:
+		return UpdateDesc{Kind: UpdateAdd, Path: a.p, Delta: a.d}, true
+	case updateRemove:
+		return UpdateDesc{Kind: UpdateRemove, Path: a.p}, true
+	}
+	return UpdateDesc{}, false
+}
+
+// UpdateFromDesc rebuilds the Update an UpdateDesc describes.
+func UpdateFromDesc(d UpdateDesc) (Update, error) {
+	switch d.Kind {
+	case UpdateSet:
+		return Set(d.Path, d.Value), nil
+	case UpdateAdd:
+		return Add(d.Path, d.Delta), nil
+	case UpdateRemove:
+		return Remove(d.Path), nil
+	}
+	return nil, fmt.Errorf("dynamo: UpdateFromDesc: unknown kind %d", d.Kind)
+}

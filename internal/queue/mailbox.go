@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/dynamo"
+	"repro/internal/storage"
 )
 
 // Mailbox is a durable result store keyed by promise id — the fan-in half of
@@ -21,7 +22,7 @@ import (
 // per row — exactly the DynamoDB slice the rest of the reproduction builds
 // on.
 type Mailbox struct {
-	store *dynamo.Store
+	store storage.Backend
 	table string
 }
 
@@ -36,7 +37,7 @@ const (
 // prior process is adopted, cells intact, which is what makes promises
 // durable) and returns the handle. shards stripes the cell rows; 0 means the
 // store's default.
-func NewMailbox(store *dynamo.Store, name string, shards int) (*Mailbox, error) {
+func NewMailbox(store storage.Backend, name string, shards int) (*Mailbox, error) {
 	if name == "" {
 		return nil, fmt.Errorf("queue: NewMailbox: name is required")
 	}

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/dynamo"
+	"repro/internal/storage"
 	"repro/internal/uuid"
 )
 
@@ -105,8 +106,8 @@ func (o Options) withDefaults() Options {
 
 // BrokerOptions configure a Broker.
 type BrokerOptions struct {
-	// Store persists every queue. Required.
-	Store *dynamo.Store
+	// Store persists every queue — any storage.Backend. Required.
+	Store storage.Backend
 	// Clock drives enqueue timestamps and visibility expiry; defaults to the
 	// wall clock (tests inject clock.Manual to expire timeouts instantly).
 	Clock clock.Clock
@@ -116,7 +117,7 @@ type BrokerOptions struct {
 
 // Broker manages a set of durable queues on one store.
 type Broker struct {
-	store *dynamo.Store
+	store storage.Backend
 	clk   clock.Clock
 	ids   uuid.Source
 

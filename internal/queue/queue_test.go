@@ -9,12 +9,13 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/dynamo"
+	"repro/internal/storage/storagetest"
 )
 
 func newTestBroker(t *testing.T) (*Broker, *clock.Manual) {
 	t.Helper()
 	clk := clock.NewManual(time.Unix(1_700_000_000, 0))
-	b := NewBroker(BrokerOptions{Store: dynamo.NewStore(), Clock: clk})
+	b := NewBroker(BrokerOptions{Store: storagetest.Open(t), Clock: clk})
 	return b, clk
 }
 
@@ -303,7 +304,7 @@ func TestQueueLifecycleErrors(t *testing.T) {
 }
 
 func TestBrokerRestartReopensDurableQueues(t *testing.T) {
-	store := dynamo.NewStore()
+	store := storagetest.Open(t)
 	clk := clock.NewManual(time.Unix(1_700_000_000, 0))
 	b1 := NewBroker(BrokerOptions{Store: store, Clock: clk})
 	b1.MustCreate("q", Options{})
@@ -407,7 +408,7 @@ func TestReceiveBatchSizes(t *testing.T) {
 }
 
 func BenchmarkEnqueueAckRoundTrip(b *testing.B) {
-	br := NewBroker(BrokerOptions{Store: dynamo.NewStore()})
+	br := NewBroker(BrokerOptions{Store: storagetest.Open(b)})
 	br.MustCreate("bench", Options{VisibilityTimeout: time.Hour})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

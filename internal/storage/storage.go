@@ -1,0 +1,156 @@
+// Package storage defines the seam between Beldi's protocol layers and the
+// database that makes them durable: Backend is the slice of DynamoDB's API
+// that the core actually consumes (strongly consistent reads, atomic
+// conditional single-row writes, query/scan with filtering and projection,
+// secondary-index queries, and multi-row conditional transactions).
+//
+// Everything above this package — core, queue, platform glue, the beldi
+// facade, the bench harness — holds a Backend, never a concrete store, so
+// backends are pluggable:
+//
+//   - internal/dynamo is the in-memory implementation (lock-striped shards,
+//     group-commit batching, injectable latency model) that every simulation
+//     figure runs on;
+//   - internal/walstore wraps it with a segmented, CRC-checked write-ahead
+//     log plus snapshots, so the same protocol state survives the process
+//     and Open(dir) recovers it.
+//
+// The data model (Value, Item, Key, Cond, Update, Schema, …) is shared by
+// all backends and lives in internal/dynamo; this package re-exports it
+// under storage names so consumers can depend on the seam alone. The
+// conformance suite in storage/storagetest pins every backend to identical
+// observable semantics, condition failures and error identities included.
+package storage
+
+import "repro/internal/dynamo"
+
+// Shared data-model types, aliased from the dynamo package (the reference
+// implementation of the model). The aliases are identities: values flow
+// between packages using either name.
+type (
+	// Value is a dynamically typed attribute value.
+	Value = dynamo.Value
+	// Item is a row: named attributes.
+	Item = dynamo.Item
+	// Key identifies a row by hash (and optional sort) attribute value.
+	Key = dynamo.Key
+	// Cond guards conditional operations.
+	Cond = dynamo.Cond
+	// Update is one action of an update expression.
+	Update = dynamo.Update
+	// Schema describes a table.
+	Schema = dynamo.Schema
+	// IndexSchema describes a secondary index.
+	IndexSchema = dynamo.IndexSchema
+	// QueryOpts shape a Query, QueryIndex or Scan.
+	QueryOpts = dynamo.QueryOpts
+	// Path addresses an attribute (optionally one level into a map).
+	Path = dynamo.Path
+	// TxOp is one write inside a TransactWrite.
+	TxOp = dynamo.TxOp
+	// Metrics counts a backend's traffic (the metrics hook every backend
+	// exposes; walstore adds WAL-specific counters on the side).
+	Metrics = dynamo.Metrics
+	// TxCanceledError reports a canceled TransactWrite with per-op reasons.
+	TxCanceledError = dynamo.TxCanceledError
+)
+
+// Error identities shared by every backend; test with errors.Is. They alias
+// the dynamo package's errors so existing errors.Is checks keep working
+// regardless of which name produced them.
+var (
+	// ErrConditionFailed reports a conditional operation whose condition
+	// evaluated false.
+	ErrConditionFailed = dynamo.ErrConditionFailed
+	// ErrItemTooLarge reports an operation that would exceed the table's
+	// item size cap.
+	ErrItemTooLarge = dynamo.ErrItemTooLarge
+	// ErrNoSuchTable reports an operation against an unknown table.
+	ErrNoSuchTable = dynamo.ErrNoSuchTable
+	// ErrTableExists reports CreateTable on an existing name.
+	ErrTableExists = dynamo.ErrTableExists
+	// ErrNoSuchIndex reports a query against an unknown secondary index.
+	ErrNoSuchIndex = dynamo.ErrNoSuchIndex
+)
+
+// Backend is the store API Beldi's protocol layers consume. Implementations
+// must be safe for concurrent use; every operation is linearizable, and
+// conditional updates are atomic within a row — the atomicity scope the
+// paper assumes of DynamoDB (§2.2). Whole-table reads (Scan, QueryIndex,
+// TableBytes, TableItemCount) must return consistent snapshots: writes that
+// complete strictly before the call are reflected in the result, the
+// property Beldi's DAAL traversal needs from scans (§4.1).
+type Backend interface {
+	// CreateTable registers a new table; ErrTableExists on duplicates.
+	CreateTable(schema Schema) error
+	// DeleteTable drops a table and its data.
+	DeleteTable(name string) error
+	// TableNames lists tables in sorted order.
+	TableNames() []string
+	// TableShards reports the shard count of an existing table (1 for
+	// backends without striping).
+	TableShards(name string) (int, error)
+	// TableSchema returns an existing table's schema (Shards resolved to
+	// the effective stripe count) — what adoption checks against when a
+	// durable deployment reopens its tables.
+	TableSchema(name string) (Schema, error)
+	// TableBytes reports the table's current storage footprint.
+	TableBytes(name string) (int, error)
+	// TableItemCount reports the number of live rows.
+	TableItemCount(name string) (int, error)
+
+	// Get returns a deep copy of the item at key (strongly consistent).
+	Get(table string, key Key) (Item, bool, error)
+	// GetProj is Get with a server-side projection.
+	GetProj(table string, key Key, proj []Path) (Item, bool, error)
+	// Put installs item if cond holds against the current (possibly absent)
+	// row; nil cond always passes.
+	Put(table string, item Item, cond Cond) error
+	// Update applies update actions to the row at key if cond holds,
+	// upserting a missing row.
+	Update(table string, key Key, cond Cond, updates ...Update) error
+	// Delete removes the row at key if cond holds; deleting an absent row
+	// with a passing condition is a no-op.
+	Delete(table string, key Key, cond Cond) error
+
+	// Query returns one partition's rows in sort-key order.
+	Query(table string, hash Value, opts QueryOpts) ([]Item, error)
+	// QueryIndex queries a secondary index by its hash attribute.
+	QueryIndex(table, index string, hash Value, opts QueryOpts) ([]Item, error)
+	// Scan walks the whole table in deterministic partition order.
+	Scan(table string, opts QueryOpts) ([]Item, error)
+
+	// TransactWrite applies all ops atomically or none, reporting per-op
+	// outcomes via *TxCanceledError.
+	TransactWrite(ops []TxOp) error
+
+	// Metrics exposes the backend's live traffic counters.
+	Metrics() *Metrics
+}
+
+// Compile-time check: the in-memory dynamo store is a Backend.
+var _ Backend = (*dynamo.Store)(nil)
+
+// AsDynamo unwraps a Backend down to its concrete in-memory *dynamo.Store
+// when the backend is (or wraps) one — the accessor benches use to reach
+// shard- and batching-specific knobs (SetGroupCommit, SetLatency) that are
+// implementation details, not part of the seam. Backends that wrap a dynamo
+// store implement interface{ DynamoStore() *dynamo.Store }.
+func AsDynamo(b Backend) (*dynamo.Store, bool) {
+	switch s := b.(type) {
+	case *dynamo.Store:
+		return s, true
+	case interface{ DynamoStore() *dynamo.Store }:
+		return s.DynamoStore(), true
+	}
+	return nil, false
+}
+
+// MustCreateTable is Backend.CreateTable, panicking on error; for setup
+// code (the method-form convenience the concrete stores offer, spelled as a
+// function over the seam).
+func MustCreateTable(b Backend, schema Schema) {
+	if err := b.CreateTable(schema); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,41 @@
+package storage_test
+
+import (
+	"testing"
+
+	"repro/internal/dynamo"
+	"repro/internal/storage"
+	"repro/internal/walstore"
+)
+
+// Both concrete stores satisfy the seam, and AsDynamo unwraps each down to
+// the in-memory store carrying the shard/batching knobs.
+func TestAsDynamo(t *testing.T) {
+	mem := dynamo.NewStore()
+	if got, ok := storage.AsDynamo(mem); !ok || got != mem {
+		t.Errorf("AsDynamo(mem) = %v, %v", got, ok)
+	}
+	wal, err := walstore.Open(t.TempDir(), walstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	if got, ok := storage.AsDynamo(wal); !ok || got != wal.DynamoStore() {
+		t.Errorf("AsDynamo(wal) = %v, %v", got, ok)
+	}
+	var b storage.Backend = wal
+	if _, ok := b.(*dynamo.Store); ok {
+		t.Error("walstore must not be a *dynamo.Store")
+	}
+}
+
+func TestMustCreateTable(t *testing.T) {
+	mem := dynamo.NewStore()
+	storage.MustCreateTable(mem, storage.Schema{Name: "t", HashKey: "K"})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate MustCreateTable did not panic")
+		}
+	}()
+	storage.MustCreateTable(mem, storage.Schema{Name: "t", HashKey: "K"})
+}

@@ -1,0 +1,74 @@
+package storagetest
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/dynamo"
+	"repro/internal/storage"
+	"repro/internal/walstore"
+)
+
+// BackendEnv is the environment variable selecting the test-matrix backend.
+const BackendEnv = "BELDI_BACKEND"
+
+// Backend names accepted in BELDI_BACKEND.
+const (
+	BackendMemory = "memory"
+	BackendWAL    = "wal"
+)
+
+// BackendName reports the backend the matrix selected: "memory" (default)
+// or "wal".
+func BackendName() string {
+	switch v := os.Getenv(BackendEnv); v {
+	case "", BackendMemory:
+		return BackendMemory
+	case BackendWAL:
+		return BackendWAL
+	default:
+		panic(fmt.Sprintf("storagetest: unknown %s=%q (want %q or %q)", BackendEnv, v, BackendMemory, BackendWAL))
+	}
+}
+
+// Open builds a fresh backend of the kind BELDI_BACKEND selects, cleaned up
+// with the test. With "wal" the store lives in a test temp directory, fsyncs
+// for real (group-committed), and is closed — then audited with Fsck — when
+// the test ends, so every test in the matrix also checks that the log it
+// wrote recovers cleanly.
+func Open(tb testing.TB) storage.Backend {
+	tb.Helper()
+	switch BackendName() {
+	case BackendWAL:
+		return OpenWAL(tb)
+	default:
+		return OpenMemory(tb)
+	}
+}
+
+// OpenMemory builds the in-memory dynamo backend.
+func OpenMemory(tb testing.TB) storage.Backend {
+	tb.Helper()
+	return dynamo.NewStore()
+}
+
+// OpenWAL builds a durable walstore backend in a fresh temp directory,
+// closing and Fsck-auditing it at test cleanup.
+func OpenWAL(tb testing.TB) storage.Backend {
+	tb.Helper()
+	dir := tb.TempDir()
+	s, err := walstore.Open(dir, walstore.Options{})
+	if err != nil {
+		tb.Fatalf("storagetest: open walstore: %v", err)
+	}
+	tb.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			tb.Errorf("storagetest: close walstore: %v", err)
+		}
+		if err := walstore.Fsck(dir); err != nil {
+			tb.Errorf("storagetest: walstore fsck: %v", err)
+		}
+	})
+	return s
+}

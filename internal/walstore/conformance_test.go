@@ -1,0 +1,53 @@
+package walstore_test
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/storage/storagetest"
+	"repro/internal/walstore"
+)
+
+// The durable backend must pass the same conformance suite as the
+// in-memory store, under each sync policy. Every store is closed and its
+// directory Fsck-audited at cleanup (storagetest.OpenWAL); the batched
+// policy additionally reopens each directory cold to prove the suite's
+// final state recovers.
+func TestConformanceBatchedSync(t *testing.T) {
+	storagetest.Run(t, func(tb testing.TB) storage.Backend {
+		return storagetest.OpenWAL(tb)
+	})
+}
+
+func TestConformanceSyncEach(t *testing.T) {
+	storagetest.Run(t, openWith(walstore.Options{Sync: walstore.SyncEach}))
+}
+
+func TestConformanceSyncNone(t *testing.T) {
+	storagetest.Run(t, openWith(walstore.Options{Sync: walstore.SyncNone}))
+}
+
+// TestConformanceTinySegments forces constant rotation and auto-compaction
+// under the conformance workload.
+func TestConformanceTinySegments(t *testing.T) {
+	storagetest.Run(t, openWith(walstore.Options{SegmentBytes: 256, AutoCompactBytes: 4096}))
+}
+
+func openWith(opts walstore.Options) storagetest.Opener {
+	return func(tb testing.TB) storage.Backend {
+		dir := tb.TempDir()
+		s, err := walstore.Open(dir, opts)
+		if err != nil {
+			tb.Fatalf("open: %v", err)
+		}
+		tb.Cleanup(func() {
+			if err := s.Close(); err != nil {
+				tb.Errorf("close: %v", err)
+			}
+			if err := walstore.Fsck(dir); err != nil {
+				tb.Errorf("fsck: %v", err)
+			}
+		})
+		return s
+	}
+}

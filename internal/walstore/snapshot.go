@@ -1,0 +1,154 @@
+package walstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dynamo"
+)
+
+// A snapshot is a compacted image of the whole store at one log position:
+//
+//	[u64 covered seq][uvarint ntables][table…][u32 crc32c of everything above]
+//
+// where each table is its schema followed by a uvarint row count and the
+// rows as items (in the store's deterministic scan order). Snapshots are
+// written to a temp file, fsynced, and renamed into place, so a crash
+// mid-snapshot leaves the previous snapshot authoritative; after a
+// successful snapshot the log is rotated and every older segment and
+// snapshot is deleted (compaction).
+
+// encodeSnapshot serializes the snapshot image of mem at seq.
+func encodeSnapshot(seq uint64, schemas map[string]dynamo.Schema, mem *dynamo.Store) ([]byte, error) {
+	e := &encoder{b: make([]byte, 0, 4096)}
+	e.u64(seq)
+	names := mem.TableNames()
+	e.uvarint(uint64(len(names)))
+	for _, name := range names {
+		sch, ok := schemas[name]
+		if !ok {
+			return nil, fmt.Errorf("walstore: snapshot: no recorded schema for table %s", name)
+		}
+		e.schema(sch)
+		rows, err := mem.Scan(name, dynamo.QueryOpts{})
+		if err != nil {
+			return nil, err
+		}
+		e.uvarint(uint64(len(rows)))
+		for _, it := range rows {
+			e.item(it)
+		}
+	}
+	sum := crc32.Checksum(e.b, castagnoli)
+	e.b = binary.LittleEndian.AppendUint32(e.b, sum)
+	return e.b, nil
+}
+
+// decodeSnapshot parses a snapshot image, returning the covered sequence,
+// the table schemas, and a freshly loaded in-memory store.
+func decodeSnapshot(data []byte, defaultShards int) (uint64, map[string]dynamo.Schema, *dynamo.Store, error) {
+	if len(data) < 4 {
+		return 0, nil, nil, fmt.Errorf("walstore: snapshot too short")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return 0, nil, nil, fmt.Errorf("walstore: snapshot CRC mismatch")
+	}
+	d := &decoder{b: body}
+	seq, err := d.u64()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	ntables, err := d.uvarint()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	mem := dynamo.NewStore(dynamo.WithShards(defaultShards))
+	schemas := make(map[string]dynamo.Schema, ntables)
+	for i := uint64(0); i < ntables; i++ {
+		sch, err := d.schema()
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if err := mem.CreateTable(sch); err != nil {
+			return 0, nil, nil, err
+		}
+		schemas[sch.Name] = sch
+		nrows, err := d.uvarint()
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if nrows > uint64(len(d.b)-d.off) {
+			return 0, nil, nil, errTruncated
+		}
+		for r := uint64(0); r < nrows; r++ {
+			it, err := d.item()
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			if err := mem.Put(sch.Name, it, nil); err != nil {
+				return 0, nil, nil, err
+			}
+		}
+	}
+	if d.off != len(d.b) {
+		return 0, nil, nil, fmt.Errorf("walstore: %d trailing snapshot bytes", len(d.b)-d.off)
+	}
+	return seq, schemas, mem, nil
+}
+
+// writeSnapshotFile durably writes the snapshot image for seq into dir.
+func writeSnapshotFile(dir string, seq uint64, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, snapName(seq))); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// loadNewestSnapshot finds the newest decodable snapshot in dir. A corrupt
+// snapshot (crash mid-write that still got renamed, bit rot) falls back to
+// the next-older one; with none valid, recovery starts from an empty store.
+// It returns the covered seq (0 when none), schemas, store, and the name of
+// the snapshot used ("" when none).
+func loadNewestSnapshot(dir string, defaultShards int) (uint64, map[string]dynamo.Schema, *dynamo.Store, string, error) {
+	names, _, err := listSeqFiles(dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return 0, nil, nil, "", err
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(filepath.Join(dir, names[i]))
+		if err != nil {
+			return 0, nil, nil, "", err
+		}
+		seq, schemas, mem, err := decodeSnapshot(data, defaultShards)
+		if err != nil {
+			continue // fall back to an older snapshot
+		}
+		return seq, schemas, mem, names[i], nil
+	}
+	return 0, make(map[string]dynamo.Schema), dynamo.NewStore(dynamo.WithShards(defaultShards)), "", nil
+}

@@ -1,0 +1,576 @@
+// Package walstore is the durable storage backend: the same linearizable,
+// conditional-write NoSQL surface as internal/dynamo (it implements
+// storage.Backend), with every committed mutation journaled to a segmented,
+// CRC-checked write-ahead log on disk before the operation returns.
+//
+// The design is log-structured state-machine replication onto the local
+// filesystem, the shape Netherite ("Serverless Workflows with Durable
+// Functions and Netherite") uses per partition:
+//
+//   - Reads are served from an in-memory materialized store (an
+//     internal/dynamo.Store used as the memtable).
+//   - Conditional mutations evaluate their condition against the memtable
+//     under a single commit mutex, and — only when they actually commit —
+//     append a logical record (post-image puts, deletes, update
+//     expressions; conditions are never journaled, they were already
+//     decided) to the WAL in exactly commit order.
+//   - Durability waits are group-committed: the first waiter fsyncs once
+//     for every record appended so far and later waiters batch behind it
+//     (Options.Sync selects batched, per-record, or no fsync), amortizing
+//     the dominant cost of the write path the way the in-memory store's
+//     group-commit batcher amortizes its latch-and-flush.
+//   - Snapshots compact the log: a full image of the store is durably
+//     written, the log rotates, and older segments are deleted.
+//   - Open replays newest-snapshot + WAL tail, truncating at the first
+//     torn or corrupt record — recovery to the last durable prefix — so a
+//     Beldi deployment reopened over the directory finds its intent
+//     tables, logs and DAAL chains exactly as they committed, and the
+//     intent collector finishes every in-flight workflow exactly once.
+//
+// Fsck audits a (closed) directory: snapshot integrity, per-record CRCs,
+// and sequence continuity.
+package walstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dynamo"
+	"repro/internal/storage"
+)
+
+// SyncPolicy selects when committed records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncBatched (the default) group-commits fsyncs: one flush covers
+	// every record appended since the previous flush.
+	SyncBatched SyncPolicy = iota
+	// SyncEach fsyncs once per committed record — batching off, the
+	// unamortized baseline.
+	SyncEach
+	// SyncNone never fsyncs on commit (the OS page cache is the only
+	// durability); Close still flushes. For tests and benchmarks.
+	SyncNone
+)
+
+// String names the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncBatched:
+		return "batched"
+	case SyncEach:
+		return "each"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options configure Open.
+type Options struct {
+	// SegmentBytes caps a WAL segment before rotation. 0 means
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+	// AutoCompactBytes triggers a snapshot + log compaction after this many
+	// WAL bytes accumulate past the last snapshot. 0 means
+	// DefaultAutoCompactBytes; negative disables auto-compaction (Compact
+	// still works).
+	AutoCompactBytes int64
+	// Sync selects the fsync policy for committed records.
+	Sync SyncPolicy
+	// Shards is the memtable's default per-table shard count (the same
+	// knob as dynamo.WithShards). 0 means 1.
+	Shards int
+	// Hooks inject deterministic write/sync failures; tests only.
+	Hooks *Hooks
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultSegmentBytes     = 4 << 20
+	DefaultAutoCompactBytes = 64 << 20
+)
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.AutoCompactBytes == 0 {
+		o.AutoCompactBytes = DefaultAutoCompactBytes
+	}
+	return o
+}
+
+// Hooks inject deterministic faults into the WAL write path, for the
+// crash-matrix tests.
+type Hooks struct {
+	// BeforeAppend inspects every record about to be appended (seq, current
+	// file offset, full frame). Returning nil writes the frame unchanged; a
+	// non-nil result is written in its place — truncated or bit-flipped —
+	// and the store is poisoned, simulating a process killed mid-write.
+	BeforeAppend func(seq uint64, off int64, frame []byte) []byte
+	// SyncErr, when non-nil, can fail an fsync; a non-nil error poisons the
+	// store.
+	SyncErr func() error
+}
+
+// Stats count WAL activity. All fields are updated atomically and may be
+// read while the store is live.
+type Stats struct {
+	// Records and BytesAppended count framed records appended to the log.
+	Records       atomic.Int64
+	BytesAppended atomic.Int64
+	// Fsyncs counts file syncs (commit path, rotation, close). SyncBatches
+	// counts commit-path fsyncs that advanced the durable watermark, and
+	// BatchedRecords the records they made durable; their ratio is the
+	// group-commit amortization factor.
+	Fsyncs         atomic.Int64
+	SyncBatches    atomic.Int64
+	BatchedRecords atomic.Int64
+	// Segments counts rotations; Snapshots counts completed compactions.
+	Segments  atomic.Int64
+	Snapshots atomic.Int64
+	// RecoveredRecords is the number of log records replayed by Open;
+	// TruncatedBytes the tail bytes discarded as torn or corrupt.
+	RecoveredRecords atomic.Int64
+	TruncatedBytes   atomic.Int64
+}
+
+// Store is the WAL-backed storage backend. It is safe for concurrent use.
+// Reads go straight to the in-memory materialized state; mutations are
+// serialized by a commit mutex (condition evaluation, memtable apply, and
+// log append form one atomic step, so log order equals commit order) and
+// return once their record is durable per the sync policy.
+type Store struct {
+	dir  string
+	opts Options
+
+	logMu     sync.Mutex // serializes mutations: apply + append + (auto)compact
+	mem       *dynamo.Store
+	schemas   map[string]dynamo.Schema
+	seq       uint64 // last assigned record sequence
+	sinceSnap int64  // WAL bytes appended since the last snapshot
+	closed    bool
+
+	w     *walWriter
+	stats Stats
+}
+
+var _ storage.Backend = (*Store)(nil)
+
+// Open opens (creating if needed) the store rooted at dir, recovering the
+// newest snapshot plus the WAL tail. Torn or corrupt tail records — a
+// process killed mid-write — are discarded and the log is repaired to the
+// last durable prefix.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts}
+	s.w = newWALWriter(dir, opts, &s.stats)
+
+	snapSeq, schemas, mem, _, err := loadNewestSnapshot(dir, opts.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("walstore: open %s: %w", dir, err)
+	}
+	s.mem = mem
+	s.schemas = schemas
+	s.seq = snapSeq
+
+	segNames, segSeqs, err := listSeqFiles(dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, fmt.Errorf("walstore: open %s: %w", dir, err)
+	}
+	// Replay every segment holding records past the snapshot, in order.
+	// The first torn/corrupt record ends the durable prefix: the segment is
+	// truncated there and any later segments (which could only hold records
+	// past the damage) are deleted.
+	var tailFirst uint64
+	var tailSize int64
+	for i, name := range segNames {
+		first := segSeqs[i]
+		if i+1 < len(segNames) && segSeqs[i+1] <= snapSeq+1 {
+			continue // entirely covered by the snapshot; compaction leftovers
+		}
+		if first != 0 && first > s.seq+1 {
+			return nil, fmt.Errorf("walstore: open %s: missing segment before %s (have seq %d)", dir, name, s.seq)
+		}
+		path := filepath.Join(dir, name)
+		validEnd, lastSeq, corrupt, err := scanSegment(path, first, snapSeq, func(r record) error {
+			s.stats.RecoveredRecords.Add(1)
+			return s.applyRecord(r)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("walstore: open %s: replay %s: %w", dir, name, err)
+		}
+		if lastSeq > s.seq {
+			s.seq = lastSeq
+		}
+		tailFirst, tailSize = first, validEnd
+		if corrupt != nil {
+			fi, _ := os.Stat(path)
+			if fi != nil {
+				s.stats.TruncatedBytes.Add(fi.Size() - validEnd)
+			}
+			if err := os.Truncate(path, validEnd); err != nil {
+				return nil, fmt.Errorf("walstore: open %s: repair %s: %w", dir, name, err)
+			}
+			for _, later := range segNames[i+1:] {
+				if err := os.Remove(filepath.Join(dir, later)); err != nil {
+					return nil, fmt.Errorf("walstore: open %s: discard %s: %w", dir, later, err)
+				}
+			}
+			syncDir(dir)
+			break
+		}
+	}
+	if err := s.w.openTail(tailFirst, s.seq, tailSize); err != nil {
+		return nil, fmt.Errorf("walstore: open %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+// MustOpen is Open, panicking on error; for setup code.
+func MustOpen(dir string, opts Options) *Store {
+	s, err := Open(dir, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// applyRecord applies one replayed record to the memtable.
+func (s *Store) applyRecord(r record) error {
+	switch r.typ {
+	case recCreateTable:
+		if err := s.mem.CreateTable(r.schema); err != nil {
+			return err
+		}
+		s.schemas[r.schema.Name] = r.schema
+		return nil
+	case recDeleteTable:
+		if err := s.mem.DeleteTable(r.name); err != nil {
+			return err
+		}
+		delete(s.schemas, r.name)
+		return nil
+	case recCommit:
+		for _, o := range r.ops {
+			var err error
+			switch o.kind {
+			case opPut:
+				err = s.mem.Put(o.table, o.item, nil)
+			case opDelete:
+				err = s.mem.Delete(o.table, o.key, nil)
+			case opUpdate:
+				ups := make([]dynamo.Update, len(o.updates))
+				for i, d := range o.updates {
+					if ups[i], err = dynamo.UpdateFromDesc(d); err != nil {
+						return err
+					}
+				}
+				err = s.mem.Update(o.table, o.key, nil, ups...)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("walstore: unknown record type %d", r.typ)
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// WAL exposes the store's WAL activity counters.
+func (s *Store) WAL() *Stats { return &s.stats }
+
+// DynamoStore returns the in-memory materialized state, which is where the
+// backend's traffic metrics live (storage.AsDynamo unwraps through this).
+func (s *Store) DynamoStore() *dynamo.Store { return s.mem }
+
+// Metrics exposes the backend's traffic counters. Recovery replay and
+// snapshot scans count here too (they are real work the backend performs).
+func (s *Store) Metrics() *dynamo.Metrics { return s.mem.Metrics() }
+
+// Close flushes and closes the log. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.w.close()
+}
+
+// errClosed reports use-after-Close.
+var errClosed = fmt.Errorf("walstore: store is closed")
+
+// logAndWait appends rec under logMu (already held), releases it, and waits
+// for durability. It also triggers auto-compaction at the configured
+// threshold. Callers must not hold logMu after this returns.
+func (s *Store) logAndWait(rec record) error {
+	frame := encodeFrame(rec)
+	if err := s.w.append(rec.seq, frame); err != nil {
+		s.logMu.Unlock()
+		return err
+	}
+	s.sinceSnap += int64(len(frame))
+	if s.opts.AutoCompactBytes > 0 && s.sinceSnap > s.opts.AutoCompactBytes {
+		if err := s.compactLocked(); err != nil {
+			s.logMu.Unlock()
+			return err
+		}
+	}
+	seq := rec.seq
+	s.logMu.Unlock()
+	return s.w.waitDurable(seq)
+}
+
+// mutate runs apply (a memtable mutation) and, when it commits, journals
+// rec and waits for durability. Condition failures and validation errors
+// surface without touching the log.
+func (s *Store) mutate(apply func() error, mkRec func(seq uint64) record) error {
+	s.logMu.Lock()
+	if s.closed {
+		s.logMu.Unlock()
+		return errClosed
+	}
+	if err := s.w.sticky(); err != nil {
+		s.logMu.Unlock()
+		return err
+	}
+	if err := apply(); err != nil {
+		s.logMu.Unlock()
+		return err
+	}
+	s.seq++
+	return s.logAndWait(mkRec(s.seq))
+}
+
+// CreateTable registers a new table.
+func (s *Store) CreateTable(schema dynamo.Schema) error {
+	return s.mutate(
+		func() error { return s.mem.CreateTable(schema) },
+		func(seq uint64) record {
+			s.schemas[schema.Name] = schema
+			return record{seq: seq, typ: recCreateTable, schema: schema}
+		},
+	)
+}
+
+// MustCreateTable is CreateTable, panicking on error; for setup code.
+func (s *Store) MustCreateTable(schema dynamo.Schema) {
+	if err := s.CreateTable(schema); err != nil {
+		panic(err)
+	}
+}
+
+// DeleteTable drops a table and its data.
+func (s *Store) DeleteTable(name string) error {
+	return s.mutate(
+		func() error { return s.mem.DeleteTable(name) },
+		func(seq uint64) record {
+			delete(s.schemas, name)
+			return record{seq: seq, typ: recDeleteTable, name: name}
+		},
+	)
+}
+
+// Put installs item if cond holds, journaling the post-image.
+func (s *Store) Put(table string, item dynamo.Item, cond dynamo.Cond) error {
+	return s.mutate(
+		func() error { return s.mem.Put(table, item, cond) },
+		func(seq uint64) record {
+			return record{seq: seq, typ: recCommit, ops: []walOp{{kind: opPut, table: table, item: item}}}
+		},
+	)
+}
+
+// Update applies update actions if cond holds, journaling the update
+// expression (replayed deterministically against the same base state).
+func (s *Store) Update(table string, key dynamo.Key, cond dynamo.Cond, updates ...dynamo.Update) error {
+	descs := make([]dynamo.UpdateDesc, len(updates))
+	for i, u := range updates {
+		d, ok := dynamo.DescribeUpdate(u)
+		if !ok {
+			return fmt.Errorf("walstore: Update: non-serializable update %s", u)
+		}
+		descs[i] = d
+	}
+	return s.mutate(
+		func() error { return s.mem.Update(table, key, cond, updates...) },
+		func(seq uint64) record {
+			return record{seq: seq, typ: recCommit, ops: []walOp{{kind: opUpdate, table: table, key: key, updates: descs}}}
+		},
+	)
+}
+
+// Delete removes the row at key if cond holds.
+func (s *Store) Delete(table string, key dynamo.Key, cond dynamo.Cond) error {
+	return s.mutate(
+		func() error { return s.mem.Delete(table, key, cond) },
+		func(seq uint64) record {
+			return record{seq: seq, typ: recCommit, ops: []walOp{{kind: opDelete, table: table, key: key}}}
+		},
+	)
+}
+
+// TransactWrite applies all ops atomically or none. A committed transaction
+// is journaled as one record, so recovery replays it all-or-nothing too.
+func (s *Store) TransactWrite(ops []dynamo.TxOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	walOps := make([]walOp, len(ops))
+	for i, op := range ops {
+		switch {
+		case op.Put != nil:
+			walOps[i] = walOp{kind: opPut, table: op.Table, item: op.Put}
+		case op.Delete:
+			walOps[i] = walOp{kind: opDelete, table: op.Table, key: op.Key}
+		default:
+			descs := make([]dynamo.UpdateDesc, len(op.Updates))
+			for j, u := range op.Updates {
+				d, ok := dynamo.DescribeUpdate(u)
+				if !ok {
+					return fmt.Errorf("walstore: TransactWrite: non-serializable update %s", u)
+				}
+				descs[j] = d
+			}
+			walOps[i] = walOp{kind: opUpdate, table: op.Table, key: op.Key, updates: descs}
+		}
+	}
+	return s.mutate(
+		func() error { return s.mem.TransactWrite(ops) },
+		func(seq uint64) record { return record{seq: seq, typ: recCommit, ops: walOps} },
+	)
+}
+
+// Compact writes a durable snapshot of the whole store, rotates the log,
+// and deletes every older segment and snapshot.
+func (s *Store) Compact() error {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if err := s.w.sticky(); err != nil {
+		return err
+	}
+	return s.compactLocked()
+}
+
+// compactLocked is Compact under an already-held logMu.
+func (s *Store) compactLocked() error {
+	data, err := encodeSnapshot(s.seq, s.schemas, s.mem)
+	if err != nil {
+		return err
+	}
+	if err := writeSnapshotFile(s.dir, s.seq, data); err != nil {
+		return s.w.fail(err)
+	}
+	// Rotate so the tail segment starts past the snapshot; then every other
+	// segment is fully covered and can go. When the tail already starts
+	// there — a repeated Compact with no commits in between, or a
+	// reopened directory compacted just before close — the segment to
+	// rotate to is the (empty) tail itself, so rotation is skipped.
+	if s.w.firstSeq != s.seq+1 {
+		if err := s.w.rotate(s.seq + 1); err != nil {
+			return s.w.fail(err)
+		}
+	}
+	segNames, _, err := listSeqFiles(s.dir, segPrefix, segSuffix)
+	if err != nil {
+		return err
+	}
+	for _, name := range segNames {
+		if name != segName(s.seq+1) {
+			_ = os.Remove(filepath.Join(s.dir, name))
+		}
+	}
+	snapNames, _, err := listSeqFiles(s.dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return err
+	}
+	for _, name := range snapNames {
+		if name != snapName(s.seq) {
+			_ = os.Remove(filepath.Join(s.dir, name))
+		}
+	}
+	syncDir(s.dir)
+	s.sinceSnap = 0
+	s.stats.Snapshots.Add(1)
+	return nil
+}
+
+// --- read path: straight to the materialized state ---
+
+// readGuard fails reads on a poisoned store. A mutation whose memtable
+// apply succeeded but whose log append or fsync failed has left the
+// in-memory state ahead of the durable log; serving such state would hand
+// callers rows that were reported as errors and will vanish at the next
+// Open, so once the WAL is broken the whole store is.
+func (s *Store) readGuard() error { return s.w.sticky() }
+
+// Get returns a deep copy of the item at key.
+func (s *Store) Get(table string, key dynamo.Key) (dynamo.Item, bool, error) {
+	if err := s.readGuard(); err != nil {
+		return nil, false, err
+	}
+	return s.mem.Get(table, key)
+}
+
+// GetProj is Get with a server-side projection.
+func (s *Store) GetProj(table string, key dynamo.Key, proj []dynamo.Path) (dynamo.Item, bool, error) {
+	if err := s.readGuard(); err != nil {
+		return nil, false, err
+	}
+	return s.mem.GetProj(table, key, proj)
+}
+
+// Query returns one partition's rows in sort-key order.
+func (s *Store) Query(table string, hash dynamo.Value, opts dynamo.QueryOpts) ([]dynamo.Item, error) {
+	if err := s.readGuard(); err != nil {
+		return nil, err
+	}
+	return s.mem.Query(table, hash, opts)
+}
+
+// QueryIndex queries a secondary index by its hash attribute.
+func (s *Store) QueryIndex(table, index string, hash dynamo.Value, opts dynamo.QueryOpts) ([]dynamo.Item, error) {
+	if err := s.readGuard(); err != nil {
+		return nil, err
+	}
+	return s.mem.QueryIndex(table, index, hash, opts)
+}
+
+// Scan walks the whole table in deterministic partition order.
+func (s *Store) Scan(table string, opts dynamo.QueryOpts) ([]dynamo.Item, error) {
+	if err := s.readGuard(); err != nil {
+		return nil, err
+	}
+	return s.mem.Scan(table, opts)
+}
+
+// TableNames lists tables in sorted order.
+func (s *Store) TableNames() []string { return s.mem.TableNames() }
+
+// TableShards reports the shard count of an existing table.
+func (s *Store) TableShards(name string) (int, error) { return s.mem.TableShards(name) }
+
+// TableSchema returns an existing table's schema.
+func (s *Store) TableSchema(name string) (dynamo.Schema, error) { return s.mem.TableSchema(name) }
+
+// TableBytes reports the table's current storage footprint.
+func (s *Store) TableBytes(name string) (int, error) { return s.mem.TableBytes(name) }
+
+// TableItemCount reports the number of live rows.
+func (s *Store) TableItemCount(name string) (int, error) { return s.mem.TableItemCount(name) }
