@@ -262,6 +262,42 @@ func sanitize(s string) string {
 	return string(out)
 }
 
+// BenchmarkClusterSweep measures the multi-worker runtime's committed-step
+// throughput per pool size over one shared store, with and without a worker
+// killed mid-window (the cluster figure; full series via `figures -fig
+// cluster`). Each sub-benchmark runs one (workers, kill) cell; kill cells
+// include the exactly-once recovery drain.
+func BenchmarkClusterSweep(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		for _, kill := range []bool{false, true} {
+			if kill && workers < 2 {
+				continue
+			}
+			name := fmt.Sprintf("workers=%d", workers)
+			if kill {
+				name += "/kill"
+			}
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pts, err := bench.ClusterSweep(bench.ClusterSweepOptions{
+						Workers:  []int{workers},
+						Kill:     []bool{kill},
+						Duration: 250 * time.Millisecond,
+						Seed:     1,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, p := range pts {
+						b.ReportMetric(p.Throughput, "tput-steps/s")
+						b.ReportMetric(float64(p.Stolen), "stolen")
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkBackendSweep measures committed logged-step throughput per
 // storage backend: the in-memory store versus the durable WAL-backed store
 // with fsync batching on and off (the backend figure; full series via

@@ -31,6 +31,7 @@ import (
 var defaultDirs = []string{
 	"beldi",
 	"beldi/stepfn",
+	"internal/cluster",
 	"internal/core",
 	"internal/dynamo",
 	"internal/storage",

@@ -19,6 +19,7 @@
 //	figures -fig shard               # store shard-count scaling, group commit on/off
 //	figures -fig fanout              # durable-promise fan-out/fan-in scaling
 //	figures -fig backend             # storage backends: memory vs durable WAL, fsync batching
+//	figures -fig cluster             # multi-worker scaling, with and without a mid-run worker kill
 //
 // With -json, every sweep-shaped figure additionally writes its series as
 // machine-readable BENCH_<fig>.json into -out (default "."), so CI can
@@ -67,7 +68,7 @@ func emitJSON(name string, series any) error {
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 13, 14, 15, 15b, 16, 25, 26, costs, ablation, queue, orders, shard, fanout, backend, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 13, 14, 15, 15b, 16, 25, 26, costs, ablation, queue, orders, shard, fanout, backend, cluster, all")
 		scale    = flag.Float64("scale", 0.1, "latency compression factor (1.0 = DynamoDB-like milliseconds)")
 		duration = flag.Duration("duration", 3*time.Second, "measurement duration per sweep point")
 		minutes  = flag.Int("minutes", 30, "simulated minutes for fig 16")
@@ -108,6 +109,36 @@ func main() {
 	run("shard", func() error { return runShardSweep(*duration, *scale, *seed) })
 	run("fanout", func() error { return runFanoutSweep(*duration, *scale, *seed) })
 	run("backend", func() error { return runBackendSweep(*duration, *seed) })
+	run("cluster", func() error { return runClusterSweep(*duration, *scale, *seed) })
+}
+
+// runClusterSweep prints committed workflow steps per second versus worker
+// count over one shared store, with and without a worker killed at half the
+// window — horizontal scaling and the cost of a mid-run death, with
+// exactly-once recovery verified before a kill cell reports (the Netherite
+// worker-scaling comparison; see EXPERIMENTS.md). -scale compresses the
+// simulated store latency that makes the workload latency-bound.
+func runClusterSweep(duration time.Duration, scale float64, seed int64) error {
+	fmt.Println("# Cluster sweep — committed steps/s vs worker count, with and without a mid-run kill")
+	fmt.Printf("%-8s %-8s %14s %10s %8s %8s %10s\n", "workers", "kill", "tput(steps/s)", "steps", "failed", "stolen", "recovered")
+	pts, err := bench.ClusterSweep(bench.ClusterSweepOptions{
+		Duration: duration,
+		Scale:    scale,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		killed := "no"
+		if p.Killed {
+			killed = "mid-run"
+		}
+		fmt.Printf("%-8d %-8s %14.1f %10d %8d %8d %10d\n",
+			p.Workers, killed, p.Throughput, p.Steps, p.Failed, p.Stolen, p.Recovered)
+	}
+	fmt.Println()
+	return emitJSON("cluster", pts)
 }
 
 // runBackendSweep prints committed logged-step throughput for the same

@@ -1,0 +1,145 @@
+// Cluster: four workers, one shared store, one staged kill.
+//
+// Four cluster workers join one pool over a shared in-memory backend, each
+// with its own platform and its own registration of the same "counter" SSF.
+// Partition ownership settles to a fair share; a load of 40 workflows is
+// spread across all four entry points; halfway through, worker w2 is killed
+// — every instance on its platform dies at its next operation boundary and
+// its heartbeats stop.
+//
+// The survivors' failure detectors notice the silent lease, mark w2 dead,
+// steal its partitions (bumping each partition's fencing epoch), and their
+// collectors finish w2's in-flight workflows. The demo then audits the
+// state: every one of the 40 counters is exactly 1 — nothing lost to the
+// kill, nothing duplicated by the recovery.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/dynamo"
+)
+
+// register installs the demo SSF: each request increments its own counter
+// key — an effect that makes lost or duplicated executions directly
+// countable.
+func register(d *beldi.Deployment) {
+	d.Function("counter", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		key := in.Map()["key"].Str()
+		v, err := e.Read("state", key)
+		if err != nil {
+			return beldi.Null, err
+		}
+		next := beldi.Int(v.Int() + 1)
+		if err := e.Write("state", key, next); err != nil {
+			return beldi.Null, err
+		}
+		return next, nil
+	}, "state")
+}
+
+func main() {
+	store := dynamo.NewStore()
+	c := beldi.MustOpenCluster(beldi.ClusterOptions{
+		Store:      store,
+		Partitions: 8,
+		LeaseTTL:   100 * time.Millisecond,
+		Config:     beldi.Config{T: 30 * time.Millisecond},
+	})
+
+	// Four workers join; each is a whole "machine": platform + registry +
+	// collectors + lease.
+	var workers []*beldi.ClusterWorker
+	for i := 0; i < 4; i++ {
+		w, err := c.JoinCluster(fmt.Sprintf("w%d", i), register)
+		if err != nil {
+			log.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	// Settle ownership, then start the background loops.
+	for round := 0; round < 5; round++ {
+		for _, w := range workers {
+			if _, _, err := w.Worker().RebalanceOnce(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	for _, w := range workers {
+		w.Start()
+	}
+	fmt.Println("== pool ==")
+	for _, w := range workers {
+		fmt.Printf("  %s owns partitions %v\n", w.Worker().ID(), w.Worker().OwnedPartitions())
+	}
+
+	// Drive 40 workflows round-robin across all four entry points; kill w2
+	// halfway through.
+	const requests = 40
+	fmt.Printf("\ndriving %d workflows; killing w2 after %d...\n", requests, requests/2)
+	failed := 0
+	for i := 0; i < requests; i++ {
+		if i == requests/2 {
+			workers[2].Kill()
+			fmt.Println("  >> w2 killed (in-flight instances die, heartbeats stop)")
+		}
+		w := workers[i%4]
+		req := beldi.Map(map[string]beldi.Value{"key": beldi.Str(fmt.Sprintf("k%02d", i))})
+		if _, err := w.Invoke("counter", req); err != nil {
+			failed++ // the killed worker's callers see the crash; recovery is the pool's job
+		}
+	}
+	fmt.Printf("  %d/%d client calls failed at the killed worker\n", failed, requests)
+
+	// Wait for the survivors to detect, steal, and finish the orphans.
+	probe := workers[0].Deployment().Runtime("counter")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		exact := 0
+		for i := 0; i < requests; i++ {
+			v, err := beldi.PeekState(probe, "state", fmt.Sprintf("k%02d", i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if v.Int() == 1 {
+				exact++
+			}
+		}
+		if exact == requests {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("recovery did not converge: %d/%d counters at exactly 1", exact, requests)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	fmt.Println("\n== after recovery ==")
+	ws, err := workers[0].Worker().Workers()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, wi := range ws {
+		fmt.Printf("  %-4s state=%-4s epoch=%d\n", wi.ID, wi.State, wi.Epoch)
+	}
+	steals := int64(0)
+	for i, w := range workers {
+		if i == 2 {
+			continue
+		}
+		steals += w.Worker().Stats().Steals.Load()
+	}
+	fmt.Printf("  partitions stolen from the dead worker: %d\n", steals)
+	fmt.Printf("  all %d counters at exactly 1: exactly-once survived the kill\n", requests)
+
+	for i, w := range workers {
+		if i != 2 {
+			w.Stop()
+		}
+	}
+}

@@ -328,3 +328,44 @@ func TestBackendSweepSmoke(t *testing.T) {
 			batched.Throughput, each.Throughput)
 	}
 }
+
+// TestClusterSweepSmoke pins the cluster figure's shape: the pool scales —
+// four workers strictly outthroughput one over the same shared store — and
+// the kill cell both commits work and proves recovery (the cell blocks on
+// pending-intent drain, and the survivors' steals are visible).
+func TestClusterSweepSmoke(t *testing.T) {
+	pts, err := ClusterSweep(ClusterSweepOptions{
+		Workers:  []int{1, 4},
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 { // 1/no-kill, 4/no-kill, 4/kill
+		t.Fatalf("%d points: %+v", len(pts), pts)
+	}
+	var one, four, killed ClusterSweepPoint
+	for _, p := range pts {
+		if p.Steps <= 0 || p.Throughput <= 0 {
+			t.Fatalf("empty cell: %+v", p)
+		}
+		switch {
+		case p.Workers == 1:
+			one = p
+		case p.Workers == 4 && !p.Killed:
+			four = p
+		case p.Workers == 4 && p.Killed:
+			killed = p
+		}
+	}
+	// Horizontal scaling: the latency-bound load quadruples with the pool;
+	// the 1→4 gap is ~3.5× here, so a scheduling hiccup does not erase it.
+	if four.Throughput <= one.Throughput {
+		t.Errorf("4 workers (%.1f steps/s) no faster than 1 (%.1f)", four.Throughput, one.Throughput)
+	}
+	// The kill cell only returns after every in-flight workflow completed
+	// exactly once on a survivor; a successful steal is the mechanism.
+	if killed.Stolen == 0 {
+		t.Errorf("kill cell stole no partitions: %+v", killed)
+	}
+}

@@ -1,0 +1,365 @@
+package cluster_test
+
+// Lease-protocol edge cases: the heartbeat/expiry boundary, detectors racing
+// each other for one expired lease, clock skew between workers, and the
+// lease and partition tables surviving a durable-backend restart.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/dynamo"
+	"repro/internal/walstore"
+)
+
+// TestHeartbeatExactlyAtExpiry pins the boundary semantics: a lease is dead
+// exactly at its deadline (ExpiresAt ≤ now), and whichever of heartbeat and
+// verdict commits first wins atomically — there is no interleaving where
+// both succeed.
+func TestHeartbeatExactlyAtExpiry(t *testing.T) {
+	t.Run("heartbeat first survives", func(t *testing.T) {
+		store := newSharedStore(t)
+		clkA, clkB := clock.NewManual(t0), clock.NewManual(t0)
+		a := join(t, store, clkA, "a", 4)
+		b := join(t, store, clkB, "b", 0)
+		clkA.Advance(testTTL) // now == ExpiresAt on a's clock
+		clkB.Advance(testTTL)
+		if err := a.HeartbeatOnce(); err != nil {
+			t.Fatalf("heartbeat at the deadline: %v", err)
+		}
+		dead, _, err := b.DetectOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dead) != 0 {
+			t.Fatalf("renewed lease marked dead: %v", dead)
+		}
+	})
+	t.Run("verdict first fences", func(t *testing.T) {
+		store := newSharedStore(t)
+		clkA, clkB := clock.NewManual(t0), clock.NewManual(t0)
+		a := join(t, store, clkA, "a", 4)
+		b := join(t, store, clkB, "b", 0)
+		clkA.Advance(testTTL)
+		clkB.Advance(testTTL) // now == ExpiresAt: already expired, by ≤
+		dead, stolen, err := b.DetectOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dead) != 1 || stolen != 4 {
+			t.Fatalf("detect at the deadline: dead=%v stolen=%d", dead, stolen)
+		}
+		if err := a.HeartbeatOnce(); !errors.Is(err, cluster.ErrFenced) {
+			t.Fatalf("late heartbeat: %v, want ErrFenced", err)
+		}
+	})
+}
+
+// TestTwoWorkersRaceOneExpiredLease runs two detectors concurrently against
+// one dead worker: exactly one marks it dead, every partition lands with
+// exactly one thief, and each stolen partition's epoch advances exactly once
+// — so the loser of each per-partition race holds no authority at all.
+func TestTwoWorkersRaceOneExpiredLease(t *testing.T) {
+	store := newSharedStore(t)
+	clkC := clock.NewManual(t0)
+	clkB, clkD := clock.NewManual(t0), clock.NewManual(t0)
+	_ = join(t, store, clkC, "c", 8) // owns everything, then dies
+	b := join(t, store, clkB, "b", 0)
+	d := join(t, store, clkD, "d", 0)
+
+	before, err := b.PartitionTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clkB.Advance(2 * testTTL)
+	clkD.Advance(2 * testTTL)
+	// b and d renew their own leases first; only c's is left expired.
+	if err := b.HeartbeatOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.HeartbeatOnce(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([][]string, 2)
+	for i, w := range []*cluster.Worker{b, d} {
+		wg.Add(1)
+		go func(i int, w *cluster.Worker) {
+			defer wg.Done()
+			dead, _, err := w.DetectOnce()
+			if err != nil {
+				t.Errorf("detector %d: %v", i, err)
+			}
+			results[i] = dead
+		}(i, w)
+	}
+	wg.Wait()
+
+	if marks := len(results[0]) + len(results[1]); marks != 1 {
+		t.Fatalf("dead verdicts = %d (%v, %v), want exactly 1", marks, results[0], results[1])
+	}
+	owned := map[int]string{}
+	for _, p := range b.OwnedPartitions() {
+		owned[p] = "b"
+	}
+	for _, p := range d.OwnedPartitions() {
+		if prev, dup := owned[p]; dup {
+			t.Fatalf("partition %d owned by both %s and d", p, prev)
+		}
+		owned[p] = "d"
+	}
+	after, err := b.PartitionTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pi := range after {
+		if pi.Owner != "b" && pi.Owner != "d" {
+			t.Errorf("partition %d owner = %q after steal", pi.Partition, pi.Owner)
+		}
+		if pi.Epoch != before[i].Epoch+1 {
+			t.Errorf("partition %d epoch %d → %d, want exactly one bump",
+				pi.Partition, before[i].Epoch, pi.Epoch)
+		}
+		if owner, ok := owned[pi.Partition]; !ok || owner != pi.Owner {
+			t.Errorf("partition %d: table says %q, caches say %q", pi.Partition, pi.Owner, owner)
+		}
+	}
+}
+
+// TestClockSkewedHeartbeats documents the skew contract (OPERATIONS.md):
+// skew well under the TTL is harmless, and a worker whose clock lags by more
+// than the TTL is treated as dead — safely, because fencing stops it rather
+// than letting two workers own one partition.
+func TestClockSkewedHeartbeats(t *testing.T) {
+	t.Run("small skew is harmless", func(t *testing.T) {
+		store := newSharedStore(t)
+		clkA := clock.NewManual(t0)
+		clkB := clock.NewManual(t0.Add(testTTL / 4)) // b runs ahead
+		a := join(t, store, clkA, "a", 4)
+		b := join(t, store, clkB, "b", 0)
+		for i := 0; i < 8; i++ {
+			clkA.Advance(testTTL / 4)
+			clkB.Advance(testTTL / 4)
+			if err := a.HeartbeatOnce(); err != nil {
+				t.Fatalf("tick %d: %v", i, err)
+			}
+			dead, _, err := b.DetectOnce()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dead) != 0 {
+				t.Fatalf("tick %d: skewed detector killed a live worker: %v", i, dead)
+			}
+		}
+	})
+	t.Run("skew beyond TTL fences the laggard", func(t *testing.T) {
+		store := newSharedStore(t)
+		clkA := clock.NewManual(t0)
+		clkB := clock.NewManual(t0.Add(2 * testTTL)) // b far ahead: a's lease looks ancient
+		a := join(t, store, clkA, "a", 4)
+		// To b, a is already expired at join time — but expiry alone never
+		// moves partitions: only the detector's dead verdict does, because
+		// the verdict is what guarantees the victim gets fenced.
+		b := join(t, store, clkB, "b", 0)
+		if got := len(b.OwnedPartitions()); got != 0 {
+			t.Fatalf("skewed joiner claimed %d partitions without a verdict", got)
+		}
+		// The laggard renews happily — by its own clock nothing is wrong.
+		if err := a.HeartbeatOnce(); err != nil {
+			t.Fatal(err)
+		}
+		// b's detector declares a dead (its renewal is still in b's past)
+		// and takes everything over.
+		dead, stolen, err := b.DetectOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dead) != 1 || dead[0] != "a" || stolen != 4 {
+			t.Fatalf("skewed detect: dead=%v stolen=%d, want [a], 4", dead, stolen)
+		}
+		// The victim is fenced, not split-brained: its next heartbeat fails
+		// and it owns nothing.
+		if err := a.HeartbeatOnce(); !errors.Is(err, cluster.ErrFenced) {
+			t.Fatalf("laggard heartbeat: %v, want ErrFenced", err)
+		}
+		if n := len(a.OwnedPartitions()); n != 0 {
+			t.Errorf("fenced laggard still owns %d partitions", n)
+		}
+	})
+}
+
+// TestRebalanceNeverStealsFromUnmarkedOwner pins the steal-requires-verdict
+// rule: a worker whose lease looks expired but was never marked dead keeps
+// its partitions through any number of peer rebalances — only DetectOnce's
+// dead verdict (which guarantees the victim's next heartbeat fences it) may
+// move them. Without the rule, a slow-but-alive worker could be robbed
+// silently: never fenced, its ownership cache stays inflated, it stops
+// claiming its fair share, and unowned partitions can go permanently
+// unclaimed while every worker believes it is at fair share.
+func TestRebalanceNeverStealsFromUnmarkedOwner(t *testing.T) {
+	store := newSharedStore(t)
+	clkA, clkB := clock.NewManual(t0), clock.NewManual(t0)
+	a := join(t, store, clkA, "a", 4) // owns all 4
+	b := join(t, store, clkB, "b", 0)
+
+	// a goes silent past its TTL on b's clock — but no verdict yet.
+	clkB.Advance(2 * testTTL)
+	if err := b.HeartbeatOnce(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := b.RebalanceOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(b.OwnedPartitions()); got != 0 {
+		t.Fatalf("rebalance stole %d partitions from an unmarked owner", got)
+	}
+	// a is in fact alive (just slow); it renews and keeps working.
+	clkA.Advance(2 * testTTL)
+	if err := a.HeartbeatOnce(); err != nil {
+		t.Fatalf("slow-but-alive worker was robbed: %v", err)
+	}
+	if got := len(a.OwnedPartitions()); got != 4 {
+		t.Fatalf("slow-but-alive worker owns %d/4", got)
+	}
+}
+
+// TestRejoinAdoptsStaleTableRowsBeyondFairShare is the orphaned-partition
+// regression: a detector can mark a worker dead and crash before stealing
+// anything, leaving the partition table naming a worker whose own cache was
+// wiped by the fencing. When that worker rejoins, it MUST adopt every
+// partition still recorded under its name — even beyond its fair share —
+// because no peer may claim a live worker's partitions; adopt-then-release
+// is the only path that frees them. Before the fix, the fair-share cap
+// stopped adoption early and the excess partitions (and every pending
+// intent hashed into them) were orphaned forever.
+func TestRejoinAdoptsStaleTableRowsBeyondFairShare(t *testing.T) {
+	store := newSharedStore(t)
+	clk := clock.NewManual(t0)
+	a := join(t, store, clk, "a", 4) // owns all 4
+
+	// A detector marks a dead... and dies before stealing (simulated by
+	// writing the verdict directly). The partition table still says a owns
+	// everything.
+	if err := store.Update("cluster.test.leases", dynamo.HK(dynamo.S("a")), nil,
+		dynamo.Set(dynamo.A("State"), dynamo.S("dead"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.HeartbeatOnce(); !errors.Is(err, cluster.ErrFenced) {
+		t.Fatalf("heartbeat after verdict: %v, want ErrFenced", err)
+	}
+	if err := a.Rejoin(); err != nil {
+		t.Fatal(err)
+	}
+	b := join(t, store, clk, "b", 0) // fair share is now 2 each
+
+	// a adopts all 4 stale rows (beyond fair share) and trims down; b picks
+	// the released ones up.
+	for i := 0; i < 3; i++ {
+		if _, _, err := a.RebalanceOnce(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := b.RebalanceOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	na, nb := len(a.OwnedPartitions()), len(b.OwnedPartitions())
+	if na != 2 || nb != 2 {
+		t.Fatalf("shares after rejoin: a=%d b=%d, want 2/2", na, nb)
+	}
+	// The invariant that kills the orphan bug: every partition the table
+	// attributes to a live worker is in that worker's cache.
+	parts, err := a.PartitionTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := map[string]map[int]bool{"a": {}, "b": {}}
+	for _, p := range a.OwnedPartitions() {
+		cached["a"][p] = true
+	}
+	for _, p := range b.OwnedPartitions() {
+		cached["b"][p] = true
+	}
+	for _, pi := range parts {
+		if pi.Owner == "" {
+			t.Errorf("partition %d unowned after convergence", pi.Partition)
+			continue
+		}
+		if !cached[pi.Owner][pi.Partition] {
+			t.Errorf("partition %d: table says %q owns it, but its cache disagrees (orphaned)",
+				pi.Partition, pi.Owner)
+		}
+	}
+}
+
+// TestLeaseTableSurvivesWALRestart reopens a durable store and checks the
+// cluster's authority records — lease epochs, partition owners and fencing
+// epochs, the partition-count config — recovered exactly, so fencing tokens
+// stay monotonic across a full restart of every process.
+func TestLeaseTableSurvivesWALRestart(t *testing.T) {
+	dir := t.TempDir()
+	clk := clock.NewManual(t0)
+
+	s1, err := walstore.Open(dir, walstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := join(t, s1, clk, "w1", 4)
+	if got := len(w1.OwnedPartitions()); got != 4 {
+		t.Fatalf("w1 owns %d/4", got)
+	}
+	epoch1 := w1.Epoch()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything restarts later: same directory, fresh processes.
+	clk.Advance(3 * testTTL)
+	s2, err := walstore.Open(dir, walstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	w2 := join(t, s2, clk, "w2", 0)
+	if w2.Partitions() != 4 {
+		t.Fatalf("partition count after restart = %d, want 4 (persisted config)", w2.Partitions())
+	}
+	// w1's lease survived, expired; the detector declares it dead and the
+	// partitions move with bumped epochs.
+	dead, _, err := w2.DetectOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 1 || dead[0] != "w1" {
+		t.Fatalf("dead after restart = %v, want [w1]", dead)
+	}
+	if _, _, err := w2.RebalanceOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w2.OwnedPartitions()); got != 4 {
+		t.Fatalf("w2 owns %d/4 after restart recovery", got)
+	}
+	parts, err := w2.PartitionTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pi := range parts {
+		if pi.Owner != "w2" {
+			t.Errorf("partition %d owner = %q", pi.Partition, pi.Owner)
+		}
+		if pi.Epoch != 2 { // 1 from w1's claim, +1 from the steal
+			t.Errorf("partition %d epoch = %d, want 2", pi.Partition, pi.Epoch)
+		}
+	}
+	// The identity itself can rejoin — at an epoch above its durable one.
+	w1b := join(t, s2, clk, "w1", 0)
+	if w1b.Epoch() <= epoch1 {
+		t.Errorf("rejoined epoch %d not above pre-restart %d", w1b.Epoch(), epoch1)
+	}
+}

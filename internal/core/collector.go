@@ -13,6 +13,11 @@ import (
 // is safe — every step is at-most-once — so the collector needs no failure
 // detector; it only rate-limits restarts (ICMinAge) and pages its scan
 // (ICPageLimit) to bound its own execution time (Appendix A).
+//
+// In a clustered deployment (internal/cluster) a CollectorGate scopes each
+// worker's pass to the intent partitions its lease covers and fences every
+// claim, so the one-logical-collector model becomes N cooperating shards
+// with store-enforced ownership (see gate.go).
 
 // icHandler is the collector's body, registered as "<fn>.ic".
 func (rt *Runtime) icHandler(inv *platform.Invocation, _ Value) (Value, error) {
@@ -34,13 +39,21 @@ func (rt *Runtime) RunIntentCollector() (int, error) {
 	}
 	now := rt.now()
 	minAge := rt.cfg.ICMinAge.Microseconds()
+	gate := rt.collectorGate()
 	restarted := 0
 	for _, it := range items {
 		rec := decodeIntent(it)
 		if now-rec.lastLaunch < minAge {
 			continue // launched recently; give it time (first IC optimization)
 		}
-		claimed, err := rt.touchLaunch(rec.id, rec.lastLaunch, now)
+		var fence []dynamo.TxOp
+		if gate != nil {
+			if !gate.OwnsIntent(rec.id) {
+				continue // another worker's partition; its collector owns this
+			}
+			fence = gate.ClaimFence(rec.id)
+		}
+		claimed, err := rt.touchLaunchFenced(rec.id, rec.lastLaunch, now, fence)
 		if err != nil {
 			return restarted, err
 		}

@@ -1,0 +1,146 @@
+package core
+
+// Tests for the cluster seam: collector gating, fenced claims, and the
+// claim-path fixes for assumptions that one process owns all tables.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+)
+
+// fakeGate is a scriptable CollectorGate.
+type fakeGate struct {
+	owns  func(id string) bool
+	fence func(id string) []dynamo.TxOp
+}
+
+func (g *fakeGate) OwnsIntent(id string) bool { return g.owns(id) }
+func (g *fakeGate) ClaimFence(id string) []dynamo.TxOp {
+	if g.fence == nil {
+		return nil
+	}
+	return g.fence(id)
+}
+
+func TestCollectorGateScopesScan(t *testing.T) {
+	f := newFixture(t, withFaults(&platform.CrashNthOp{Function: "w", N: 1}))
+	rt := f.fn("w", func(e *Env, _ Value) (Value, error) {
+		if err := e.Write("state", "k", dynamo.NInt(1)); err != nil {
+			return dynamo.Null, err
+		}
+		return dynamo.Null, nil
+	}, "state")
+
+	// Crash right after intent registration: one pending intent.
+	if _, err := f.invoke("w", dynamo.Null); err == nil {
+		t.Fatal("seed crash did not fire")
+	}
+
+	// A gate that owns nothing: the collector must not restart the intent.
+	rt.SetCollectorGate(&fakeGate{owns: func(string) bool { return false }})
+	time.Sleep(2 * time.Millisecond) // exceed ICMinAge
+	n, err := rt.RunIntentCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("gated-out collector restarted %d intents", n)
+	}
+
+	// A gate that owns everything (with no extra fence): normal collection.
+	rt.SetCollectorGate(&fakeGate{owns: func(string) bool { return true }})
+	f.recoverAll()
+	v, err := rt.PeekState("state", "k")
+	if err != nil || v.Int() != 1 {
+		t.Fatalf("state after gated recovery = %v (%v)", v, err)
+	}
+}
+
+func TestFencedClaimRejectedAndCounted(t *testing.T) {
+	f := newFixture(t, withFaults(&platform.CrashNthOp{Function: "w", N: 1}))
+	rt := f.fn("w", func(e *Env, _ Value) (Value, error) {
+		return dynamo.Null, e.Write("state", "k", dynamo.NInt(1))
+	}, "state")
+	if _, err := f.invoke("w", dynamo.Null); err == nil {
+		t.Fatal("seed crash did not fire")
+	}
+	time.Sleep(2 * time.Millisecond) // exceed ICMinAge
+
+	// An authority table whose row no longer matches the worker's cached
+	// epoch: every claim must fail atomically and count as fenced.
+	if err := f.store.CreateTable(dynamo.Schema{Name: "auth", HashKey: "K"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.store.Put("auth", dynamo.Item{"K": dynamo.S("p"), "Epoch": dynamo.NInt(7)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	rt.SetCollectorGate(&fakeGate{
+		owns: func(string) bool { return true },
+		fence: func(string) []dynamo.TxOp {
+			return []dynamo.TxOp{{
+				Table: "auth", Key: dynamo.HK(dynamo.S("p")),
+				Cond:  dynamo.Eq(dynamo.A("Epoch"), dynamo.NInt(6)), // stale
+				Check: true,
+			}}
+		},
+	})
+	n, err := rt.RunIntentCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("fenced collector restarted %d intents", n)
+	}
+	if got := rt.Stats().FencedClaims.Load(); got < 1 {
+		t.Fatalf("FencedClaims = %d, want ≥ 1", got)
+	}
+
+	// With the fence current, the same claim goes through and the workflow
+	// completes exactly once.
+	rt.SetCollectorGate(&fakeGate{
+		owns: func(string) bool { return true },
+		fence: func(string) []dynamo.TxOp {
+			return []dynamo.TxOp{{
+				Table: "auth", Key: dynamo.HK(dynamo.S("p")),
+				Cond:  dynamo.Eq(dynamo.A("Epoch"), dynamo.NInt(7)),
+				Check: true,
+			}}
+		},
+	})
+	f.recoverAll()
+	v, err := rt.PeekState("state", "k")
+	if err != nil || v.Int() != 1 {
+		t.Fatalf("state after fenced recovery = %v (%v)", v, err)
+	}
+	if err := Fsck(rt); err != nil {
+		t.Errorf("fsck: %v", err)
+	}
+}
+
+// TestLateCompletionDoesNotResurrectIntent is the multi-worker regression
+// for markIntentDone: an instance that outlives its garbage-collected
+// intent (possible once workers with independent clocks share a backend)
+// must not upsert a half-formed intent row back into the table.
+func TestLateCompletionDoesNotResurrectIntent(t *testing.T) {
+	f := newFixture(t)
+	rt := f.fn("w", func(e *Env, _ Value) (Value, error) {
+		return dynamo.Null, nil
+	}, "state")
+
+	// The intent was completed and collected long ago; a zombie instance
+	// now reports its (identical, deduplicated) completion.
+	if err := rt.markIntentDone("ghost-instance", dynamo.S("late")); err != nil {
+		t.Fatalf("late completion errored: %v", err)
+	}
+	if _, ok, err := f.store.Get(rt.intentTable, dynamo.HK(dynamo.S("ghost-instance"))); err != nil || ok {
+		t.Fatalf("late completion resurrected the intent row (ok=%v err=%v)", ok, err)
+	}
+	// And the pending index stays empty: nothing for any collector to chew.
+	items, err := f.store.QueryIndex(rt.intentTable, indexPending, dynamo.S(pendingMarker), dynamo.QueryOpts{})
+	if err != nil || len(items) != 0 {
+		t.Fatalf("pending index after late completion: %d rows (%v)", len(items), err)
+	}
+}

@@ -85,13 +85,28 @@ func (rt *Runtime) ensureIntent(id string, ev envelope) (*intentRecord, error) {
 
 // markIntentDone finalizes the intent with its return value and drops it
 // from the pending index, after which no collector will restart it (§5).
+//
+// The update is guarded on the row still existing: Update upserts, and an
+// unconditional write here would let a straggler instance that outlives its
+// GC'd intent resurrect a half-formed row (Done + Ret, no Args, no start
+// time). In a single process the synchrony bound T makes that window
+// unreachable, but with multiple workers over one backend a paused worker
+// can finish arbitrarily late; the condition turns its late completion into
+// a no-op (the work was already done and collected).
 func (rt *Runtime) markIntentDone(id string, ret Value) error {
-	rt.stats.IntentsCompleted.Add(1)
-	return rt.store.Update(rt.intentTable, dynamo.HK(dynamo.S(id)), nil,
+	err := rt.store.Update(rt.intentTable, dynamo.HK(dynamo.S(id)),
+		dynamo.Exists(dynamo.A(attrInstanceID)),
 		dynamo.Set(dynamo.A(attrDone), dynamo.Bool(true)),
 		dynamo.Set(dynamo.A(attrRet), ret),
 		dynamo.Remove(dynamo.A(attrPending)),
 	)
+	if errors.Is(err, dynamo.ErrConditionFailed) {
+		return nil // intent already collected: a duplicate, late completion
+	}
+	if err == nil {
+		rt.stats.IntentsCompleted.Add(1)
+	}
+	return err
 }
 
 // touchLaunch conditionally advances LastLaunch from its observed value —

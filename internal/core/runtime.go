@@ -165,6 +165,9 @@ type Runtime struct {
 	transportMu sync.RWMutex
 	transport   AsyncTransport
 
+	gateMu sync.RWMutex
+	gate   CollectorGate
+
 	body Body
 
 	intentTable string

@@ -38,6 +38,11 @@ type Stats struct {
 	CallbacksIn      atomic.Int64
 	SpuriousCallback atomic.Int64
 
+	// Cluster-scoped collection (see CollectorGate): claims this runtime's
+	// collector attempted but the store rejected because the worker's
+	// authority had been fenced off — each one is a zombie write refused.
+	FencedClaims atomic.Int64
+
 	// Garbage collection accumulators.
 	GCRuns         atomic.Int64
 	GCIntents      atomic.Int64
@@ -53,7 +58,7 @@ type StatsView struct {
 	Replays                                                          int64
 	TxnBegun, TxnCommitted, TxnAborted                               int64
 	IntentsStarted, IntentsCompleted, Restarts                       int64
-	CallbacksIn, SpuriousCallback                                    int64
+	CallbacksIn, SpuriousCallback, FencedClaims                      int64
 	GCRuns, GCIntents, GCLogRows, GCRowsDeleted, GCDisconnected      int64
 }
 
@@ -83,6 +88,7 @@ func (rt *Runtime) StatsSnapshot() StatsView {
 		Restarts:         s.Restarts.Load(),
 		CallbacksIn:      s.CallbacksIn.Load(),
 		SpuriousCallback: s.SpuriousCallback.Load(),
+		FencedClaims:     s.FencedClaims.Load(),
 		GCRuns:           s.GCRuns.Load(),
 		GCIntents:        s.GCIntents.Load(),
 		GCLogRows:        s.GCLogRows.Load(),

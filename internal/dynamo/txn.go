@@ -5,10 +5,13 @@ import (
 	"sort"
 )
 
-// TxOp is one write inside a TransactWrite: exactly one of Put, Updates, or
-// Delete semantics, each optionally guarded by Cond. This mirrors DynamoDB's
-// TransactWriteItems, which the paper's cross-table-transaction comparator
-// (§7.3) uses to pair a data write with a log append across tables.
+// TxOp is one operation inside a TransactWrite: exactly one of Put, Updates,
+// Delete, or Check semantics, each optionally guarded by Cond. This mirrors
+// DynamoDB's TransactWriteItems, which the paper's cross-table-transaction
+// comparator (§7.3) uses to pair a data write with a log append across
+// tables, and whose ConditionCheck element (Check here) lets a write in one
+// row hinge atomically on the state of another — the fencing primitive the
+// cluster runtime builds lease-guarded claims on.
 type TxOp struct {
 	Table string
 	Key   Key
@@ -21,6 +24,10 @@ type TxOp struct {
 	Updates []Update
 	// Delete removes the row.
 	Delete bool
+	// Check asserts Cond against the row at Key without writing anything —
+	// DynamoDB's ConditionCheck. The whole transaction fails if the
+	// condition does not hold at commit time.
+	Check bool
 }
 
 // TransactWrite applies all ops atomically: either every condition passes
@@ -104,6 +111,10 @@ func (s *Store) TransactWrite(ops []TxOp) error {
 			continue
 		}
 		switch {
+		case p.op.Check:
+			// Condition-only: the guard above already evaluated Cond; keep
+			// the row exactly as it is (a nil row stays absent).
+			staged[i] = cur
 		case p.op.Put != nil:
 			next := p.op.Put.Clone()
 			if next.Size() > p.t.maxSize {
@@ -138,6 +149,9 @@ func (s *Store) TransactWrite(ops []TxOp) error {
 		return &TxCanceledError{Reasons: reasons}
 	}
 	for i, p := range preps {
+		if p.op.Check {
+			continue // condition already held; nothing to write
+		}
 		if p.op.Delete {
 			p.sh.delete(p.key)
 			continue

@@ -485,6 +485,14 @@ func (b *Broker) DeadLetters(name string) ([]Message, error) {
 // Redrive moves every dead-lettered message back onto the main queue with a
 // reset redelivery budget (the operational "fixed the consumer, try again"
 // path). It returns the number of messages redriven.
+//
+// The reinsert is guarded on the message id being absent from the main
+// queue. An earlier redrive (this process's or another's) that crashed
+// between its put and its DLQ delete leaves the message live in both
+// places; an unconditional put here would then overwrite the live row —
+// resetting its redelivery budget and, worse, erasing the Receipt of a
+// consumer holding an in-flight claim, forcing a duplicate delivery. With
+// the guard, the second redrive just completes the first one's delete.
 func (b *Broker) Redrive(name string) (int, error) {
 	if _, err := b.options(name); err != nil {
 		return 0, err
@@ -501,7 +509,8 @@ func (b *Broker) Redrive(name string) (int, error) {
 		delete(live, attrReceipt)
 		live[attrRecv] = dynamo.NInt(0)
 		live[attrVisible] = dynamo.NInt(b.now())
-		if err := b.store.Put(tableOf(name), live, nil); err != nil {
+		err := b.store.Put(tableOf(name), live, dynamo.NotExists(dynamo.A(attrMsgID)))
+		if err != nil && !errors.Is(err, dynamo.ErrConditionFailed) {
 			return n, err
 		}
 		if err := b.store.Delete(dlqTableOf(name), dynamo.HK(dynamo.S(id)), nil); err != nil {

@@ -237,6 +237,60 @@ func TestRedriveRestoresDeadLetters(t *testing.T) {
 	}
 }
 
+// TestRedriveDoesNotClobberInFlightClaim is the multi-process regression:
+// a redrive that crashed between its put and its DLQ delete leaves the
+// message live in both tables. If a consumer then claims the live copy, a
+// second redrive (on any broker over the same store) must not overwrite the
+// claimed row — that would erase the consumer's receipt and reset the
+// redelivery budget, turning one logical message into two deliveries.
+func TestRedriveDoesNotClobberInFlightClaim(t *testing.T) {
+	b, clk := newTestBroker(t)
+	b.MustCreate("q", Options{VisibilityTimeout: time.Minute, MaxReceives: 1})
+	if _, err := b.Enqueue("q", dynamo.S("m")); err != nil {
+		t.Fatal(err)
+	}
+	// Drive the message to the DLQ.
+	b.Receive("q", 1) //nolint:errcheck
+	clk.Advance(2 * time.Minute)
+	b.Receive("q", 1) //nolint:errcheck // over budget: dead-letters it
+	if dead, _ := b.DeadLetters("q"); len(dead) != 1 {
+		t.Fatal("expected one dead letter")
+	}
+	// Simulate a redrive that crashed after its put: copy the DLQ row back
+	// to the main queue by hand, leaving the DLQ row in place.
+	rows, err := b.store.Scan(dlqTableOf("q"), dynamo.QueryOpts{})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("dlq scan: %v %d", err, len(rows))
+	}
+	live := rows[0].Clone()
+	delete(live, attrReason)
+	delete(live, attrReceipt)
+	live[attrRecv] = dynamo.NInt(0)
+	live[attrVisible] = dynamo.NInt(clk.Now().UnixMicro())
+	if err := b.store.Put(tableOf("q"), live, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A consumer claims the live copy.
+	msgs, err := b.Receive("q", 1)
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("receive live copy: %v %d", err, len(msgs))
+	}
+	// The second redrive completes the crashed one: DLQ emptied, but the
+	// in-flight claim untouched.
+	if _, err := b.Redrive("q"); err != nil {
+		t.Fatal(err)
+	}
+	if dead, _ := b.DeadLetters("q"); len(dead) != 0 {
+		t.Fatal("DLQ not emptied by completing redrive")
+	}
+	if err := b.Ack("q", msgs[0].ID, msgs[0].Receipt); err != nil {
+		t.Fatalf("consumer ack after redrive: %v (receipt clobbered)", err)
+	}
+	if n, _ := b.Depth("q"); n != 0 {
+		t.Fatalf("queue depth = %d after ack, want 0 (message duplicated)", n)
+	}
+}
+
 func TestConcurrentConsumersNeverDoubleClaim(t *testing.T) {
 	b, _ := newTestBroker(t)
 	b.MustCreate("q", Options{VisibilityTimeout: time.Hour})

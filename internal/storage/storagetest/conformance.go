@@ -37,6 +37,7 @@ func Run(t *testing.T, open Opener) {
 	sub("IndexOrdering", testIndexOrdering)
 	sub("ScanSnapshot", testScanSnapshot)
 	sub("TransactWriteAtomicity", testTransactWriteAtomicity)
+	sub("TransactConditionCheck", testTransactConditionCheck)
 	sub("ItemSizeCap", testItemSizeCap)
 	sub("ConcurrentConditional", testConcurrentConditional)
 }
@@ -374,6 +375,78 @@ func testTransactWriteAtomicity(t *testing.T, b storage.Backend) {
 	})
 	if err == nil {
 		t.Error("duplicate-target txn accepted")
+	}
+}
+
+// testTransactConditionCheck: a Check op asserts its condition atomically
+// with the transaction's writes and never mutates its own row — DynamoDB's
+// ConditionCheck, the fencing primitive the cluster runtime claims intents
+// with.
+func testTransactConditionCheck(t *testing.T, b storage.Backend) {
+	mustCreate(t, b, storage.Schema{Name: "auth", HashKey: "K"})
+	mustCreate(t, b, storage.Schema{Name: "work", HashKey: "K"})
+	put(t, b, "auth", storage.Item{"K": dynamo.S("p0"), "Owner": dynamo.S("w1"), "Epoch": dynamo.NInt(3)})
+	put(t, b, "work", storage.Item{"K": dynamo.S("job"), "Claimed": dynamo.Bool(false)})
+
+	fence := func(owner string, epoch int64) storage.TxOp {
+		return storage.TxOp{
+			Table: "auth", Key: dynamo.HK(dynamo.S("p0")),
+			Cond: dynamo.And(
+				dynamo.Eq(dynamo.A("Owner"), dynamo.S(owner)),
+				dynamo.Eq(dynamo.A("Epoch"), dynamo.NInt(epoch)),
+			),
+			Check: true,
+		}
+	}
+	claim := storage.TxOp{
+		Table: "work", Key: dynamo.HK(dynamo.S("job")),
+		Cond:    dynamo.Eq(dynamo.A("Claimed"), dynamo.Bool(false)),
+		Updates: []storage.Update{dynamo.Set(dynamo.A("Claimed"), dynamo.Bool(true))},
+	}
+
+	// A stale fence rejects the whole transaction and mutates nothing.
+	err := b.TransactWrite([]storage.TxOp{fence("w1", 2), claim})
+	if !errors.Is(err, storage.ErrConditionFailed) {
+		t.Fatalf("stale fence: %v", err)
+	}
+	var tce *storage.TxCanceledError
+	if !errors.As(err, &tce) || len(tce.Reasons) != 2 || tce.Reasons[0] == nil || tce.Reasons[1] != nil {
+		t.Fatalf("stale fence reasons = %+v", err)
+	}
+	if it, _, _ := b.Get("work", dynamo.HK(dynamo.S("job"))); it["Claimed"].BoolVal() {
+		t.Error("fenced transaction claimed the work anyway")
+	}
+
+	// A current fence lets the claim through and leaves the checked row
+	// byte-identical.
+	authBefore, _, _ := b.Get("auth", dynamo.HK(dynamo.S("p0")))
+	if err := b.TransactWrite([]storage.TxOp{fence("w1", 3), claim}); err != nil {
+		t.Fatalf("valid fence: %v", err)
+	}
+	if it, _, _ := b.Get("work", dynamo.HK(dynamo.S("job"))); !it["Claimed"].BoolVal() {
+		t.Error("fenced claim did not apply")
+	}
+	authAfter, _, _ := b.Get("auth", dynamo.HK(dynamo.S("p0")))
+	if len(authAfter) != len(authBefore) {
+		t.Errorf("Check mutated its row: %v → %v", authBefore, authAfter)
+	}
+	for k, v := range authBefore {
+		if !v.Equal(authAfter[k]) {
+			t.Errorf("Check mutated attribute %s: %v → %v", k, v, authAfter[k])
+		}
+	}
+
+	// A Check against an absent row evaluates like any condition (against
+	// the empty item) and must not create the row.
+	if err := b.TransactWrite([]storage.TxOp{
+		{Table: "auth", Key: dynamo.HK(dynamo.S("ghost")),
+			Cond: dynamo.NotExists(dynamo.A("K")), Check: true},
+		{Table: "work", Put: storage.Item{"K": dynamo.S("job2")}},
+	}); err != nil {
+		t.Fatalf("absent-row check: %v", err)
+	}
+	if _, ok, _ := b.Get("auth", dynamo.HK(dynamo.S("ghost"))); ok {
+		t.Error("Check materialized an absent row")
 	}
 }
 

@@ -429,13 +429,17 @@ func (s *Store) TransactWrite(ops []dynamo.TxOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
-	walOps := make([]walOp, len(ops))
-	for i, op := range ops {
+	walOps := make([]walOp, 0, len(ops))
+	for _, op := range ops {
 		switch {
+		case op.Check:
+			// Condition checks write nothing, so recovery has nothing to
+			// replay for them; only the mutating ops are journaled.
+			continue
 		case op.Put != nil:
-			walOps[i] = walOp{kind: opPut, table: op.Table, item: op.Put}
+			walOps = append(walOps, walOp{kind: opPut, table: op.Table, item: op.Put})
 		case op.Delete:
-			walOps[i] = walOp{kind: opDelete, table: op.Table, key: op.Key}
+			walOps = append(walOps, walOp{kind: opDelete, table: op.Table, key: op.Key})
 		default:
 			descs := make([]dynamo.UpdateDesc, len(op.Updates))
 			for j, u := range op.Updates {
@@ -445,7 +449,7 @@ func (s *Store) TransactWrite(ops []dynamo.TxOp) error {
 				}
 				descs[j] = d
 			}
-			walOps[i] = walOp{kind: opUpdate, table: op.Table, key: op.Key, updates: descs}
+			walOps = append(walOps, walOp{kind: opUpdate, table: op.Table, key: op.Key, updates: descs})
 		}
 	}
 	return s.mutate(
