@@ -213,6 +213,11 @@ type DeploymentOptions struct {
 	Clock clock.Clock
 	// IDs defaults to random UUIDs.
 	IDs uuid.Source
+	// Telemetry, when set, collects crash-surviving traces and unified
+	// metrics from every function the deployment registers, plus the shared
+	// store, WAL, queue, and platform. Nil disables telemetry (near-zero
+	// overhead). See NewTelemetry.
+	Telemetry *Telemetry
 }
 
 // Deployment wires SSFs to their runtimes: the app-developer view of
@@ -225,7 +230,9 @@ type Deployment struct {
 
 // NewDeployment creates an empty deployment.
 func NewDeployment(opts DeploymentOptions) *Deployment {
-	return &Deployment{opts: opts, runtimes: make(map[string]*core.Runtime)}
+	d := &Deployment{opts: opts, runtimes: make(map[string]*core.Runtime)}
+	d.attachInfra()
+	return d
 }
 
 // Function registers an SSF with its own runtime and the logical data
@@ -236,18 +243,23 @@ func (d *Deployment) Function(name string, body Body, tables ...string) *core.Ru
 		panic("beldi: duplicate function " + name)
 	}
 	rt := core.MustNewRuntime(core.RuntimeOptions{
-		Function: name,
-		Store:    d.opts.Store,
-		Platform: d.opts.Platform,
-		Mode:     d.opts.Mode,
-		Config:   d.opts.Config,
-		Clock:    d.opts.Clock,
-		IDs:      d.opts.IDs,
+		Function:  name,
+		Store:     d.opts.Store,
+		Platform:  d.opts.Platform,
+		Mode:      d.opts.Mode,
+		Config:    d.opts.Config,
+		Clock:     d.opts.Clock,
+		IDs:       d.opts.IDs,
+		Telemetry: d.opts.Telemetry,
 	})
 	for _, t := range tables {
 		rt.MustCreateDataTable(t)
 	}
 	core.Register(rt, body)
+	if h := d.opts.Telemetry; h != nil {
+		stats := rt.Stats()
+		h.Registry.Register("core."+name, func() any { return stats.Snapshot() })
+	}
 	d.runtimes[name] = rt
 	return rt
 }

@@ -46,6 +46,13 @@ type ClusterOptions struct {
 	// durable per-function invocation queues, with each queue drained by
 	// whichever worker owns the function's partition.
 	DurableAsync *DurableAsyncOptions
+	// Telemetry, when set, is shared by every worker's deployment: one hub
+	// collects the whole pool's traces (an intent's spans stitch across
+	// workers because spans are keyed by intent id, not by worker), and each
+	// worker's cluster-protocol counters register under
+	// "cluster.<worker-id>". Per-function counters keep the latest worker's
+	// wiring; give workers separate hubs to keep them apart.
+	Telemetry *Telemetry
 }
 
 // Cluster is a handle on a worker pool's shared configuration. It holds no
@@ -101,10 +108,11 @@ type ClusterWorker struct {
 func (c *Cluster) JoinCluster(id string, register RegisterApp) (*ClusterWorker, error) {
 	plat := platform.New(c.opts.Platform)
 	d := NewDeployment(DeploymentOptions{
-		Store:    c.opts.Store,
-		Platform: plat,
-		Mode:     c.opts.Mode,
-		Config:   c.opts.Config,
+		Store:     c.opts.Store,
+		Platform:  plat,
+		Mode:      c.opts.Mode,
+		Config:    c.opts.Config,
+		Telemetry: c.opts.Telemetry,
 	})
 	register(d)
 	w, err := cluster.Join(cluster.Options{
@@ -118,6 +126,10 @@ func (c *Cluster) JoinCluster(id string, register RegisterApp) (*ClusterWorker, 
 		return nil, err
 	}
 	cw := &ClusterWorker{c: c, d: d, w: w, plat: plat}
+	if h := c.opts.Telemetry; h != nil {
+		stats := w.Stats()
+		h.Registry.Register("cluster."+w.ID(), func() any { return stats.Snapshot() })
+	}
 	for _, name := range d.Functions() {
 		rt := d.Runtime(name)
 		if rt.Mode() == ModeBaseline {

@@ -57,6 +57,7 @@ func (d *Deployment) EnableDurableAsync(opts DurableAsyncOptions) *DurableAsync 
 		VisibilityTimeout: opts.VisibilityTimeout,
 		MaxReceives:       opts.MaxReceives,
 	})
+	broker.SetTelemetry(d.opts.Telemetry)
 	da := &DurableAsync{broker: broker, transport: transport, mappers: make(map[string]*platform.Mapper)}
 	for name, rt := range d.runtimes {
 		if rt.Mode() == ModeBaseline {
@@ -73,6 +74,10 @@ func (d *Deployment) EnableDurableAsync(opts DurableAsyncOptions) *DurableAsync 
 			PollInterval: opts.PollInterval,
 			NackOnError:  opts.NackOnError,
 		})
+		if h := d.opts.Telemetry; h != nil {
+			m := da.mappers[name].Metrics()
+			h.Registry.Register("mapper."+name, func() any { return m.Snapshot() })
+		}
 	}
 	d.durable = da
 	return da

@@ -40,9 +40,11 @@ var defaultDirs = []string{
 	"internal/queue",
 	"internal/platform",
 	"internal/hist",
+	"internal/telemetry",
 	"internal/clock",
 	"internal/uuid",
 	"internal/workload",
+	"cmd/beldi-trace",
 }
 
 func main() {

@@ -19,6 +19,7 @@
 //	figures -fig shard               # store shard-count scaling, group commit on/off
 //	figures -fig fanout              # durable-promise fan-out/fan-in scaling
 //	figures -fig backend             # storage backends: memory vs durable WAL, fsync batching
+//	figures -fig latency             # request p50/p99 per backend and worker count (§7.2 tails)
 //	figures -fig cluster             # multi-worker scaling, with and without a mid-run worker kill
 //
 // With -json, every sweep-shaped figure additionally writes its series as
@@ -68,7 +69,7 @@ func emitJSON(name string, series any) error {
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 13, 14, 15, 15b, 16, 25, 26, costs, ablation, queue, orders, shard, fanout, backend, cluster, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 13, 14, 15, 15b, 16, 25, 26, costs, ablation, queue, orders, shard, fanout, backend, latency, cluster, all")
 		scale    = flag.Float64("scale", 0.1, "latency compression factor (1.0 = DynamoDB-like milliseconds)")
 		duration = flag.Duration("duration", 3*time.Second, "measurement duration per sweep point")
 		minutes  = flag.Int("minutes", 30, "simulated minutes for fig 16")
@@ -109,6 +110,7 @@ func main() {
 	run("shard", func() error { return runShardSweep(*duration, *scale, *seed) })
 	run("fanout", func() error { return runFanoutSweep(*duration, *scale, *seed) })
 	run("backend", func() error { return runBackendSweep(*duration, *seed) })
+	run("latency", func() error { return runLatencySweep(*duration, *seed) })
 	run("cluster", func() error { return runClusterSweep(*duration, *scale, *seed) })
 }
 
@@ -139,6 +141,31 @@ func runClusterSweep(duration time.Duration, scale float64, seed int64) error {
 	}
 	fmt.Println()
 	return emitJSON("cluster", pts)
+}
+
+// runLatencySweep prints client-observed p50/p99 request latency per
+// backend and worker count — the wrk2-shaped tail figures of §7.2 — next to
+// the step-commit and fsync distributions telemetry measures underneath
+// them. See EXPERIMENTS.md, "Tail latency".
+func runLatencySweep(duration time.Duration, seed int64) error {
+	fmt.Println("# Latency sweep — request p50/p99 vs backend and worker count (telemetry histograms)")
+	fmt.Printf("%-14s %-8s %12s %10s %10s %10s %10s %10s %11s %11s\n",
+		"backend", "workers", "tput(req/s)", "p50(ms)", "p90(ms)", "p99(ms)", "step p50", "step p99", "fsync p50", "fsync p99")
+	pts, err := bench.LatencySweep(bench.LatencySweepOptions{
+		Duration: duration,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	for _, p := range pts {
+		fmt.Printf("%-14s %-8d %12.1f %10.3f %10.3f %10.3f %10.3f %10.3f %11.3f %11.3f\n",
+			p.Backend, p.Workers, p.Throughput, ms(p.P50), ms(p.P90), ms(p.P99),
+			ms(p.StepP50), ms(p.StepP99), ms(p.FsyncP50), ms(p.FsyncP99))
+	}
+	fmt.Println()
+	return emitJSON("latency", pts)
 }
 
 // runBackendSweep prints committed logged-step throughput for the same

@@ -11,11 +11,13 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/beldi"
 	"repro/internal/dynamo"
 	"repro/internal/platform"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -23,8 +25,9 @@ func main() {
 	// Kill the first "front" instance right after its payment call returns.
 	plan := &platform.CrashOnce{Function: "front", Label: "body:done"}
 	plat := platform.New(platform.Options{Faults: plan})
+	tel := beldi.NewTelemetry()
 	d := beldi.NewDeployment(beldi.DeploymentOptions{
-		Store: store, Platform: plat,
+		Store: store, Platform: plat, Telemetry: tel,
 		Config: beldi.Config{T: 50 * time.Millisecond, ICMinAge: time.Millisecond},
 	})
 
@@ -81,6 +84,35 @@ func main() {
 	} else {
 		fmt.Println("   DOUBLE CHARGE — this must never print")
 	}
+
+	// The whole story — pre-crash attempt, collector restart, replayed
+	// steps — is one trace in the telemetry hub. CRASHED marks the killed
+	// attempt, (restart) the collector's re-execution, (replay) every step
+	// it resolved from the logs instead of redoing.
+	fmt.Println("4. the same workflow as one causal trace:")
+	// The collector's re-execution runs asynchronously; wait for its clean
+	// exec span before rendering so the trace shows both attempts.
+	for time.Now().Before(deadline) && !recovered(tel) {
+		if err := d.RunAllCollectors(); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	spans := tel.Tracer.Spans()
+	for _, root := range telemetry.Roots(spans) {
+		telemetry.Assemble(spans, root).Render(os.Stdout)
+	}
+}
+
+// recovered reports whether the hub holds a clean (non-crashed) root
+// execution of front — the collector's restart has finished.
+func recovered(tel *beldi.Telemetry) bool {
+	for _, s := range tel.Tracer.Spans() {
+		if s.Kind == telemetry.KindExec && s.Fn == "front" && s.ParentIntent == "" && s.Err == "" {
+			return true
+		}
+	}
+	return false
 }
 
 // read peeks at an SSF's durable state via a one-off reader function the

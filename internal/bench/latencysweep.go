@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/dynamo"
+	"repro/internal/hist"
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/uuid"
+	"repro/internal/walstore"
+)
+
+// LatencySweep measures the tail of Beldi's per-request latency — the
+// figure the paper reports with wrk2 against real Lambda (§7.2, Figures
+// 14/15 show median and 99th percentile) and the evaluation so far has not:
+// client-observed p50/p90/p99 of a logged-write workflow, across storage
+// backends and closed-loop worker counts. Three distributions are reported
+// per cell: end-to-end request latency (what a client sees), the runtime's
+// step-commit latency from the telemetry registry (what one logged write
+// costs), and — on durable backends — WAL fsync latency (the floor under
+// durability). The gap between the step and request tails is the protocol's
+// overhead; the gap between fsync and step tails on the WAL cells is what
+// group commit amortizes.
+
+// LatencySweepOptions configure a latency sweep.
+type LatencySweepOptions struct {
+	// Backends are the storage configurations to sweep. nil means memory,
+	// wal-batched, and wal-each.
+	Backends []BackendKind
+	// Workers are the closed-loop worker counts swept per backend. nil
+	// means 1, 8, 32.
+	Workers []int
+	// Duration is the measurement window per cell (after warmup). 0 means
+	// 400ms.
+	Duration time.Duration
+	// Warmup runs the workload before measurement and discards its samples
+	// (cold-start and first-touch costs would otherwise dominate p99 on
+	// short windows). 0 means Duration/4.
+	Warmup time.Duration
+	// Keys is the number of distinct item keys written. 0 means 256.
+	Keys int
+	Seed int64
+}
+
+func (o LatencySweepOptions) withDefaults() LatencySweepOptions {
+	if o.Backends == nil {
+		o.Backends = []BackendKind{BackendMemory, BackendWALBatched, BackendWALEach}
+	}
+	if o.Workers == nil {
+		o.Workers = []int{1, 8, 32}
+	}
+	if o.Duration == 0 {
+		o.Duration = 400 * time.Millisecond
+	}
+	if o.Warmup == 0 {
+		o.Warmup = o.Duration / 4
+	}
+	if o.Keys == 0 {
+		o.Keys = 256
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// LatencySweepPoint is one (backend, workers) cell. Latencies are
+// nanoseconds; zero step/fsync quantiles mean the cell has no such samples
+// (memory backend never fsyncs).
+type LatencySweepPoint struct {
+	Backend BackendKind
+	Workers int
+	// Requests completed in the measurement window and their rate.
+	Requests   int64
+	Throughput float64
+	// End-to-end request latency, client-observed.
+	P50, P90, P99, Max, Mean int64
+	// Step-commit latency from the runtime's telemetry histogram.
+	StepP50, StepP99 int64
+	// WAL fsync latency, durable backends only.
+	FsyncP50, FsyncP99 int64
+	Elapsed            time.Duration
+}
+
+// LatencySweep runs every (backend, workers) cell against a fresh store and
+// a fresh deployment with telemetry attached.
+func LatencySweep(opts LatencySweepOptions) ([]LatencySweepPoint, error) {
+	opts = opts.withDefaults()
+	var out []LatencySweepPoint
+	for _, kind := range opts.Backends {
+		for _, workers := range opts.Workers {
+			pt, err := latencySweepPoint(opts, kind, workers)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// latencySweepPoint measures one cell: warmup, reset the telemetry
+// histograms (SnapshotReset starts the measurement window clean), measure,
+// then merge the per-worker request histograms into the reported
+// distribution.
+func latencySweepPoint(opts LatencySweepOptions, kind BackendKind, workers int) (LatencySweepPoint, error) {
+	var store storage.Backend
+	var wal *walstore.Store
+	switch kind {
+	case BackendMemory:
+		store = dynamo.NewStore()
+	case BackendWALBatched, BackendWALEach, BackendWALNoSync:
+		dir, err := os.MkdirTemp("", "beldi-latency-sweep-*")
+		if err != nil {
+			return LatencySweepPoint{}, err
+		}
+		defer os.RemoveAll(dir)
+		policy := walstore.SyncBatched
+		switch kind {
+		case BackendWALEach:
+			policy = walstore.SyncEach
+		case BackendWALNoSync:
+			policy = walstore.SyncNone
+		}
+		wal, err = walstore.Open(dir, walstore.Options{Sync: policy})
+		if err != nil {
+			return LatencySweepPoint{}, err
+		}
+		defer wal.Close()
+		store = wal
+	default:
+		return LatencySweepPoint{}, fmt.Errorf("bench: latency sweep: unknown backend %q", kind)
+	}
+
+	tel := beldi.NewTelemetry()
+	plat := platform.New(platform.Options{
+		ConcurrencyLimit: workers * 2,
+		Seed:             opts.Seed,
+		IDs:              &uuid.Seq{Prefix: "req"},
+	})
+	d := beldi.NewDeployment(beldi.DeploymentOptions{
+		Store: store, Platform: plat, Mode: beldi.ModeBeldi,
+		Config: beldi.Config{RowCap: 16}, Telemetry: tel,
+	})
+	d.Function("step", func(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
+		m := input.Map()
+		if err := e.Write("state", m["Key"].Str(), m["Val"]); err != nil {
+			return beldi.Null, err
+		}
+		return beldi.Null, nil
+	}, "state")
+	defer d.Stop()
+
+	stepHist := tel.Registry.Histogram("core.step.step_commit")
+	fsyncHist := tel.Registry.Histogram("wal.fsync")
+
+	// Each worker records into its own histogram — no cross-worker
+	// contention on the measurement itself — merged after the run.
+	locals := make([]*hist.Histogram, workers)
+	for i := range locals {
+		locals[i] = &hist.Histogram{}
+	}
+	run := func(deadline time.Time) error {
+		var wg sync.WaitGroup
+		var errMu sync.Mutex
+		var firstErr error
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; time.Now().Before(deadline); i++ {
+					key := fmt.Sprintf("k%04d", (w*31+i)%opts.Keys)
+					t0 := time.Now()
+					_, err := d.Invoke("step", beldi.Map(map[string]beldi.Value{
+						"Key": beldi.Str(key),
+						"Val": beldi.Int(int64(i)),
+					}))
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+					locals[w].Record(time.Since(t0))
+				}
+			}(w)
+		}
+		wg.Wait()
+		return firstErr
+	}
+
+	if err := run(time.Now().Add(opts.Warmup)); err != nil {
+		return LatencySweepPoint{}, fmt.Errorf("bench: latency sweep (%s/%d, warmup): %w", kind, workers, err)
+	}
+	// Drop the warmup samples everywhere: the registry histograms via
+	// SnapshotReset (the interval-window primitive), the locals via Reset.
+	stepHist.SnapshotReset()
+	fsyncHist.SnapshotReset()
+	for _, h := range locals {
+		h.Reset()
+	}
+
+	start := time.Now()
+	if err := run(start.Add(opts.Duration)); err != nil {
+		return LatencySweepPoint{}, fmt.Errorf("bench: latency sweep (%s/%d): %w", kind, workers, err)
+	}
+	elapsed := time.Since(start)
+
+	var reqs hist.Histogram
+	for _, h := range locals {
+		reqs.Merge(h)
+	}
+	step := stepHist.Snapshot()
+	fsync := fsyncHist.Snapshot()
+	pt := LatencySweepPoint{
+		Backend:    kind,
+		Workers:    workers,
+		Requests:   reqs.Count(),
+		Throughput: float64(reqs.Count()) / elapsed.Seconds(),
+		P50:        int64(reqs.Quantile(0.5)),
+		P90:        int64(reqs.Quantile(0.9)),
+		P99:        int64(reqs.P99()),
+		Max:        int64(reqs.Max()),
+		Mean:       int64(reqs.Mean()),
+		StepP50:    int64(step.Median()),
+		StepP99:    int64(step.P99()),
+		Elapsed:    elapsed,
+	}
+	if fsync.Count() > 0 {
+		pt.FsyncP50 = int64(fsync.Median())
+		pt.FsyncP99 = int64(fsync.P99())
+	}
+	return pt, nil
+}

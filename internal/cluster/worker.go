@@ -107,6 +107,27 @@ type Stats struct {
 	Restarts atomic.Int64
 }
 
+// StatsView is a point-in-time copy for reporting — the common snapshot
+// shape shared with core.Stats, dynamo.Metrics, and the other subsystems.
+type StatsView struct {
+	Heartbeats, Detects, DeadMarked int64
+	Steals, Claims, Releases        int64
+	Restarts                        int64
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() StatsView {
+	return StatsView{
+		Heartbeats: s.Heartbeats.Load(),
+		Detects:    s.Detects.Load(),
+		DeadMarked: s.DeadMarked.Load(),
+		Steals:     s.Steals.Load(),
+		Claims:     s.Claims.Load(),
+		Releases:   s.Releases.Load(),
+		Restarts:   s.Restarts.Load(),
+	}
+}
+
 // Worker is one member of a cluster: a lease it heartbeats, the partitions
 // it owns, and the runtimes and event-source mappers whose work it drives.
 // Create with Join; drive deterministically with the *Once methods or start

@@ -93,6 +93,16 @@ type mutation struct {
 	cond    dynamo.Cond // nil means unconditional
 	setVal  *Value
 	setLock *Value
+	// replayed, when non-nil, is set true if the step's outcome turns out
+	// to be already logged (case A) — the telemetry layer's replay marker.
+	replayed *bool
+}
+
+// markReplayed flags the step as already-logged for the telemetry layer.
+func (m mutation) markReplayed() {
+	if m.replayed != nil {
+		*m.replayed = true
+	}
 }
 
 func (m mutation) guard() dynamo.Cond {
@@ -259,6 +269,7 @@ func (d *daal) loggedWrite(key, logKey string, mut mutation) (bool, error) {
 	}
 	if out, found := sk.findLog(); found {
 		d.rt.stats.Replays.Add(1)
+		mut.markReplayed()
 		return out.BoolVal(), nil // case A, resolved by the scan
 	}
 	tailID, ok := sk.tail()
@@ -327,6 +338,7 @@ func (d *daal) tryWrite(key, logKey, rowID string, mut mutation, depth int) (boo
 	}
 	if out, done := row.recent[logKey]; done {
 		d.rt.stats.Replays.Add(1)
+		mut.markReplayed()
 		return out.BoolVal(), nil // case A
 	}
 	next := row.next

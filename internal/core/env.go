@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"repro/internal/dynamo"
+	"repro/internal/hist"
 	"repro/internal/platform"
+	"repro/internal/telemetry"
 )
 
 // Errors surfaced by Env operations.
@@ -139,6 +141,37 @@ func (e *Env) inExecute() bool {
 	return e.shared.txn != nil && e.shared.txn.Mode == TxExecute
 }
 
+// stepSpan records one step's telemetry — a trace span plus, for fresh
+// successful steps, an observation in h — and no-ops without a hub. t0 is
+// rt.spanClock() taken before the operation.
+func (e *Env) stepSpan(t0 int64, kind telemetry.Kind, stepKey, name string, replay bool, h *hist.Histogram, err error) {
+	rt := e.rt
+	if rt.tel == nil {
+		return
+	}
+	end := rt.clk.Now().UnixNano()
+	if h != nil && !replay && err == nil {
+		h.Record(time.Duration(end - t0))
+	}
+	s := telemetry.Span{
+		Intent: e.instanceID, Step: stepKey, Kind: kind, Fn: rt.fn,
+		Name: name, Start: t0, End: end, Replay: replay,
+	}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	rt.span(s)
+}
+
+// stepMutation builds a step's mutation, attaching the telemetry replay
+// flag when a hub is present.
+func (e *Env) stepMutation(mut mutation, replay *bool) mutation {
+	if e.rt.tel != nil {
+		mut.replayed = replay
+	}
+	return mut
+}
+
 // Read returns the current value of key in the SSF's logical table (Fig 5).
 // Never-written keys read as Null. Inside a transaction the key is locked
 // and the transaction's own writes are visible (§6.2).
@@ -160,39 +193,41 @@ func (e *Env) Read(table, key string) (Value, error) {
 // no external effect, so re-reading before the log is harmless).
 func (e *Env) loggedRead(layer kvLayer, table, key string) (Value, error) {
 	stepKey := e.nextStepKey()
+	t0 := e.rt.spanClock()
 	e.crash("read:pre:" + stepKey)
 	val, _, _, err := layer.stateRead(table, key)
 	if err != nil {
 		return dynamo.Null, err
 	}
 	e.crash("read:mid:" + stepKey)
-	out, err := e.logRead(stepKey, val)
+	out, replay, err := e.logRead(stepKey, val)
+	e.stepSpan(t0, telemetry.KindRead, stepKey, table+"/"+key, replay, nil, err)
 	e.crash("read:post:" + stepKey)
 	return out, err
 }
 
 // logRead records val for this step, returning the previously recorded
-// value on replay.
-func (e *Env) logRead(stepKey string, val Value) (Value, error) {
+// value (and replay true) when the step already ran.
+func (e *Env) logRead(stepKey string, val Value) (Value, bool, error) {
 	lk := dynamo.HSK(dynamo.S(e.instanceID), dynamo.S(stepKey))
 	err := e.rt.store.Update(e.rt.readLog, lk,
 		dynamo.NotExists(dynamo.A(attrID)),
 		dynamo.Set(dynamo.A(attrValue), val))
 	if err == nil {
-		return val, nil
+		return val, false, nil
 	}
 	if !errors.Is(err, dynamo.ErrConditionFailed) {
-		return dynamo.Null, err
+		return dynamo.Null, false, err
 	}
 	e.rt.stats.Replays.Add(1)
 	it, ok, err := e.rt.store.Get(e.rt.readLog, lk)
 	if err != nil {
-		return dynamo.Null, err
+		return dynamo.Null, true, err
 	}
 	if !ok {
-		return dynamo.Null, fmt.Errorf("core: read log row vanished: %s %s", e.instanceID, stepKey)
+		return dynamo.Null, true, fmt.Errorf("core: read log row vanished: %s %s", e.instanceID, stepKey)
 	}
-	return it[attrValue], nil
+	return it[attrValue], true, nil
 }
 
 // Write stores v at key with exactly-once semantics (Fig 6). Inside a
@@ -207,8 +242,12 @@ func (e *Env) Write(table, key string, v Value) error {
 		return e.txnWrite(table, key, v)
 	}
 	stepKey := e.nextStepKey()
+	t0 := e.rt.spanClock()
 	e.crash("write:pre:" + stepKey)
-	_, err := e.rt.layer().loggedMutate(table, key, e.logKey(stepKey), mutation{setVal: &v})
+	var replay bool
+	_, err := e.rt.layer().loggedMutate(table, key, e.logKey(stepKey),
+		e.stepMutation(mutation{setVal: &v}, &replay))
+	e.stepSpan(t0, telemetry.KindWrite, stepKey, table+"/"+key, replay, e.rt.histStep, err)
 	e.crash("write:post:" + stepKey)
 	return err
 }
@@ -227,8 +266,12 @@ func (e *Env) CondWrite(table, key string, v Value, cond dynamo.Cond) (bool, err
 		return e.txnCondWrite(table, key, v, cond)
 	}
 	stepKey := e.nextStepKey()
+	t0 := e.rt.spanClock()
 	e.crash("condwrite:pre:" + stepKey)
-	ok, err := e.rt.layer().loggedMutate(table, key, e.logKey(stepKey), mutation{cond: cond, setVal: &v})
+	var replay bool
+	ok, err := e.rt.layer().loggedMutate(table, key, e.logKey(stepKey),
+		e.stepMutation(mutation{cond: cond, setVal: &v}, &replay))
+	e.stepSpan(t0, telemetry.KindCondWrite, stepKey, table+"/"+key, replay, e.rt.histStep, err)
 	e.crash("condwrite:post:" + stepKey)
 	return ok, err
 }
@@ -268,27 +311,34 @@ func (e *Env) Lock(table, key string) error {
 	}
 	owner := lockOwnerValue(ownerID, start)
 	backoff := e.rt.cfg.LockRetryBase
+	t0 := e.rt.spanClock() // spans the whole acquisition, retries included
+	var replay bool
 	for attempt := 0; attempt < e.rt.cfg.LockRetryMax; attempt++ {
 		stepKey := e.nextStepKey()
 		e.crash("lock:pre:" + stepKey)
+		replay = false
 		ok, err := e.rt.layer().loggedMutate(table, key, e.logKey(stepKey),
-			mutation{cond: lockCond(ownerID), setLock: &owner})
+			e.stepMutation(mutation{cond: lockCond(ownerID), setLock: &owner}, &replay))
 		e.crash("lock:post:" + stepKey)
 		if err != nil {
+			e.stepSpan(t0, telemetry.KindLock, stepKey, table+"/"+key, replay, nil, err)
 			return err
 		}
 		if ok {
+			e.stepSpan(t0, telemetry.KindLock, stepKey, table+"/"+key, replay, e.rt.histLock, nil)
 			return nil
 		}
 		if werr := e.waitRetry(backoff); werr != nil {
 			// Canceled mid-wait: no lock is held (this attempt's acquisition
 			// recorded false), so aborting here leaves nothing to release.
+			e.stepSpan(t0, telemetry.KindLock, stepKey, table+"/"+key, false, nil, werr)
 			return fmt.Errorf("core: lock %s/%s: %w", table, key, werr)
 		}
 		if backoff < 128*e.rt.cfg.LockRetryBase {
 			backoff *= 2
 		}
 	}
+	e.stepSpan(t0, telemetry.KindLock, "", table+"/"+key, false, nil, ErrLockUnavailable)
 	return fmt.Errorf("%w: %s/%s after %d attempts", ErrLockUnavailable, table, key, e.rt.cfg.LockRetryMax)
 }
 
@@ -310,12 +360,15 @@ func (e *Env) Unlock(table, key string) error {
 
 func (e *Env) unlockAs(layer kvLayer, table, key, ownerID string) error {
 	stepKey := e.nextStepKey()
+	t0 := e.rt.spanClock()
 	e.crash("unlock:pre:" + stepKey)
 	null := dynamo.Null
-	_, err := layer.loggedMutate(table, key, e.logKey(stepKey), mutation{
+	var replay bool
+	_, err := layer.loggedMutate(table, key, e.logKey(stepKey), e.stepMutation(mutation{
 		cond:    dynamo.Eq(dynamo.AK(attrLockOwner, attrID), dynamo.S(ownerID)),
 		setLock: &null,
-	})
+	}, &replay))
+	e.stepSpan(t0, telemetry.KindUnlock, stepKey, table+"/"+key, replay, nil, err)
 	e.crash("unlock:post:" + stepKey)
 	return err
 }

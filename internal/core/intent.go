@@ -28,6 +28,10 @@ type intentRecord struct {
 	lastLaunch int64
 	finishTime int64
 	hasFinish  bool
+	// fresh is true when ensureIntent created the row in this call — i.e.
+	// this execution is the intent's first, not a replayed re-execution.
+	// In-memory only (telemetry's restart marker), never stored.
+	fresh bool
 }
 
 func decodeIntent(it dynamo.Item) *intentRecord {
@@ -68,7 +72,7 @@ func (rt *Runtime) ensureIntent(id string, ev envelope) (*intentRecord, error) {
 	err := rt.store.Put(rt.intentTable, item, dynamo.NotExists(dynamo.A(attrInstanceID)))
 	if err == nil {
 		rt.stats.IntentsStarted.Add(1)
-		return &intentRecord{id: id, args: ev, async: ev.Async, startTime: now, lastLaunch: now}, nil
+		return &intentRecord{id: id, args: ev, async: ev.Async, startTime: now, lastLaunch: now, fresh: true}, nil
 	}
 	if !errors.Is(err, dynamo.ErrConditionFailed) {
 		return nil, err

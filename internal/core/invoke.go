@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/dynamo"
+	"repro/internal/telemetry"
 )
 
 // This file implements SSF invocation with exactly-once semantics (§4.5,
@@ -37,31 +38,57 @@ func (e *Env) SyncInvoke(callee string, input Value) (Value, error) {
 
 func (e *Env) syncInvoke(callee string, input Value, txn *TxnContext) (Value, error) {
 	stepKey := e.nextStepKey()
+	t0 := e.rt.spanClock()
+	out, calleeID, replay, err := e.syncInvokeStep(stepKey, callee, input, txn)
+	e.callSpan(t0, telemetry.KindCall, stepKey, callee, calleeID, replay, err)
+	return out, err
+}
+
+// callSpan records the span of one invocation step: the causal edge from
+// this instance to the callee intent it minted. No-op without a hub.
+func (e *Env) callSpan(t0 int64, kind telemetry.Kind, stepKey, callee, calleeID string, replay bool, err error) {
+	if e.rt.tel == nil {
+		return
+	}
+	s := telemetry.Span{
+		Intent: e.instanceID, Step: stepKey, Kind: kind, Fn: e.rt.fn,
+		Name: callee, Child: calleeID,
+		Start: t0, End: e.rt.clk.Now().UnixNano(), Replay: replay,
+	}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	e.rt.tel.Tracer.Record(s)
+}
+
+func (e *Env) syncInvokeStep(stepKey, callee string, input Value, txn *TxnContext) (_ Value, calleeID string, replay bool, _ error) {
 	logKey := dynamo.HSK(dynamo.S(e.instanceID), dynamo.S(stepKey))
 
 	// Log the invocation intent, minting the callee id exactly once.
-	calleeID := e.rt.ids.NewString()
+	calleeID = e.rt.ids.NewString()
 	e.crash("invoke:pre:" + stepKey)
 	err := e.rt.store.Update(e.rt.invokeLog, logKey,
 		dynamo.NotExists(dynamo.A(attrID)),
 		dynamo.Set(dynamo.A(attrCalleeID), dynamo.S(calleeID)))
 	if err != nil {
 		if !errors.Is(err, dynamo.ErrConditionFailed) {
-			return dynamo.Null, err
+			return dynamo.Null, calleeID, false, err
 		}
 		// Replay: reuse the recorded callee id; if the result already
 		// arrived, return it without re-invoking (Fig 8).
 		rec, ok, gerr := e.rt.store.Get(e.rt.invokeLog, logKey)
 		if gerr != nil {
-			return dynamo.Null, gerr
+			return dynamo.Null, calleeID, true, gerr
 		}
 		if !ok {
-			return dynamo.Null, fmt.Errorf("core: invoke log row vanished: %s %s", e.instanceID, stepKey)
+			return dynamo.Null, calleeID, true, fmt.Errorf("core: invoke log row vanished: %s %s", e.instanceID, stepKey)
 		}
 		e.rt.stats.Replays.Add(1)
+		replay = true
 		calleeID = rec[attrCalleeID].Str()
 		if res, has := rec[attrResult]; has {
-			return txnResult(res, txn)
+			v, rerr := txnResult(res, txn)
+			return v, calleeID, true, rerr
 		}
 	}
 	e.crash("invoke:mid:" + stepKey)
@@ -93,18 +120,20 @@ func (e *Env) syncInvoke(callee string, input Value, txn *TxnContext) (Value, er
 			// the direct response equals the durable record and is used as
 			// the §4.5 optimization — no extra round trip (Fig 8 returns
 			// rawSyncInvoke's value directly).
-			return txnResult(out, txn)
+			v, rerr := txnResult(out, txn)
+			return v, calleeID, replay, rerr
 		}
 		// The callee died mid-flight. Its callback may still have made it;
 		// consult the durable record before retrying.
 		rec, ok, gerr := e.rt.store.Get(e.rt.invokeLog, logKey)
 		if gerr == nil && ok {
 			if res, has := rec[attrResult]; has {
-				return txnResult(res, txn)
+				v, rerr := txnResult(res, txn)
+				return v, calleeID, replay, rerr
 			}
 		}
 	}
-	return dynamo.Null, fmt.Errorf("core: syncInvoke %s: %w", callee, callErr)
+	return dynamo.Null, calleeID, replay, fmt.Errorf("core: syncInvoke %s: %w", callee, callErr)
 }
 
 // syncInvokeRetries bounds in-place re-invocations of a crashed callee.
@@ -158,6 +187,13 @@ func (e *Env) AsyncInvoke(callee string, input Value) error {
 // as the promise id.
 func (e *Env) asyncInvoke(callee string, input Value, replyFn, replyOwner string) (string, error) {
 	stepKey := e.nextStepKey()
+	t0 := e.rt.spanClock()
+	id, replay, err := e.asyncInvokeStep(stepKey, callee, input, replyFn, replyOwner)
+	e.callSpan(t0, telemetry.KindAsync, stepKey, callee, id, replay, err)
+	return id, err
+}
+
+func (e *Env) asyncInvokeStep(stepKey, callee string, input Value, replyFn, replyOwner string) (_ string, replay bool, _ error) {
 	logKey := dynamo.HSK(dynamo.S(e.instanceID), dynamo.S(stepKey))
 
 	calleeID := e.rt.ids.NewString()
@@ -168,15 +204,16 @@ func (e *Env) asyncInvoke(callee string, input Value, replyFn, replyOwner string
 		dynamo.Set(dynamo.A(attrCalleeID), dynamo.S(calleeID)))
 	if err != nil {
 		if !errors.Is(err, dynamo.ErrConditionFailed) {
-			return "", err
+			return "", false, err
 		}
 		rec, ok, gerr := e.rt.store.Get(e.rt.invokeLog, logKey)
 		if gerr != nil {
-			return "", gerr
+			return "", true, gerr
 		}
 		if !ok {
-			return "", fmt.Errorf("core: invoke log row vanished: %s %s", e.instanceID, stepKey)
+			return "", true, fmt.Errorf("core: invoke log row vanished: %s %s", e.instanceID, stepKey)
 		}
+		replay = true
 		calleeID = rec[attrCalleeID].Str()
 		_, registered = rec[attrResult]
 	}
@@ -197,14 +234,14 @@ func (e *Env) asyncInvoke(callee string, input Value, replyFn, replyOwner string
 			ReplyOwner:     replyOwner,
 		}
 		if _, err := e.rt.plat.InvokeInternalCtx(e.Context(), callee, reg.encode()); err != nil {
-			return "", fmt.Errorf("core: asyncInvoke %s: registration: %w", callee, err)
+			return "", replay, fmt.Errorf("core: asyncInvoke %s: registration: %w", callee, err)
 		}
 		rec, ok, gerr := e.rt.store.Get(e.rt.invokeLog, logKey)
 		if gerr != nil {
-			return "", gerr
+			return "", replay, gerr
 		}
 		if !ok || !func() bool { _, has := rec[attrResult]; return has }() {
-			return "", fmt.Errorf("core: asyncInvoke %s: registration not confirmed", callee)
+			return "", replay, fmt.Errorf("core: asyncInvoke %s: registration not confirmed", callee)
 		}
 	}
 	e.crash("ainvoke:mid:" + stepKey)
@@ -221,13 +258,13 @@ func (e *Env) asyncInvoke(callee string, input Value, replyFn, replyOwner string
 		App: e.shared.app, ReplyFn: replyFn, ReplyOwner: replyOwner}
 	if t := e.rt.asyncTransport(); t != nil {
 		if err := t.Deliver(callee, run.encode()); err != nil {
-			return "", fmt.Errorf("core: asyncInvoke %s: durable delivery: %w", callee, err)
+			return "", replay, fmt.Errorf("core: asyncInvoke %s: durable delivery: %w", callee, err)
 		}
 	} else if err := e.rt.plat.InvokeAsyncInternal(callee, run.encode()); err != nil {
-		return "", fmt.Errorf("core: asyncInvoke %s: run: %w", callee, err)
+		return "", replay, fmt.Errorf("core: asyncInvoke %s: run: %w", callee, err)
 	}
 	e.crash("ainvoke:post:" + stepKey)
-	return calleeID, nil
+	return calleeID, replay, nil
 }
 
 // issueCallback delivers result to the caller SSF's invoke log (§4.5). It

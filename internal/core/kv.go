@@ -125,6 +125,7 @@ func (l crossTableLayer) loggedMutate(logical, key, logKey string, mut mutation)
 	if canceled.Reasons[1] != nil {
 		// The log entry exists: this step already executed (case A);
 		// return its recorded outcome.
+		mut.markReplayed()
 		return l.readOutcome(logT, logKeyD)
 	}
 	// The guard failed: record the false conditional (case B2). The first
@@ -140,6 +141,7 @@ func (l crossTableLayer) loggedMutate(logical, key, logKey string, mut mutation)
 		return false, nil
 	}
 	if errors.Is(err, dynamo.ErrConditionFailed) {
+		mut.markReplayed()
 		return l.readOutcome(logT, logKeyD)
 	}
 	return false, err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/dynamo"
+	"repro/internal/telemetry"
 )
 
 // Durable promises extend the paper's fire-and-forget asyncInvoke (§4.5,
@@ -107,6 +108,7 @@ func (p *Promise) Await(e *Env) (Value, error) {
 	}
 
 	stepKey := e.nextStepKey()
+	t0 := e.rt.spanClock()
 	e.crash("await:pre:" + stepKey)
 
 	// Replay fast path: this await already resolved in a previous execution.
@@ -117,6 +119,7 @@ func (p *Promise) Await(e *Env) (Value, error) {
 	}
 	if ok {
 		e.rt.stats.Replays.Add(1)
+		e.awaitSpan(t0, stepKey, p, true, nil)
 		return it[attrValue], nil
 	}
 
@@ -129,7 +132,8 @@ func (p *Promise) Await(e *Env) (Value, error) {
 		}
 		if posted {
 			e.crash("await:mid:" + stepKey)
-			out, err := e.logRead(stepKey, val)
+			out, replay, err := e.logRead(stepKey, val)
+			e.awaitSpan(t0, stepKey, p, replay, err)
 			e.crash("await:post:" + stepKey)
 			return out, err
 		}
@@ -138,13 +142,32 @@ func (p *Promise) Await(e *Env) (Value, error) {
 			// Canceled mid-poll: nothing was logged for this step, so the
 			// re-execution repeats the await from scratch against the same
 			// cell.
+			e.awaitSpan(t0, stepKey, p, false, werr)
 			return dynamo.Null, fmt.Errorf("core: await %s (%s): %w", p.id, p.callee, werr)
 		}
 		if backoff < 128*e.rt.cfg.LockRetryBase {
 			backoff *= 2
 		}
 	}
+	e.awaitSpan(t0, stepKey, p, false, ErrAwaitTimeout)
 	return dynamo.Null, fmt.Errorf("%w: %s (%s) after %d polls", ErrAwaitTimeout, p.id, p.callee, e.rt.cfg.AwaitRetryMax)
+}
+
+// awaitSpan records the telemetry span of one Await: the causal edge to
+// the awaited promise's callee intent. No-op without a hub.
+func (e *Env) awaitSpan(t0 int64, stepKey string, p *Promise, replay bool, err error) {
+	if e.rt.tel == nil {
+		return
+	}
+	s := telemetry.Span{
+		Intent: e.instanceID, Step: stepKey, Kind: telemetry.KindAwait,
+		Fn: e.rt.fn, Name: p.callee, Child: p.id,
+		Start: t0, End: e.rt.clk.Now().UnixNano(), Replay: replay,
+	}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	e.rt.tel.Tracer.Record(s)
 }
 
 // AwaitAll resolves every promise, in order, and returns their values in

@@ -19,9 +19,11 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/dynamo"
+	"repro/internal/hist"
 	"repro/internal/platform"
 	"repro/internal/queue"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/uuid"
 )
 
@@ -183,7 +185,15 @@ type Runtime struct {
 
 	stats Stats
 
-	stopCh chan struct{}
+	// tel is the deployment's telemetry hub, nil when telemetry is off;
+	// every producer site guards on the nil so a hub-less runtime pays only
+	// an untaken branch. The histograms are resolved once at construction
+	// (Registry.Histogram takes a lock) and cover this SSF's hot paths.
+	tel      *telemetry.Hub
+	histStep *hist.Histogram // step commit (logged write/condwrite/unlock)
+	histLock *hist.Histogram // lock acquire, retries included
+	histTxn  *hist.Histogram // transaction commit (finishTxnLocal on commit)
+	stopCh   chan struct{}
 }
 
 // dataTables lists the logical data tables registered so far (the GC's
@@ -218,6 +228,10 @@ type RuntimeOptions struct {
 	// through a durable queue instead of the platform's in-process async
 	// handoff. Settable later with SetAsyncTransport.
 	AsyncTransport AsyncTransport
+	// Telemetry, when set, makes the runtime emit causal trace spans for
+	// every logged step and invocation, and record hot-path latency
+	// histograms under "core.<fn>.*". Nil disables all of it.
+	Telemetry *telemetry.Hub
 }
 
 // NewRuntime creates the SSF's runtime and its backing tables.
@@ -247,7 +261,13 @@ func NewRuntime(opts RuntimeOptions) (*Runtime, error) {
 		txCallees:   opts.Function + ".txcallees",
 		txLocks:     opts.Function + ".txlocks",
 		transport:   opts.AsyncTransport,
+		tel:         opts.Telemetry,
 		stopCh:      make(chan struct{}),
+	}
+	if rt.tel != nil {
+		rt.histStep = rt.tel.Registry.Histogram("core." + rt.fn + ".step_commit")
+		rt.histLock = rt.tel.Registry.Histogram("core." + rt.fn + ".lock_acquire")
+		rt.histTxn = rt.tel.Registry.Histogram("core." + rt.fn + ".txn_commit")
 	}
 	if rt.mode != ModeBaseline {
 		if err := rt.createInfraTables(); err != nil {
@@ -453,6 +473,27 @@ func (rt *Runtime) Config() Config { return rt.cfg }
 // now returns the runtime's current time in microseconds since the epoch —
 // the timestamp unit used throughout the intent table.
 func (rt *Runtime) now() int64 { return rt.clk.Now().UnixMicro() }
+
+// Telemetry returns the runtime's telemetry hub, nil when telemetry is off.
+func (rt *Runtime) Telemetry() *telemetry.Hub { return rt.tel }
+
+// spanClock returns the current span timestamp (UnixNano on the runtime's
+// clock); 0 when telemetry is off, so producer sites can use it as both
+// the guard and the start time.
+func (rt *Runtime) spanClock() int64 {
+	if rt.tel == nil {
+		return 0
+	}
+	return rt.clk.Now().UnixNano()
+}
+
+// span records one trace span; a no-op without a hub.
+func (rt *Runtime) span(s telemetry.Span) {
+	if rt.tel == nil {
+		return
+	}
+	rt.tel.Tracer.Record(s)
+}
 
 // TailValueByScan resolves the current value of key using the production
 // traversal: one scan+projection to skeleton the linked DAAL, then one read

@@ -66,8 +66,13 @@ type StatsView struct {
 func (rt *Runtime) Stats() *Stats { return &rt.stats }
 
 // StatsSnapshot copies the counters.
-func (rt *Runtime) StatsSnapshot() StatsView {
-	s := &rt.stats
+func (rt *Runtime) StatsSnapshot() StatsView { return rt.stats.Snapshot() }
+
+// Snapshot copies the counters — the common snapshot shape every subsystem
+// stats struct shares (see also dynamo.Metrics.Snapshot, queue, platform,
+// walstore, cluster), which is what makes telemetry registration
+// mechanical.
+func (s *Stats) Snapshot() StatsView {
 	return StatsView{
 		Reads:            s.Reads.Load(),
 		Writes:           s.Writes.Load(),

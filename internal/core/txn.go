@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dynamo"
 	"repro/internal/platform"
+	"repro/internal/telemetry"
 )
 
 // Transactions (§6.2). A transaction is created by the SSF that calls
@@ -59,9 +60,12 @@ func (e *Env) Transaction(body func() error) error {
 
 	if bodyErr == nil {
 		ctx.Mode = TxCommit
+		t0 := e.rt.spanClock()
 		if err := e.finishTxnLocal(ctx); err != nil {
+			e.stepSpan(t0, telemetry.KindTxnCommit, "", ctx.ID, false, nil, err)
 			return err
 		}
+		e.stepSpan(t0, telemetry.KindTxnCommit, "", ctx.ID, false, e.rt.histTxn, nil)
 		e.shared.txn = nil
 		e.shared.txnOwner = false
 		e.rt.stats.TxnCommitted.Add(1)
@@ -69,9 +73,12 @@ func (e *Env) Transaction(body func() error) error {
 	}
 	ctx.Mode = TxAbort
 	e.rt.stats.TxnAborted.Add(1)
+	t0 := e.rt.spanClock()
 	if err := e.finishTxnLocal(ctx); err != nil {
+		e.stepSpan(t0, telemetry.KindTxnAbort, "", ctx.ID, false, nil, err)
 		return err
 	}
+	e.stepSpan(t0, telemetry.KindTxnAbort, "", ctx.ID, false, nil, nil)
 	e.shared.txn = nil
 	e.shared.txnOwner = false
 	if errors.Is(bodyErr, ErrTxnAborted) {
@@ -128,16 +135,21 @@ func (e *Env) txnLock(table, key string) error {
 		return err
 	}
 	backoff := e.rt.cfg.LockRetryBase
+	t0 := e.rt.spanClock() // spans the whole wait-die acquisition
+	var replay bool
 	for attempt := 0; attempt < e.rt.cfg.LockRetryMax; attempt++ {
 		stepKey := e.nextStepKey()
 		e.crash("txnlock:pre:" + stepKey)
+		replay = false
 		ok, err := e.rt.layer().loggedMutate(table, key, e.logKey(stepKey),
-			mutation{cond: lockCond(txn.ID), setLock: &owner})
+			e.stepMutation(mutation{cond: lockCond(txn.ID), setLock: &owner}, &replay))
 		e.crash("txnlock:post:" + stepKey)
 		if err != nil {
+			e.stepSpan(t0, telemetry.KindLock, stepKey, table+"/"+key, replay, nil, err)
 			return err
 		}
 		if ok {
+			e.stepSpan(t0, telemetry.KindLock, stepKey, table+"/"+key, replay, e.rt.histLock, nil)
 			return nil
 		}
 		// Conflict: inspect the holder for wait-die.
@@ -149,6 +161,7 @@ func (e *Env) txnLock(table, key string) error {
 			holderID, _ := lock.MapGet(attrID)
 			holderStart, _ := lock.MapGet("Start")
 			if olderOrSame(holderStart.Int(), holderID.Str(), txn.Start, txn.ID) {
+				e.stepSpan(t0, telemetry.KindLock, stepKey, table+"/"+key, false, nil, ErrTxnAborted)
 				return ErrTxnAborted // die: the holder has priority
 			}
 		}
@@ -185,6 +198,7 @@ func (e *Env) txnRead(table, key string) (Value, error) {
 		return dynamo.Null, err
 	}
 	stepKey := e.nextStepKey()
+	t0 := e.rt.spanClock()
 	e.crash("txnread:pre:" + stepKey)
 	layer := e.rt.layer()
 	val, _, found, err := layer.shadow().stateRead(table, shadowKey(e.shared.txn.ID, key))
@@ -197,7 +211,8 @@ func (e *Env) txnRead(table, key string) (Value, error) {
 			return dynamo.Null, err
 		}
 	}
-	out, err := e.logRead(stepKey, val)
+	out, replay, err := e.logRead(stepKey, val)
+	e.stepSpan(t0, telemetry.KindRead, stepKey, table+"/"+key, replay, nil, err)
 	e.crash("txnread:post:" + stepKey)
 	return out, err
 }
@@ -208,9 +223,12 @@ func (e *Env) txnWrite(table, key string, v Value) error {
 		return err
 	}
 	stepKey := e.nextStepKey()
+	t0 := e.rt.spanClock()
 	e.crash("txnwrite:pre:" + stepKey)
+	var replay bool
 	_, err := e.rt.layer().shadow().loggedMutate(table, shadowKey(e.shared.txn.ID, key),
-		e.logKey(stepKey), mutation{setVal: &v})
+		e.logKey(stepKey), e.stepMutation(mutation{setVal: &v}, &replay))
+	e.stepSpan(t0, telemetry.KindWrite, stepKey, table+"/"+key, replay, e.rt.histStep, err)
 	e.crash("txnwrite:post:" + stepKey)
 	return err
 }
@@ -234,7 +252,7 @@ func (e *Env) txnCondWrite(table, key string, v Value, cond dynamo.Cond) (bool, 
 			return false, err
 		}
 	}
-	val, err = e.logRead(stepKey, val)
+	val, _, err = e.logRead(stepKey, val)
 	if err != nil {
 		return false, err
 	}
@@ -242,9 +260,12 @@ func (e *Env) txnCondWrite(table, key string, v Value, cond dynamo.Cond) (bool, 
 		return false, nil
 	}
 	wStep := e.nextStepKey()
+	t0 := e.rt.spanClock()
 	e.crash("txncondwrite:pre:" + wStep)
+	var replay bool
 	_, err = layer.shadow().loggedMutate(table, shadowKey(e.shared.txn.ID, key),
-		e.logKey(wStep), mutation{setVal: &v})
+		e.logKey(wStep), e.stepMutation(mutation{setVal: &v}, &replay))
+	e.stepSpan(t0, telemetry.KindCondWrite, wStep, table+"/"+key, replay, e.rt.histStep, err)
 	e.crash("txncondwrite:post:" + wStep)
 	return err == nil, err
 }
@@ -365,6 +386,7 @@ func (rt *Runtime) runTxnPhase(inv *platform.Invocation, id string, ev envelope)
 	}
 	inv.CrashPoint("intent:logged")
 	if intent.done {
+		rt.dedupExec(id, ev)
 		if ev.CallerFn != "" && !rt.cfg.DisableCallbacks {
 			if err := rt.issueCallback(ev.CallerFn, ev.CallerInstance, ev.CallerStep, id, intent.ret); err != nil {
 				return dynamo.Null, err
@@ -372,20 +394,26 @@ func (rt *Runtime) runTxnPhase(inv *platform.Invocation, id string, ev envelope)
 		}
 		return intent.ret, nil
 	}
+	obs := rt.beginExec(id, ev, !intent.fresh)
+	defer obs.finish()
 	env := &Env{rt: rt, inv: inv, instanceID: id, branch: "0", intent: intent, shared: &envShared{app: ev.App}}
 	if err := env.finishTxnLocal(ev.Txn); err != nil {
+		obs.complete(err)
 		return dynamo.Null, err
 	}
 	inv.CrashPoint("body:done")
 	ret := dynamo.S("txn:" + string(ev.Txn.Mode))
 	if ev.CallerFn != "" && !rt.cfg.DisableCallbacks {
 		if err := rt.issueCallback(ev.CallerFn, ev.CallerInstance, ev.CallerStep, id, ret); err != nil {
+			obs.complete(err)
 			return dynamo.Null, err
 		}
 		inv.CrashPoint("callback:sent")
 	}
 	if err := rt.markIntentDone(id, ret); err != nil {
+		obs.complete(err)
 		return dynamo.Null, err
 	}
+	obs.complete(nil)
 	return ret, nil
 }

@@ -6,7 +6,70 @@ import (
 
 	"repro/internal/dynamo"
 	"repro/internal/platform"
+	"repro/internal/telemetry"
 )
+
+// execObs observes one execution attempt of an intent for telemetry. A nil
+// observer (telemetry off) no-ops. finish must run deferred: when the
+// platform kills the worker mid-body, the panic unwinds through it and the
+// attempt is recorded as crashed — which is exactly how a trace shows the
+// pre-crash half of a recovered workflow.
+type execObs struct {
+	rt  *Runtime
+	s   telemetry.Span
+	ok  bool
+	err error
+}
+
+// beginExec opens an exec span for one attempt; restart marks a
+// re-execution of an already-created intent.
+func (rt *Runtime) beginExec(id string, ev envelope, restart bool) *execObs {
+	if rt.tel == nil {
+		return nil
+	}
+	return &execObs{rt: rt, s: telemetry.Span{
+		Intent: id, Kind: telemetry.KindExec, Fn: rt.fn,
+		ParentIntent: ev.CallerInstance, ParentStep: ev.CallerStep,
+		Replay: restart, Start: rt.clk.Now().UnixNano(),
+	}}
+}
+
+// complete records the attempt's outcome; not calling it before finish
+// (a kill panic skipped the return path) marks the attempt crashed.
+func (o *execObs) complete(err error) {
+	if o == nil {
+		return
+	}
+	o.ok, o.err = err == nil, err
+}
+
+func (o *execObs) finish() {
+	if o == nil {
+		return
+	}
+	o.s.End = o.rt.clk.Now().UnixNano()
+	if !o.ok {
+		o.s.Err = "crashed"
+		if o.err != nil {
+			o.s.Err = o.err.Error()
+		}
+	}
+	o.rt.tel.Tracer.Record(o.s)
+}
+
+// dedupExec records the zero-width exec span of a re-invocation that found
+// its intent already done — an effect the protocol deduplicated.
+func (rt *Runtime) dedupExec(id string, ev envelope) {
+	if rt.tel == nil {
+		return
+	}
+	now := rt.clk.Now().UnixNano()
+	rt.tel.Tracer.Record(telemetry.Span{
+		Intent: id, Kind: telemetry.KindExec, Fn: rt.fn, Name: "deduplicated",
+		ParentIntent: ev.CallerInstance, ParentStep: ev.CallerStep,
+		Replay: true, Start: now, End: now,
+	})
+}
 
 // Register installs the SSF on its platform: the body is wrapped with
 // Beldi's protocol actions — intent check/log on entry, replayed execution,
@@ -76,6 +139,7 @@ func (rt *Runtime) handleCall(inv *platform.Invocation, ev envelope) (Value, err
 		// A re-invocation of a completed intent: re-deliver the result via
 		// the callback path so the caller's invoke log converges (Fig 19's
 		// replay behaviour), then return the recorded value.
+		rt.dedupExec(id, ev)
 		if ev.CallerFn != "" && !rt.cfg.DisableCallbacks {
 			if err := rt.issueCallback(ev.CallerFn, ev.CallerInstance, ev.CallerStep, id, intent.ret); err != nil {
 				return dynamo.Null, err
@@ -83,6 +147,8 @@ func (rt *Runtime) handleCall(inv *platform.Invocation, ev envelope) (Value, err
 		}
 		return intent.ret, nil
 	}
+	obs := rt.beginExec(id, ev, !intent.fresh)
+	defer obs.finish()
 
 	env := &Env{rt: rt, inv: inv, instanceID: id, branch: "0", intent: intent, shared: &envShared{app: ev.App}}
 	if ev.Txn != nil {
@@ -103,6 +169,7 @@ func (rt *Runtime) handleCall(inv *platform.Invocation, ev envelope) (Value, err
 		} else {
 			// The instance failed; leave the intent pending for the
 			// collector.
+			obs.complete(err)
 			return dynamo.Null, err
 		}
 	}
@@ -112,14 +179,18 @@ func (rt *Runtime) handleCall(inv *platform.Invocation, ev envelope) (Value, err
 	// the result before this intent can be collected).
 	if ev.CallerFn != "" && !rt.cfg.DisableCallbacks {
 		if err := rt.issueCallback(ev.CallerFn, ev.CallerInstance, ev.CallerStep, id, ret); err != nil {
-			return dynamo.Null, fmt.Errorf("core: %s: callback to %s failed: %w", rt.fn, ev.CallerFn, err)
+			cerr := fmt.Errorf("core: %s: callback to %s failed: %w", rt.fn, ev.CallerFn, err)
+			obs.complete(cerr)
+			return dynamo.Null, cerr
 		}
 		inv.CrashPoint("callback:sent")
 	}
 	if err := rt.markIntentDone(id, ret); err != nil {
+		obs.complete(err)
 		return dynamo.Null, err
 	}
 	inv.CrashPoint("done:marked")
+	obs.complete(nil)
 	return ret, nil
 }
 
@@ -166,9 +237,20 @@ func (rt *Runtime) handleAsyncRun(inv *platform.Invocation, ev envelope) (Value,
 	if err != nil {
 		return dynamo.Null, err
 	}
+	// The intent was registered by asyncInvoke step 1, so fresh never holds
+	// here; a collector restart is visible as an advanced LastLaunch. The
+	// causal parent of an async run is the promise's reply owner (plain
+	// AsyncInvoke callees are linked through the caller's async span).
+	parentEv := intent.args
+	if parentEv.CallerInstance == "" && parentEv.ReplyOwner != "" {
+		parentEv.CallerInstance = parentEv.ReplyOwner
+	}
+	obs := rt.beginExec(ev.InstanceID, parentEv, intent.lastLaunch > intent.startTime)
+	defer obs.finish()
 	env := &Env{rt: rt, inv: inv, instanceID: ev.InstanceID, branch: "0", intent: intent, shared: &envShared{app: ev.App}}
 	ret, err := rt.runBody(env, ev.Input)
 	if err != nil {
+		obs.complete(err)
 		return dynamo.Null, err
 	}
 	inv.CrashPoint("body:done")
@@ -179,12 +261,16 @@ func (rt *Runtime) handleAsyncRun(inv *platform.Invocation, ev envelope) (Value,
 	// re-posts it into the already-won cell — a no-op.
 	if ev.ReplyFn != "" {
 		if err := rt.postPromise(ev.ReplyFn, ev.ReplyOwner, ev.InstanceID, ret); err != nil {
-			return dynamo.Null, fmt.Errorf("core: %s: promise post to %s failed: %w", rt.fn, ev.ReplyFn, err)
+			perr := fmt.Errorf("core: %s: promise post to %s failed: %w", rt.fn, ev.ReplyFn, err)
+			obs.complete(perr)
+			return dynamo.Null, perr
 		}
 		inv.CrashPoint("promise:posted")
 	}
 	if err := rt.markIntentDone(ev.InstanceID, ret); err != nil {
+		obs.complete(err)
 		return dynamo.Null, err
 	}
+	obs.complete(nil)
 	return ret, nil
 }

@@ -154,6 +154,105 @@ func (h *Histogram) Reset() {
 	h.min.Store(0)
 }
 
+// Snapshot is an immutable point-in-time copy of a histogram. It answers
+// the same quantile questions as the live histogram but never changes, so
+// exporters can serialize it and interval collectors can diff consecutive
+// windows without racing recorders.
+type Snapshot struct {
+	counts [numBuckets]int64
+	count  int64
+	sum    int64
+	max    int64
+	min    int64 // stored negated, like Histogram.min
+}
+
+// Snapshot copies the histogram's current state without disturbing it.
+// Concurrent Records may or may not be included; each bucket is read
+// atomically so the copy is always internally plausible.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	for i := 0; i < numBuckets; i++ {
+		s.counts[i] = h.counts[i].Load()
+	}
+	s.count = h.count.Load()
+	s.sum = h.sum.Load()
+	s.max = h.max.Load()
+	s.min = h.min.Load()
+	return s
+}
+
+// SnapshotReset atomically drains the histogram into a Snapshot and zeroes
+// it — the per-interval window primitive (each call returns the
+// observations since the previous call). Buckets are swapped individually,
+// so a Record racing the swap lands wholly in one window or the next, never
+// both; the aggregate count/sum may momentarily disagree with the bucket
+// totals by the few racing observations, which is harmless for quantiles.
+func (h *Histogram) SnapshotReset() Snapshot {
+	var s Snapshot
+	for i := 0; i < numBuckets; i++ {
+		s.counts[i] = h.counts[i].Swap(0)
+	}
+	s.count = h.count.Swap(0)
+	s.sum = h.sum.Swap(0)
+	s.max = h.max.Swap(0)
+	s.min = h.min.Swap(0)
+	return s
+}
+
+// Count returns the number of observations in the snapshot.
+func (s Snapshot) Count() int64 { return s.count }
+
+// Mean returns the snapshot's mean observation.
+func (s Snapshot) Mean() time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	return time.Duration(s.sum / s.count)
+}
+
+// Max returns the snapshot's largest observation.
+func (s Snapshot) Max() time.Duration { return time.Duration(s.max) }
+
+// Min returns the snapshot's smallest observation.
+func (s Snapshot) Min() time.Duration {
+	if s.min == 0 {
+		return 0
+	}
+	return time.Duration(-s.min)
+}
+
+// Quantile returns the snapshot's q-quantile (0 < q <= 1), to the same
+// bucket-ceiling precision as Histogram.Quantile.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < numBuckets; i++ {
+		seen += s.counts[i]
+		if seen >= rank {
+			return time.Duration(bucketFloor[i] * growth)
+		}
+	}
+	return s.Max()
+}
+
+// Median is Quantile(0.5).
+func (s Snapshot) Median() time.Duration { return s.Quantile(0.5) }
+
+// P99 is Quantile(0.99).
+func (s Snapshot) P99() time.Duration { return s.Quantile(0.99) }
+
+// Summary renders count/mean/median/p99/max on one line.
+func (s Snapshot) Summary() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p99=%s max=%s",
+		s.Count(), round(s.Mean()), round(s.Median()), round(s.P99()), round(s.Max()))
+}
+
 // Summary renders count/mean/median/p99/max on one line.
 func (h *Histogram) Summary() string {
 	return fmt.Sprintf("n=%d mean=%s p50=%s p99=%s max=%s",

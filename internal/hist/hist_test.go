@@ -173,3 +173,118 @@ func TestPercentilesSorted(t *testing.T) {
 		t.Errorf("percentiles unsorted: %v", ps)
 	}
 }
+
+func TestSnapshotMatchesLiveQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 10000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99, 1.0} {
+		if got, want := s.Quantile(q), h.Quantile(q); got != want {
+			t.Errorf("q=%g: snapshot %s != live %s", q, got, want)
+		}
+	}
+	if s.Count() != h.Count() || s.Mean() != h.Mean() ||
+		s.Max() != h.Max() || s.Min() != h.Min() {
+		t.Errorf("snapshot aggregates diverge: %s vs %s", s.Summary(), h.Summary())
+	}
+	// Snapshot is a copy: further records leave it untouched.
+	before := s.Count()
+	h.Record(time.Hour)
+	if s.Count() != before {
+		t.Error("snapshot mutated by later Record")
+	}
+}
+
+// TestSnapshotQuantilePrecision pins the bucket-ceiling guarantee: every
+// snapshot quantile is >= the exact value and within one bucket's relative
+// growth (~4.6%) above it, for a uniform and a bimodal distribution.
+func TestSnapshotQuantilePrecision(t *testing.T) {
+	check := func(name string, s Snapshot, q float64, exact time.Duration) {
+		got := s.Quantile(q)
+		if got < exact {
+			t.Errorf("%s q=%g: %s below exact %s", name, q, got, exact)
+		}
+		// One bucket of slack above the ceiling of the exact value's bucket.
+		limit := time.Duration(float64(exact) * growth * growth)
+		if got > limit {
+			t.Errorf("%s q=%g: %s exceeds %s (>2 buckets above exact %s)", name, q, got, limit, exact)
+		}
+	}
+	var u Histogram
+	for i := 1; i <= 100000; i++ {
+		u.Record(time.Duration(i) * time.Microsecond)
+	}
+	us := u.Snapshot()
+	check("uniform", us, 0.5, 50*time.Millisecond)
+	check("uniform", us, 0.99, 99*time.Millisecond)
+
+	var b Histogram
+	for i := 0; i < 9900; i++ {
+		b.Record(time.Millisecond)
+	}
+	for i := 0; i < 100; i++ {
+		b.Record(time.Second)
+	}
+	bs := b.Snapshot()
+	check("bimodal", bs, 0.5, time.Millisecond)
+	check("bimodal", bs, 0.999, time.Second)
+}
+
+func TestSnapshotResetWindows(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(10 * time.Millisecond)
+	}
+	w1 := h.SnapshotReset()
+	if w1.Count() != 100 {
+		t.Fatalf("window 1 count = %d", w1.Count())
+	}
+	if h.Count() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("histogram not drained")
+	}
+	for i := 0; i < 50; i++ {
+		h.Record(20 * time.Millisecond)
+	}
+	w2 := h.SnapshotReset()
+	if w2.Count() != 50 {
+		t.Fatalf("window 2 count = %d", w2.Count())
+	}
+	if w2.Median() <= w1.Median() {
+		t.Errorf("window 2 median %s not above window 1 %s", w2.Median(), w1.Median())
+	}
+	// Windows recombine losslessly via Merge on a scratch histogram.
+	if w1.Count()+w2.Count() != 150 {
+		t.Error("windows lost observations")
+	}
+}
+
+func TestMergePreservesQuantiles(t *testing.T) {
+	var a, b, whole Histogram
+	for i := 1; i <= 5000; i++ {
+		a.Record(time.Duration(i) * time.Microsecond)
+		whole.Record(time.Duration(i) * time.Microsecond)
+	}
+	for i := 5001; i <= 10000; i++ {
+		b.Record(time.Duration(i) * time.Microsecond)
+		whole.Record(time.Duration(i) * time.Microsecond)
+	}
+	a.Merge(&b)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got, want := a.Quantile(q), whole.Quantile(q); got != want {
+			t.Errorf("q=%g: merged %s != whole %s", q, got, want)
+		}
+	}
+	if a.Count() != 10000 || a.Max() != whole.Max() || a.Min() != whole.Min() {
+		t.Errorf("merged aggregates diverge: %s vs %s", a.Summary(), whole.Summary())
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count() != 0 || s.Quantile(0.99) != 0 || s.Mean() != 0 || s.Min() != 0 {
+		t.Errorf("empty snapshot not zero: %s", s.Summary())
+	}
+}

@@ -257,3 +257,20 @@ type MapperMetrics struct {
 	StaleDeliveries atomic.Int64
 	SettleErrors    atomic.Int64
 }
+
+// MapperMetricsView is a point-in-time copy for reporting.
+type MapperMetricsView struct {
+	Batches, Delivered, Failures  int64
+	StaleDeliveries, SettleErrors int64
+}
+
+// Snapshot copies the counters.
+func (m *MapperMetrics) Snapshot() MapperMetricsView {
+	return MapperMetricsView{
+		Batches:         m.Batches.Load(),
+		Delivered:       m.Delivered.Load(),
+		Failures:        m.Failures.Load(),
+		StaleDeliveries: m.StaleDeliveries.Load(),
+		SettleErrors:    m.SettleErrors.Load(),
+	}
+}

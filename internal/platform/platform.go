@@ -525,6 +525,28 @@ type Metrics struct {
 	ConcurrencyHighWater atomic.Int64
 }
 
+// MetricsView is a point-in-time copy for reporting — the common snapshot
+// shape shared with core.Stats, dynamo.Metrics, and the other subsystems.
+type MetricsView struct {
+	Invocations, Completions, Crashes, Timeouts int64
+	Cancels, Throttles, ColdStarts              int64
+	ConcurrencyHighWater                        int64
+}
+
+// Snapshot copies the counters.
+func (m *Metrics) Snapshot() MetricsView {
+	return MetricsView{
+		Invocations:          m.Invocations.Load(),
+		Completions:          m.Completions.Load(),
+		Crashes:              m.Crashes.Load(),
+		Timeouts:             m.Timeouts.Load(),
+		Cancels:              m.Cancels.Load(),
+		Throttles:            m.Throttles.Load(),
+		ColdStarts:           m.ColdStarts.Load(),
+		ConcurrencyHighWater: m.ConcurrencyHighWater.Load(),
+	}
+}
+
 type lockedRand struct {
 	mu  sync.Mutex
 	rng *rand.Rand

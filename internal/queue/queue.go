@@ -32,7 +32,9 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/dynamo"
+	"repro/internal/hist"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/uuid"
 )
 
@@ -126,6 +128,10 @@ type Broker struct {
 
 	seq     atomic.Int64 // enqueue-order tiebreak within one broker process
 	metrics Metrics
+
+	// Telemetry wiring (SetTelemetry); both nil when telemetry is off.
+	tel     atomic.Pointer[telemetry.Hub]
+	histHop atomic.Pointer[hist.Histogram]
 }
 
 // NewBroker creates a broker.
@@ -146,6 +152,41 @@ func NewBroker(opts BrokerOptions) *Broker {
 
 // Metrics exposes the broker's counters.
 func (b *Broker) Metrics() *Metrics { return &b.metrics }
+
+// SetTelemetry attaches the broker to a telemetry hub: counters are
+// registered under "queue", every delivery records an enqueue-to-receive
+// queue.hop span, and hop latency feeds the "queue.hop" histogram.
+func (b *Broker) SetTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	b.tel.Store(h)
+	b.histHop.Store(h.Registry.Histogram("queue.hop"))
+	h.Registry.Register("queue", func() any { return b.metrics.Snapshot() })
+}
+
+// observeHop records one delivery's queue dwell: enqueue to receive. The
+// span's intent comes from the message body when it is an invocation
+// envelope (the platform's trigger path), so the hop shows up inside the
+// workflow's trace between the caller's async step and the callee's run.
+func (b *Broker) observeHop(queue string, m Message, now int64) {
+	tel := b.tel.Load()
+	if tel == nil {
+		return
+	}
+	intent := ""
+	if v, ok := m.Body.MapGet("InstanceId"); ok {
+		intent = v.Str()
+	}
+	tel.Tracer.Record(telemetry.Span{
+		Intent: intent, Kind: telemetry.KindQueueHop, Fn: queue, Name: m.ID,
+		Start: m.EnqueuedAt * 1000, End: now * 1000,
+		Replay: m.ReceiveCount > 1,
+	})
+	if h := b.histHop.Load(); h != nil && m.ReceiveCount == 1 {
+		h.Record(time.Duration(now-m.EnqueuedAt) * time.Microsecond)
+	}
+}
 
 // Message table attributes.
 const (
@@ -340,13 +381,15 @@ func (b *Broker) Receive(name string, max int) ([]Message, error) {
 			b.metrics.Redelivered.Add(1)
 		}
 		b.metrics.Received.Add(1)
-		out = append(out, Message{
+		msg := Message{
 			ID:           id,
 			Body:         row[attrBody],
 			Receipt:      receipt,
 			ReceiveCount: recv + 1,
 			EnqueuedAt:   row[attrEnq].Int(),
-		})
+		}
+		b.observeHop(name, msg, now)
+		out = append(out, msg)
 	}
 	if len(out) == 0 {
 		b.metrics.EmptyReceives.Add(1)
@@ -531,4 +574,26 @@ type Metrics struct {
 	DeadLettered  atomic.Int64
 	StaleAcks     atomic.Int64
 	EmptyReceives atomic.Int64
+}
+
+// MetricsView is a point-in-time copy for reporting — the common snapshot
+// shape shared with core.Stats, dynamo.Metrics, and the other subsystems.
+type MetricsView struct {
+	Enqueued, Received, Acked, Nacked int64
+	Redelivered, DeadLettered         int64
+	StaleAcks, EmptyReceives          int64
+}
+
+// Snapshot copies the counters.
+func (m *Metrics) Snapshot() MetricsView {
+	return MetricsView{
+		Enqueued:      m.Enqueued.Load(),
+		Received:      m.Received.Load(),
+		Acked:         m.Acked.Load(),
+		Nacked:        m.Nacked.Load(),
+		Redelivered:   m.Redelivered.Load(),
+		DeadLettered:  m.DeadLettered.Load(),
+		StaleAcks:     m.StaleAcks.Load(),
+		EmptyReceives: m.EmptyReceives.Load(),
+	}
 }

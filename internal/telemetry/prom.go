@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format (version 0.0.4). Counter names gain a "beldi_" prefix with dots
+// and dashes mapped to underscores; histograms become summary families
+// with quantile labels plus _count and _sum-free mean/max gauges:
+//
+//	beldi_core_front_replays 3
+//	beldi_core_front_step_commit{quantile="0.99"} 0.004012
+//	beldi_core_front_step_commit_count 128
+//
+// Quantile values are seconds, per Prometheus convention.
+func (s RegistrySnapshot) WritePrometheus(w io.Writer) error {
+	for _, name := range s.SortedCounterNames() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n",
+			promName(name), promName(name), s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	lats := make([]string, 0, len(s.Latencies))
+	for n := range s.Latencies {
+		lats = append(lats, n)
+	}
+	sort.Strings(lats)
+	for _, name := range lats {
+		h := s.Latencies[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n"+
+				"%s{quantile=\"0.5\"} %g\n"+
+				"%s{quantile=\"0.9\"} %g\n"+
+				"%s{quantile=\"0.99\"} %g\n"+
+				"%s_count %d\n",
+			pn, pn, seconds(h.P50), pn, seconds(h.P90), pn, seconds(h.P99),
+			pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func seconds(ns int64) float64 { return float64(ns) / 1e9 }
+
+// promName sanitizes a hierarchical metric name into the Prometheus
+// identifier alphabet under the beldi_ namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("beldi_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

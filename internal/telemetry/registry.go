@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/hist"
+)
+
+// Registry unifies the repo's per-subsystem counter structs (core.Stats,
+// dynamo.Metrics, walstore.Stats, cluster.Stats, queue and platform
+// counters) under stable hierarchical names, and hands out named latency
+// histograms for hot paths. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	sources []source
+	hists   map[string]*hist.Histogram
+	order   []string // histogram names in registration order
+}
+
+type source struct {
+	prefix   string
+	snapshot func() any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{hists: make(map[string]*hist.Histogram)}
+}
+
+// Register attaches a counter source under a name prefix. The snapshot
+// function is called at collection time and must return a plain view
+// struct — exported int/int64 fields, map[string]int64 sub-groups, and
+// nested structs, exactly the shape of the subsystems' Snapshot() views
+// (atomic originals won't flatten; snapshot first). Field names become
+// snake_case segments under the prefix: Register("core.front", ...) with a
+// field GCRuns yields "core.front.gc_runs". Registering the same prefix
+// again replaces the source, so re-wiring after a restart is idempotent.
+func (r *Registry) Register(prefix string, snapshot func() any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, s := range r.sources {
+		if s.prefix == prefix {
+			r.sources[i].snapshot = snapshot
+			return
+		}
+	}
+	r.sources = append(r.sources, source{prefix, snapshot})
+}
+
+// Histogram returns the named latency histogram, creating it on first use.
+// Names share the counter namespace ("core.front.step_commit", …).
+func (r *Registry) Histogram(name string) *hist.Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &hist.Histogram{}
+		r.hists[name] = h
+		r.order = append(r.order, name)
+	}
+	return h
+}
+
+// Histograms returns the registered histograms keyed by name, in
+// registration order alongside the name slice. Callers must treat the
+// histograms as live (still being recorded into).
+func (r *Registry) Histograms() (names []string, byName map[string]*hist.Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names = append([]string(nil), r.order...)
+	byName = make(map[string]*hist.Histogram, len(r.hists))
+	for k, v := range r.hists {
+		byName[k] = v
+	}
+	return names, byName
+}
+
+// HistStat is the serialized summary of one latency histogram, durations
+// in nanoseconds.
+type HistStat struct {
+	Count int64 `json:"count"`
+	Mean  int64 `json:"mean_ns"`
+	P50   int64 `json:"p50_ns"`
+	P90   int64 `json:"p90_ns"`
+	P99   int64 `json:"p99_ns"`
+	Max   int64 `json:"max_ns"`
+}
+
+// RegistrySnapshot is a point-in-time view of every registered counter and
+// histogram, ready for JSON.
+type RegistrySnapshot struct {
+	Counters  map[string]int64    `json:"counters"`
+	Latencies map[string]HistStat `json:"latencies"`
+}
+
+// Snapshot collects all sources and histograms. Counter names are fully
+// flattened ("prefix.field", "prefix.map_field.key"); histogram summaries
+// keep their registered names.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	sources := append([]source(nil), r.sources...)
+	type nh struct {
+		name string
+		h    *hist.Histogram
+	}
+	hs := make([]nh, 0, len(r.hists))
+	for _, name := range r.order {
+		hs = append(hs, nh{name, r.hists[name]})
+	}
+	r.mu.Unlock()
+
+	snap := RegistrySnapshot{
+		Counters:  make(map[string]int64),
+		Latencies: make(map[string]HistStat, len(hs)),
+	}
+	for _, s := range sources {
+		flatten(s.prefix, reflect.ValueOf(s.snapshot()), snap.Counters)
+	}
+	for _, e := range hs {
+		s := e.h.Snapshot()
+		snap.Latencies[e.name] = HistStat{
+			Count: s.Count(),
+			Mean:  int64(s.Mean()),
+			P50:   int64(s.Median()),
+			P90:   int64(s.Quantile(0.9)),
+			P99:   int64(s.P99()),
+			Max:   int64(s.Max()),
+		}
+	}
+	return snap
+}
+
+// SortedCounterNames returns the snapshot's counter names sorted, for
+// stable rendering.
+func (s RegistrySnapshot) SortedCounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// flatten walks a snapshot view and emits prefix.snake_case counter names.
+// Supported shapes: integer kinds (time.Duration flattens as nanoseconds),
+// bool (as 0/1), map[string]int64, structs (recursively), and pointers to
+// any of those. Anything else — strings, floats, slices — is skipped:
+// counter sources count, they don't label.
+func flatten(prefix string, v reflect.Value, out map[string]int64) {
+	for v.Kind() == reflect.Pointer || v.Kind() == reflect.Interface {
+		if v.IsNil() {
+			return
+		}
+		v = v.Elem()
+	}
+	switch v.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		out[prefix] = v.Int()
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		out[prefix] = int64(v.Uint())
+	case reflect.Bool:
+		if v.Bool() {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+	case reflect.Map:
+		if v.Type().Key().Kind() != reflect.String {
+			return
+		}
+		for _, k := range v.MapKeys() {
+			flatten(prefix+"."+snakeCase(k.String()), v.MapIndex(k), out)
+		}
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			flatten(prefix+"."+snakeCase(f.Name), v.Field(i), out)
+		}
+	}
+}
+
+// snakeCase converts CamelCase (with acronym runs: GCRuns, TxnID) to
+// snake_case: "GCRuns" → "gc_runs", "BytesRead" → "bytes_read". Already-
+// lowercase names pass through unchanged.
+func snakeCase(name string) string {
+	var b strings.Builder
+	rs := []rune(name)
+	for i, r := range rs {
+		if r >= 'A' && r <= 'Z' {
+			// Break before an upper that follows a lower, or that starts a
+			// new word after an acronym run (upper followed by lower).
+			if i > 0 && (isLowerOrDigit(rs[i-1]) ||
+				(i+1 < len(rs) && isLower(rs[i+1]))) {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r - 'A' + 'a')
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func isLower(r rune) bool        { return r >= 'a' && r <= 'z' }
+func isLowerOrDigit(r rune) bool { return isLower(r) || (r >= '0' && r <= '9') }
+
+// fmtDur renders a duration for the text exporters.
+func fmtDur(ns int64) string { return time.Duration(ns).Round(time.Microsecond).String() }

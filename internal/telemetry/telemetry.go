@@ -1,0 +1,44 @@
+// Package telemetry is the observability substrate for the Beldi
+// reproduction: crash-surviving causal traces plus a metrics registry that
+// unifies every subsystem's counters under stable hierarchical names.
+//
+// The trace model leans on an observation from the protocol itself: Beldi
+// already persists every causal identifier a tracer needs. Intent ids name
+// executions, invoke-log rows carry (caller instance, caller step, callee
+// id) across SSF boundaries, and the collector re-invokes a crashed
+// instance with its *original* envelope — so a span keyed by intent id and
+// step number survives the death of the process that opened it. The
+// Tracer records those spans in a ring buffer; Assemble stitches the
+// pre-crash execution and its collector-restarted successor into one
+// trace, with replayed steps tagged, because both executions share the
+// intent id. DurableTrace goes one step further and reconstructs the call
+// tree from the intent and invoke-log tables alone, with no tracer
+// attached — that is what `beldi-trace -wal` renders from a WAL dir.
+//
+// The Registry side is deliberately mechanical: subsystems expose a
+// Snapshot() view struct of plain int64 fields, Register flattens it by
+// reflection into dot-separated snake_case names (core.front.replays,
+// wal.fsyncs, queue.redelivered, …), and hot paths attach hist.Histogram
+// latency distributions (step commit, lock acquire, enqueue→receive, txn
+// commit, WAL fsync). Exporters in this package serve the result as a
+// Prometheus text endpoint, a JSON snapshot, and expvar, with pprof wired
+// onto the same mux; see Handler and Serve.
+//
+// A nil *Hub disables everything: every producer guards with a nil check,
+// so a deployment without telemetry pays only an untaken branch.
+package telemetry
+
+// Hub bundles the two halves of the telemetry layer — one per deployment
+// (or one shared across a cluster's workers, since every structure is
+// concurrency-safe).
+type Hub struct {
+	// Registry holds the deployment's counters and latency histograms.
+	Registry *Registry
+	// Tracer records causal spans from every subsystem.
+	Tracer *Tracer
+}
+
+// New returns a Hub with a default-capacity Tracer (65536 spans).
+func New() *Hub {
+	return &Hub{Registry: NewRegistry(), Tracer: NewTracer(0)}
+}

@@ -1,0 +1,275 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"Reads":                "reads",
+		"GCRuns":               "gc_runs",
+		"BytesRead":            "bytes_read",
+		"TxnID":                "txn_id",
+		"ConcurrencyHighWater": "concurrency_high_water",
+		"P99":                  "p99",
+		"already_snake":        "already_snake",
+		"StaleDeliveries":      "stale_deliveries",
+	}
+	for in, want := range cases {
+		if got := snakeCase(in); got != want {
+			t.Errorf("snakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegistryFlatten(t *testing.T) {
+	type inner struct {
+		GCRuns int64
+		Hidden string // strings are skipped
+	}
+	type view struct {
+		Reads      int64
+		Cold       bool
+		Ops        map[string]int64
+		Sub        inner
+		unexported int64
+	}
+	r := NewRegistry()
+	r.Register("core.front", func() any {
+		return view{Reads: 7, Cold: true, Ops: map[string]int64{"Get": 3}, Sub: inner{GCRuns: 2}, unexported: 9}
+	})
+	snap := r.Snapshot()
+	want := map[string]int64{
+		"core.front.reads":       7,
+		"core.front.cold":        1,
+		"core.front.ops.get":     3,
+		"core.front.sub.gc_runs": 2,
+	}
+	for k, v := range want {
+		if snap.Counters[k] != v {
+			t.Errorf("counter %q = %d, want %d (have %v)", k, snap.Counters[k], v, snap.Counters)
+		}
+	}
+	if len(snap.Counters) != len(want) {
+		t.Errorf("flattened %d counters, want %d: %v", len(snap.Counters), len(want), snap.Counters)
+	}
+}
+
+func TestRegistryRegisterReplaces(t *testing.T) {
+	r := NewRegistry()
+	r.Register("x", func() any { return struct{ N int64 }{1} })
+	r.Register("x", func() any { return struct{ N int64 }{2} })
+	if got := r.Snapshot().Counters["x.n"]; got != 2 {
+		t.Fatalf("x.n = %d after re-register, want 2", got)
+	}
+}
+
+func TestRegistryHistogramSharedAndSnapshotted(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("core.front.step_commit")
+	if r.Histogram("core.front.step_commit") != h {
+		t.Fatal("same name returned a different histogram")
+	}
+	for i := 0; i < 100; i++ {
+		h.Record(time.Millisecond)
+	}
+	snap := r.Snapshot()
+	st, ok := snap.Latencies["core.front.step_commit"]
+	if !ok {
+		t.Fatalf("histogram missing from snapshot: %v", snap.Latencies)
+	}
+	if st.Count != 100 {
+		t.Errorf("count = %d, want 100", st.Count)
+	}
+	if st.P50 < int64(time.Millisecond) || st.P50 > int64(2*time.Millisecond) {
+		t.Errorf("p50 = %s, want ~1ms", time.Duration(st.P50))
+	}
+}
+
+func TestTracerRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Record(Span{Intent: "i", Start: int64(i)})
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("len = %d, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := int64(i + 2); s.Start != want {
+			t.Errorf("spans[%d].Start = %d, want %d (oldest-first)", i, s.Start, want)
+		}
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", tr.Dropped())
+	}
+	tr.Reset()
+	if len(tr.Spans()) != 0 {
+		t.Error("Reset left spans behind")
+	}
+}
+
+// syntheticWorkflow is a two-intent trace: root "wf-1" crashed mid-attempt,
+// was restarted by the collector, replayed its first write, and called
+// "charge-1" which completed. One queue hop carried the async leg.
+func syntheticWorkflow() []Span {
+	return []Span{
+		{Intent: "wf-1", Kind: KindExec, Fn: "front", Start: 100, End: 200, Err: "crashed"},
+		{Intent: "wf-1", Kind: KindWrite, Step: "0.000001", Name: "state/k", Start: 110, End: 120},
+		{Intent: "wf-1", Kind: KindExec, Fn: "front", Start: 300, End: 500, Replay: true},
+		{Intent: "wf-1", Kind: KindWrite, Step: "0.000001", Name: "state/k", Start: 310, End: 311, Replay: true},
+		{Intent: "wf-1", Kind: KindCall, Step: "0.000002", Name: "charge", Child: "charge-1", Start: 320, End: 450},
+		{Intent: "charge-1", Kind: KindExec, Fn: "charge", ParentIntent: "wf-1", ParentStep: "0.000002", Start: 330, End: 440},
+		{Intent: "charge-1", Kind: KindWrite, Step: "0.000001", Name: "ledger/total", Start: 340, End: 350},
+		{Intent: "wf-1", Kind: KindQueueHop, Fn: "q-front", Name: "msg-1", Start: 90, End: 100},
+	}
+}
+
+func TestRootsAndAssemble(t *testing.T) {
+	spans := syntheticWorkflow()
+	roots := Roots(spans)
+	if len(roots) != 1 || roots[0] != "wf-1" {
+		t.Fatalf("roots = %v, want [wf-1]", roots)
+	}
+	tr := Assemble(spans, "wf-1")
+	if len(tr.Spans) != len(spans) {
+		t.Fatalf("assembled %d of %d spans — child intent not reached", len(tr.Spans), len(spans))
+	}
+
+	// The child edge works from either side alone: drop the callee's exec
+	// span (lost to a crash) and the call span still pulls the child in;
+	// drop the call span instead and the callee's parent pointer still
+	// links it.
+	noExec := append([]Span(nil), spans[:5]...)
+	noExec = append(noExec, spans[6], spans[7])
+	if tr := Assemble(noExec, "wf-1"); len(tr.Spans) != len(noExec) {
+		t.Errorf("call-edge only: assembled %d of %d", len(tr.Spans), len(noExec))
+	}
+	noCall := append([]Span(nil), spans[:4]...)
+	noCall = append(noCall, spans[5], spans[6], spans[7])
+	if tr := Assemble(noCall, "wf-1"); len(tr.Spans) != len(noCall) {
+		t.Errorf("parent-edge only: assembled %d of %d", len(tr.Spans), len(noCall))
+	}
+}
+
+func TestRenderMarksRestartsAndReplays(t *testing.T) {
+	tr := Assemble(syntheticWorkflow(), "wf-1")
+	var b strings.Builder
+	tr.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		"attempt 1", "CRASHED",
+		"attempt 2 (restart)",
+		"(replay)",
+		"charge charge-1",
+		"queue.hop q-front",
+		"2 root attempts",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered trace missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "orphan intent") {
+		t.Errorf("well-formed trace rendered orphans:\n%s", out)
+	}
+}
+
+// promLine matches one Prometheus text-format sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.e+-]+$`)
+
+func newTestHub() *Hub {
+	h := New()
+	h.Registry.Register("core.front", func() any { return struct{ Reads, GCRuns int64 }{3, 1} })
+	h.Registry.Histogram("core.front.step_commit").Record(2 * time.Millisecond)
+	for _, s := range syntheticWorkflow() {
+		h.Tracer.Record(s)
+	}
+	return h
+}
+
+func TestHandlerMetricsIsParseablePrometheus(t *testing.T) {
+	srv := httptest.NewServer(Handler(newTestHub()))
+	defer srv.Close()
+	body := get(t, srv.URL+"/metrics", http.StatusOK)
+	samples := 0
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("unparseable exposition line: %q", line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatalf("no samples in exposition:\n%s", body)
+	}
+	for _, want := range []string{"beldi_core_front_reads 3", `quantile="0.99"`, "beldi_core_front_step_commit_count 1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerSnapshotJSON(t *testing.T) {
+	srv := httptest.NewServer(Handler(newTestHub()))
+	defer srv.Close()
+	var snap RegistrySnapshot
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/snapshot", http.StatusOK)), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Counters["core.front.reads"] != 3 {
+		t.Errorf("core.front.reads = %d, want 3", snap.Counters["core.front.reads"])
+	}
+	if snap.Latencies["core.front.step_commit"].Count != 1 {
+		t.Errorf("step_commit count = %d, want 1", snap.Latencies["core.front.step_commit"].Count)
+	}
+}
+
+func TestHandlerTraces(t *testing.T) {
+	srv := httptest.NewServer(Handler(newTestHub()))
+	defer srv.Close()
+	var roots []string
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/traces", http.StatusOK)), &roots); err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 1 || roots[0] != "wf-1" {
+		t.Fatalf("roots = %v", roots)
+	}
+	var tr Trace
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/trace?root=wf-1", http.StatusOK)), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Spans) != 8 {
+		t.Errorf("trace has %d spans, want 8", len(tr.Spans))
+	}
+	if text := get(t, srv.URL+"/trace?root=wf-1&format=text", http.StatusOK); !strings.Contains(text, "attempt 2 (restart)") {
+		t.Errorf("text render missing restart marker:\n%s", text)
+	}
+	get(t, srv.URL+"/trace?root=nope", http.StatusNotFound)
+	get(t, srv.URL+"/trace", http.StatusBadRequest)
+}
+
+func get(t *testing.T, url string, wantStatus int) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d: %s", url, resp.StatusCode, wantStatus, b)
+	}
+	return string(b)
+}

@@ -11,6 +11,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/hist"
 )
 
 // Segment files are named wal-<firstseq>.seg, where <firstseq> is the
@@ -119,6 +122,11 @@ type walWriter struct {
 	durable uint64 // last sequence known fsynced
 	syncing bool
 	err     error // sticky write/sync failure: the store is poisoned
+
+	// fsyncHist, when set (Store.SetFsyncHistogram), observes the duration
+	// of every tail-segment fsync — the dominant term in a durable write's
+	// latency under SyncAlways.
+	fsyncHist atomic.Pointer[hist.Histogram]
 }
 
 func newWALWriter(dir string, opts Options, stats *Stats) *walWriter {
@@ -251,6 +259,12 @@ func (w *walWriter) syncFile() error {
 		return fmt.Errorf("walstore: WAL is closed")
 	}
 	w.stats.Fsyncs.Add(1)
+	if h := w.fsyncHist.Load(); h != nil {
+		t0 := time.Now()
+		err := w.f.Sync()
+		h.Record(time.Since(t0))
+		return err
+	}
 	return w.f.Sync()
 }
 

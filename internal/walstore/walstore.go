@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dynamo"
+	"repro/internal/hist"
 	"repro/internal/storage"
 )
 
@@ -138,6 +139,30 @@ type Stats struct {
 	// TruncatedBytes the tail bytes discarded as torn or corrupt.
 	RecoveredRecords atomic.Int64
 	TruncatedBytes   atomic.Int64
+}
+
+// StatsView is a point-in-time copy for reporting — the common snapshot
+// shape shared with core.Stats, dynamo.Metrics, and the other subsystems.
+type StatsView struct {
+	Records, BytesAppended              int64
+	Fsyncs, SyncBatches, BatchedRecords int64
+	Segments, Snapshots                 int64
+	RecoveredRecords, TruncatedBytes    int64
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() StatsView {
+	return StatsView{
+		Records:          s.Records.Load(),
+		BytesAppended:    s.BytesAppended.Load(),
+		Fsyncs:           s.Fsyncs.Load(),
+		SyncBatches:      s.SyncBatches.Load(),
+		BatchedRecords:   s.BatchedRecords.Load(),
+		Segments:         s.Segments.Load(),
+		Snapshots:        s.Snapshots.Load(),
+		RecoveredRecords: s.RecoveredRecords.Load(),
+		TruncatedBytes:   s.TruncatedBytes.Load(),
+	}
 }
 
 // Store is the WAL-backed storage backend. It is safe for concurrent use.
@@ -290,6 +315,10 @@ func (s *Store) Dir() string { return s.dir }
 
 // WAL exposes the store's WAL activity counters.
 func (s *Store) WAL() *Stats { return &s.stats }
+
+// SetFsyncHistogram observes every tail-segment fsync's duration in h —
+// telemetry's "wal.fsync" latency distribution. Pass nil to detach.
+func (s *Store) SetFsyncHistogram(h *hist.Histogram) { s.w.fsyncHist.Store(h) }
 
 // DynamoStore returns the in-memory materialized state, which is where the
 // backend's traffic metrics live (storage.AsDynamo unwraps through this).
