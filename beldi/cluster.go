@@ -14,8 +14,10 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/platform"
+	"repro/internal/uuid"
 )
 
 // ClusterOptions configure OpenCluster.
@@ -106,21 +108,64 @@ type ClusterWorker struct {
 // the background loops (heartbeat, failure detection, recovery), or drive
 // the Worker's *Once methods deterministically.
 func (c *Cluster) JoinCluster(id string, register RegisterApp) (*ClusterWorker, error) {
-	plat := platform.New(c.opts.Platform)
+	return c.JoinClusterWith(id, register, WorkerOptions{})
+}
+
+// WorkerOptions customize one worker joining a pool — the per-worker knobs a
+// deterministic harness (internal/sim) injects: a virtual clock, a
+// sequential id source, a fault-wrapped view of the shared store, and
+// platform overrides. The zero value keeps every pool default.
+type WorkerOptions struct {
+	// Clock drives the worker's deployment (protocol timestamps, durable
+	// queue visibility) and its cluster lease machinery. Nil means the wall
+	// clock. Distinct workers may carry distinct (skewed) clocks.
+	Clock clock.Clock
+	// IDs mints the worker's instance, queue, and worker ids. Nil means
+	// random UUIDs.
+	IDs uuid.Source
+	// Store, when non-nil, replaces the pool's shared Store for this
+	// worker's deployment and cluster machinery. It must address the same
+	// underlying tables — the intended use is a fault- or delay-injecting
+	// wrapper around the pool's Store, not a different database.
+	Store Backend
+	// Platform, when non-nil, replaces the pool-wide platform options for
+	// this worker (per-worker seeds, fault plans, dispatch hooks).
+	Platform *platform.Options
+}
+
+// JoinClusterWith is JoinCluster with per-worker overrides; see
+// WorkerOptions.
+func (c *Cluster) JoinClusterWith(id string, register RegisterApp, wo WorkerOptions) (*ClusterWorker, error) {
+	popts := c.opts.Platform
+	if wo.Platform != nil {
+		popts = *wo.Platform
+	}
+	if popts.IDs == nil {
+		popts.IDs = wo.IDs
+	}
+	store := c.opts.Store
+	if wo.Store != nil {
+		store = wo.Store
+	}
+	plat := platform.New(popts)
 	d := NewDeployment(DeploymentOptions{
-		Store:     c.opts.Store,
+		Store:     store,
 		Platform:  plat,
 		Mode:      c.opts.Mode,
 		Config:    c.opts.Config,
+		Clock:     wo.Clock,
+		IDs:       wo.IDs,
 		Telemetry: c.opts.Telemetry,
 	})
 	register(d)
 	w, err := cluster.Join(cluster.Options{
 		Cluster:    c.opts.Name,
 		ID:         id,
-		Store:      c.opts.Store,
+		Store:      store,
 		LeaseTTL:   c.opts.LeaseTTL,
 		Partitions: c.opts.Partitions,
+		Clock:      wo.Clock,
+		IDs:        wo.IDs,
 	})
 	if err != nil {
 		return nil, err

@@ -36,6 +36,7 @@ var defaultDirs = []string{
 	"internal/dynamo",
 	"internal/storage",
 	"internal/storage/storagetest",
+	"internal/sim",
 	"internal/walstore",
 	"internal/queue",
 	"internal/platform",

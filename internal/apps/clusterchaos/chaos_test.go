@@ -2,439 +2,77 @@
 // under the travel and orders workloads, then audits the shared state for
 // exactly-once: every workflow that registered an intent completes exactly
 // once on some live worker, transactional invariants hold across the kill,
-// and a recovered zombie's late writes land nowhere. These are the
-// cluster-runtime analogues of the per-app crash sweeps: the failure unit
-// is a whole worker (its platform, its collectors, its queue pollers), not
-// one instance.
+// and a recovered zombie's late writes land nowhere.
+//
+// These tests run entirely under internal/sim's deterministic scheduler:
+// each one pins the scenario seed whose derived (kind, workload) matches
+// the chaos shape it guards, so there are no wall-clock sleeps, no timing
+// margins, and any failure reproduces bit-identically from the seed (the
+// earlier wall-clock versions of these tests raced real goroutines against
+// real lease TTLs and needed multi-second settle loops). The audits —
+// exactly-once inventory moves, drained pipelines, rejoin at a higher
+// epoch, Fsck cleanliness — live in the sim workloads themselves; see
+// internal/sim/sweep.go.
 package clusterchaos
 
 import (
-	"fmt"
-	"math/rand"
-	"sync"
 	"testing"
-	"time"
 
-	"repro/beldi"
-	"repro/internal/apps/orders"
-	"repro/internal/apps/travel"
-	"repro/internal/dynamo"
-	"repro/internal/storage"
-	"repro/internal/storage/storagetest"
+	"repro/internal/sim"
 )
 
-// waitQuiesced polls the shared intent tables until no workflow is pending
-// on any of the given functions (or fails at the deadline).
-func waitQuiesced(t *testing.T, store storage.Backend, fns []string, timeout time.Duration) {
+// requireScenario pins the seed→scenario derivation: if ScenarioFor ever
+// changes shape, these tests must move to seeds that still exercise the
+// chaos they were written for, not silently test something else.
+func requireScenario(t *testing.T, seed int64, kind, workload string) {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for {
-		pending := 0
-		for _, fn := range fns {
-			items, err := store.QueryIndex(fn+".intent", "pending", dynamo.S("1"), dynamo.QueryOpts{})
-			if err != nil {
-				t.Fatalf("pending probe %s: %v", fn, err)
-			}
-			pending += len(items)
-		}
-		if pending == 0 {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("%d workflows still pending at deadline", pending)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-}
-
-// settleAndStart converges partition ownership deterministically, then
-// launches every worker's background loops.
-func settleAndStart(t *testing.T, pool []*beldi.ClusterWorker) {
-	t.Helper()
-	for round := 0; round < len(pool)+2; round++ {
-		for _, w := range pool {
-			if _, _, err := w.Worker().RebalanceOnce(); err != nil {
-				t.Fatal(err)
-			}
-		}
-	}
-	for i, w := range pool {
-		if len(w.Worker().OwnedPartitions()) == 0 {
-			t.Fatalf("worker %d owns nothing after settling", i)
-		}
-		w.Start()
+	sc := sim.ScenarioFor(seed)
+	if sc.Kind != kind || sc.Workload != workload {
+		t.Fatalf("seed %d derives %s/%s, this test needs %s/%s — re-pin the seed",
+			seed, sc.Kind, sc.Workload, kind, workload)
 	}
 }
 
 // TestTravelWorkerKillKeepsReservationsExactlyOnce runs the paper's travel
-// reservation workload across a three-worker pool and kills a random worker
+// reservation workload across a three-worker pool and kills a worker
 // mid-load. Each request books a distinct (hotel, flight) pair, so
-// exactly-once is auditable per workflow: every targeted hotel and flight
-// must end at capacity-1 — a lost workflow leaves capacity, a duplicated
-// one leaves capacity-2 — and the cross-SSF transaction's invariant (hotel
-// and flight move in lockstep) must survive the kill.
+// exactly-once is auditable per workflow: every booked hotel and flight
+// ends at capacity-1 — a lost workflow leaves capacity, a duplicated one
+// capacity-2 — and the cross-SSF transaction's invariant (hotel and flight
+// move in lockstep) must survive the kill. The scenario also asserts that
+// survivors actually stole the victim's partitions.
 func TestTravelWorkerKillKeepsReservationsExactlyOnce(t *testing.T) {
-	store := storagetest.Open(t)
-	c := beldi.MustOpenCluster(beldi.ClusterOptions{
-		Store:      store,
-		Partitions: 8,
-		LeaseTTL:   100 * time.Millisecond,
-		Config:     beldi.Config{RowCap: 8, T: 50 * time.Millisecond, LockRetryMax: 300},
-	})
-	const capacity = 50
-	var pool []*beldi.ClusterWorker
-	for i := 0; i < 3; i++ {
-		w, err := c.JoinCluster(fmt.Sprintf("w%d", i), func(d *beldi.Deployment) {
-			app := travel.Build(d)
-			app.Capacity = capacity
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		pool = append(pool, w)
-	}
-	defer func() {
-		for _, w := range pool {
-			w.Stop()
-		}
-	}()
-	if _, err := pool[0].Invoke(travel.FnGeo, beldi.Map(map[string]beldi.Value{"op": beldi.Str("seed")})); err != nil {
-		t.Fatal(err)
-	}
-	for _, fn := range []string{travel.FnRate, travel.FnRecommend, travel.FnProfile, travel.FnUser,
-		travel.FnReserveHotel, travel.FnReserveFlight} {
-		if _, err := pool[0].Invoke(fn, beldi.Map(map[string]beldi.Value{"op": beldi.Str("seed")})); err != nil {
-			t.Fatal(err)
-		}
-	}
-	settleAndStart(t, pool)
-
-	rng := rand.New(rand.NewSource(7))
-	victim := rng.Intn(3)
-	const requests = 24
-	var wg sync.WaitGroup
-	for i := 0; i < requests; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			w := pool[i%3]
-			req := beldi.Map(map[string]beldi.Value{
-				"op":     beldi.Str("reserve"),
-				"hotel":  beldi.Str(fmt.Sprintf("hotel-%03d", i)),
-				"flight": beldi.Str(fmt.Sprintf("flight-%03d", i)),
-			})
-			w.Invoke(travel.FnFrontend, req) //nolint:errcheck // the killed worker's callers crash
-		}(i)
-		if i == requests/2 {
-			pool[victim].Kill()
-		}
-	}
-	wg.Wait()
-
-	fns := []string{travel.FnFrontend, travel.FnSearch, travel.FnGeo, travel.FnRate, travel.FnRecommend,
-		travel.FnUser, travel.FnProfile, travel.FnReserve, travel.FnReserveHotel, travel.FnReserveFlight}
-	waitQuiesced(t, store, fns, 30*time.Second)
-
-	// Audit through a survivor.
-	auditor := pool[(victim+1)%3].Deployment()
-	hotelRT := auditor.Runtime(travel.FnReserveHotel)
-	flightRT := auditor.Runtime(travel.FnReserveFlight)
-	for i := 0; i < requests; i++ {
-		h, err := beldi.PeekState(hotelRT, "inventory", fmt.Sprintf("hotel-%03d", i))
-		if err != nil {
-			t.Fatal(err)
-		}
-		f, err := beldi.PeekState(flightRT, "inventory", fmt.Sprintf("flight-%03d", i))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if h.Int() != capacity-1 || f.Int() != capacity-1 {
-			t.Errorf("request %d: hotel=%d flight=%d, want both %d (exactly one booking)",
-				i, h.Int(), f.Int(), capacity-1)
-		}
-	}
-	hot, err := travel.AuditInventory(auditor, travel.FnReserveHotel)
-	if err != nil {
-		t.Fatal(err)
-	}
-	fl, err := travel.AuditInventory(auditor, travel.FnReserveFlight)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if hot != fl {
-		t.Errorf("inventories diverged across the kill: hotel=%d flight=%d", hot, fl)
-	}
-	if err := auditor.FsckAll(); err != nil {
-		t.Errorf("fsck after kill recovery: %v", err)
-	}
-	steals := int64(0)
-	for i, w := range pool {
-		if i == victim {
-			continue
-		}
-		steals += w.Worker().Stats().Steals.Load()
-	}
-	if steals == 0 {
-		t.Error("no partitions stolen from the killed worker")
+	const seed = 3 // kill/travel under the random policy
+	requireScenario(t, seed, "kill", "travel")
+	if _, err := sim.RunSeed(seed, sim.RunOpts{Dir: t.TempDir()}); err != nil {
+		t.Fatalf("%v\nreproduce: %s", err, sim.ReproLine(seed, "mem"))
 	}
 }
 
 // TestOrdersWorkerKillDrainsPipelineExactlyOnce runs the event-driven order
 // pipeline across a three-worker pool with queue-partition ownership
-// following leases, kills a random worker mid-load, and audits the
-// pipeline's per-order counters: every order whose frontend intent landed
-// is charged once, reserved once, shipped once and notified once — the
-// killed worker's in-flight consumers and unacked messages included.
+// following leases, kills a worker mid-load, and audits the pipeline's
+// per-order counters: every order whose frontend intent landed is charged
+// once, reserved once, shipped once and notified once — the killed worker's
+// in-flight consumers and unacked messages included.
 func TestOrdersWorkerKillDrainsPipelineExactlyOnce(t *testing.T) {
-	store := storagetest.Open(t)
-	evt := orders.DefaultEventOptions()
-	c := beldi.MustOpenCluster(beldi.ClusterOptions{
-		Store:        store,
-		Partitions:   8,
-		LeaseTTL:     100 * time.Millisecond,
-		Config:       beldi.Config{RowCap: 8, T: 50 * time.Millisecond},
-		DurableAsync: &evt,
-	})
-	var pool []*beldi.ClusterWorker
-	var apps []*orders.App
-	for i := 0; i < 3; i++ {
-		var app *orders.App
-		w, err := c.JoinCluster(fmt.Sprintf("w%d", i), func(d *beldi.Deployment) {
-			app = orders.Build(d)
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		pool = append(pool, w)
-		apps = append(apps, app)
-	}
-	defer func() {
-		for _, w := range pool {
-			w.Stop()
-		}
-	}()
-	if _, err := pool[0].Invoke(orders.FnInventory, beldi.Map(map[string]beldi.Value{"op": beldi.Str("seed")})); err != nil {
-		t.Fatal(err)
-	}
-	settleAndStart(t, pool)
-
-	rng := rand.New(rand.NewSource(11))
-	victim := rng.Intn(3)
-	const requests = 18
-	type placed struct {
-		order       string
-		qty, amount int64
-	}
-	var reqs []placed
-	for i := 0; i < requests; i++ {
-		reqs = append(reqs, placed{
-			order:  fmt.Sprintf("o-%04d", i),
-			qty:    1 + int64(rng.Intn(3)),
-			amount: 10 + int64(rng.Intn(90)),
-		})
-	}
-	var wg sync.WaitGroup
-	for i, r := range reqs {
-		wg.Add(1)
-		go func(i int, r placed) {
-			defer wg.Done()
-			w := pool[i%3]
-			req := orders.PlaceRequest(r.order, orders.UserID(i%orders.NumUsers), orders.ItemID(i%orders.NumItems), r.qty, r.amount)
-			w.Invoke(orders.FnFrontend, req) //nolint:errcheck // killed worker's callers crash
-		}(i, r)
-		if i == requests/2 {
-			pool[victim].Kill()
-		}
-	}
-	wg.Wait()
-
-	// Quiesce: entry intents finish (via steal where needed), then the
-	// queues drain through whichever workers own the consumer partitions,
-	// then the consumers' own intents finish. Poll all three conditions.
-	fns := []string{orders.FnFrontend, orders.FnPayment, orders.FnInventory, orders.FnShipping, orders.FnNotify}
-	auditorIdx := (victim + 1) % 3
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		pending := 0
-		for _, fn := range fns {
-			items, err := store.QueryIndex(fn+".intent", "pending", dynamo.S("1"), dynamo.QueryOpts{})
-			if err != nil {
-				t.Fatal(err)
-			}
-			pending += len(items)
-		}
-		depth, err := pool[auditorIdx].Deployment().DurableAsync().Depth()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if pending == 0 && depth == 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("pipeline not drained: %d intents pending, %d messages queued", pending, depth)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-
-	// Audit: an order is in scope iff its frontend record exists (a client
-	// call that died before the intent landed placed nothing — that is the
-	// at-entry contract; everything past the intent is the pool's job).
-	app := apps[auditorIdx]
-	frontendRT := pool[auditorIdx].Deployment().Runtime(orders.FnFrontend)
-	var inScope []placed
-	for _, r := range reqs {
-		rec, err := beldi.PeekState(frontendRT, "orders", r.order)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !rec.IsNull() {
-			inScope = append(inScope, r)
-		}
-	}
-	if len(inScope) < requests/2 {
-		t.Fatalf("only %d/%d orders placed; load generator broken", len(inScope), requests)
-	}
-	var ids []string
-	var wantRevenue, wantStock int64
-	for _, r := range inScope {
-		ids = append(ids, r.order)
-		wantRevenue += r.amount
-		wantStock += r.qty
-	}
-	tot, err := app.Totals(ids)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if tot.Revenue != wantRevenue || tot.StockSold != wantStock ||
-		tot.PaidOrders != len(inScope) || tot.Shipments != len(inScope) ||
-		tot.Notifications != int64(len(inScope)) {
-		t.Errorf("pipeline totals diverged: got %+v, want revenue=%d stock=%d paid=ship=note=%d",
-			tot, wantRevenue, wantStock, len(inScope))
-	}
-	if err := pool[auditorIdx].Deployment().FsckAll(); err != nil {
-		t.Errorf("fsck after kill recovery: %v", err)
+	const seed = 12 // kill/orders under the random policy
+	requireScenario(t, seed, "kill", "orders")
+	if _, err := sim.RunSeed(seed, sim.RunOpts{Dir: t.TempDir()}); err != nil {
+		t.Fatalf("%v\nreproduce: %s", err, sim.ReproLine(seed, "mem"))
 	}
 }
 
-// TestZombiePartitionHealsAndRejoins partitions a random worker away (it
-// stalls: no heartbeats, no collection, no polling), lets the pool steal
-// its work, then heals the partition. The zombie must rejoin at a higher
-// epoch via its own heartbeat loop, earn partitions back, and the counters
-// must show no lost or duplicated executions from the handover — in either
-// direction.
+// TestZombiePartitionHealsAndRejoins partitions a worker away (it stalls:
+// no heartbeats, no collection, no polling), lets the pool declare it dead
+// and steal its work, then heals the partition. The zombie must rejoin at a
+// higher epoch via its own heartbeat pump, and the audit must show no lost
+// or duplicated executions from the handover — in either direction. Runs on
+// the WAL backend so the handover is also exercised over durable storage.
 func TestZombiePartitionHealsAndRejoins(t *testing.T) {
-	store := storagetest.Open(t)
-	c := beldi.MustOpenCluster(beldi.ClusterOptions{
-		Store:      store,
-		Partitions: 8,
-		LeaseTTL:   80 * time.Millisecond,
-		Config:     beldi.Config{T: 30 * time.Millisecond},
-	})
-	register := func(d *beldi.Deployment) {
-		d.Function("counter", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
-			key := in.Map()["key"].Str()
-			v, err := e.Read("state", key)
-			if err != nil {
-				return beldi.Null, err
-			}
-			if err := e.Write("state", key, beldi.Int(v.Int()+1)); err != nil {
-				return beldi.Null, err
-			}
-			return beldi.Null, nil
-		}, "state")
-	}
-	var pool []*beldi.ClusterWorker
-	for i := 0; i < 3; i++ {
-		w, err := c.JoinCluster(fmt.Sprintf("w%d", i), register)
-		if err != nil {
-			t.Fatal(err)
-		}
-		pool = append(pool, w)
-	}
-	defer func() {
-		for _, w := range pool {
-			w.Stop()
-		}
-	}()
-	settleAndStart(t, pool)
-
-	rng := rand.New(rand.NewSource(3))
-	zombie := rng.Intn(3)
-	epochBefore := pool[zombie].Worker().Epoch()
-
-	// Phase 1: load with the zombie partitioned away mid-stream.
-	const requests = 20
-	for i := 0; i < requests; i++ {
-		if i == requests/2 {
-			pool[zombie].Worker().Pause()
-		}
-		w := pool[(i+1)%3]
-		if (i+1)%3 == zombie {
-			w = pool[(i+2)%3] // clients route around the partitioned node
-		}
-		req := beldi.Map(map[string]beldi.Value{"key": beldi.Str(fmt.Sprintf("k%03d", i))})
-		if _, err := w.Invoke("counter", req); err != nil {
-			t.Fatalf("request %d: %v", i, err)
-		}
-	}
-
-	// The pool takes the zombie's lease and partitions.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		ws, err := pool[(zombie+1)%3].Worker().Workers()
-		if err != nil {
-			t.Fatal(err)
-		}
-		dead := false
-		for _, wi := range ws {
-			if wi.ID == pool[zombie].Worker().ID() && wi.State == "dead" {
-				dead = true
-			}
-		}
-		if dead {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("partitioned worker never declared dead")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-
-	// Phase 2: heal. The zombie's own loops discover the fencing and
-	// rejoin at a higher epoch.
-	pool[zombie].Worker().Resume()
-	deadline = time.Now().Add(10 * time.Second)
-	for {
-		if !pool[zombie].Worker().Fenced() && pool[zombie].Worker().Epoch() > epochBefore {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("zombie did not rejoin (fenced=%v epoch=%d→%d)",
-				pool[zombie].Worker().Fenced(), epochBefore, pool[zombie].Worker().Epoch())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-
-	// Phase 3: more load, through every worker including the healed one.
-	for i := requests; i < 2*requests; i++ {
-		req := beldi.Map(map[string]beldi.Value{"key": beldi.Str(fmt.Sprintf("k%03d", i))})
-		if _, err := pool[i%3].Invoke("counter", req); err != nil {
-			t.Fatalf("post-heal request %d: %v", i, err)
-		}
-	}
-	waitQuiesced(t, store, []string{"counter"}, 10*time.Second)
-
-	probe := pool[0].Deployment().Runtime("counter")
-	for i := 0; i < 2*requests; i++ {
-		v, err := beldi.PeekState(probe, "state", fmt.Sprintf("k%03d", i))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if v.Int() != 1 {
-			t.Errorf("key k%03d = %d, want exactly 1", i, v.Int())
-		}
-	}
-	if err := pool[0].Deployment().FsckAll(); err != nil {
-		t.Errorf("fsck after heal: %v", err)
+	const seed = 4 // partition/travel under the random policy
+	requireScenario(t, seed, "partition", "travel")
+	if _, err := sim.RunSeed(seed, sim.RunOpts{Backend: "wal", Dir: t.TempDir()}); err != nil {
+		t.Fatalf("%v\nreproduce: %s", err, sim.ReproLine(seed, "wal"))
 	}
 }

@@ -14,6 +14,9 @@ import (
 // means every check passed; otherwise the error enumerates every violation.
 //
 // Checks:
+//   - every intent row is well-formed (arguments and start time present — a
+//     half-formed row is the signature of a zombie's unguarded completion
+//     upsert),
 //   - every DAAL chain is acyclic from the head and ends at a tail without
 //     NextRow,
 //   - every non-tail chained row is full (rows only gain successors when
@@ -47,6 +50,17 @@ func Fsck(rt *Runtime) error {
 		live[rec.id] = true
 		if rec.done {
 			done[rec.id] = true
+		}
+		// Well-formedness: every intent row carries its arguments and start
+		// time from registration. A row missing them is the signature of a
+		// zombie resurrection — a straggler's unguarded completion upserting
+		// after the real row was collected (the bug markIntentDone's existence
+		// guard closes).
+		if _, ok := it[attrArgs]; !ok {
+			report("intent %s: half-formed row (no %s) — zombie resurrection?", rec.id, attrArgs)
+		}
+		if _, ok := it[attrStartTime]; !ok {
+			report("intent %s: half-formed row (no %s) — zombie resurrection?", rec.id, attrStartTime)
 		}
 	}
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sort"
 	"strings"
 
 	"repro/internal/dynamo"
@@ -67,8 +68,10 @@ func (rt *Runtime) RunGarbageCollector() (GCStats, error) {
 		return st, err
 	}
 
-	// Phase 2: read/invoke logs.
-	for id := range recyclable {
+	// Phase 2: read/invoke logs. Iteration is sorted so a pass issues the
+	// same operation sequence on every run — the determinism the simulator's
+	// replay-from-seed depends on.
+	for _, id := range sortedIDs(recyclable) {
 		for _, tbl := range []string{rt.readLog, rt.invokeLog} {
 			n, err := rt.deletePartition(tbl, id)
 			if err != nil {
@@ -112,8 +115,8 @@ func (rt *Runtime) RunGarbageCollector() (GCStats, error) {
 		return st, err
 	}
 
-	// Phase 6: the intents themselves.
-	for id := range recyclable {
+	// Phase 6: the intents themselves (sorted — see phase 2).
+	for _, id := range sortedIDs(recyclable) {
 		if err := rt.store.Delete(rt.intentTable, dynamo.HK(dynamo.S(id)), nil); err != nil {
 			return st, err
 		}
@@ -235,20 +238,48 @@ func (rt *Runtime) gcDAALTable(table string, recyclable map[string]bool, settled
 		}
 		byKey[r.key][r.rowID] = r
 	}
-	for key, rows := range byKey {
-		if err := rt.gcChain(table, key, rows, recyclable, settled, now, tUs, st); err != nil {
+	keys := make([]string, 0, len(byKey))
+	for key := range byKey {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if err := rt.gcChain(table, key, byKey[key], recyclable, settled, now, tUs, st); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// sortedIDs returns a set's members in sorted order, for deterministic
+// operation sequences (replay-from-seed simulation).
+func sortedIDs(set map[string]bool) []string { return sortedKeys(set) }
+
+// sortedKeys returns a map's keys in sorted order — every GC loop iterates
+// maps through it so a pass issues an identical operation sequence on every
+// run.
+func sortedKeys[V any](m map[string]V) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
 func (rt *Runtime) gcChain(table, key string, rows map[string]daalRow, recyclable, settled map[string]bool, now, tUs int64, st *GCStats) error {
+	// Row iteration is sorted throughout this pass — see phase 2.
+	rowIDs := make([]string, 0, len(rows))
+	for id := range rows {
+		rowIDs = append(rowIDs, id)
+	}
+	sort.Strings(rowIDs)
 	// Phase 3: persist marks for recyclable log entries, in every row
 	// (reachable or not).
-	for id, row := range rows {
+	for _, id := range rowIDs {
+		row := rows[id]
 		var marks []dynamo.Update
-		for logKey := range row.recent {
+		for _, logKey := range sortedKeys(row.recent) {
 			intent, _ := splitLogKey(logKey)
 			if recyclable[intent] && !row.recycled[logKey] {
 				marks = append(marks, dynamo.Set(dynamo.AK(attrRecycled, logKey), dynamo.Bool(true)))
@@ -285,7 +316,7 @@ func (rt *Runtime) gcChain(table, key string, rows map[string]daalRow, recyclabl
 			txnID = key[:i]
 		}
 		if settled[txnID] && allRowsRecycled(rows) {
-			for id := range rows {
+			for _, id := range rowIDs {
 				if err := rt.store.Delete(table, rowKeyOf(key, id), nil); err != nil {
 					return err
 				}
@@ -333,7 +364,8 @@ func (rt *Runtime) gcChain(table, key string, rows map[string]daalRow, recyclabl
 	for _, id := range chain {
 		reachable[id] = true
 	}
-	for id, row := range rows {
+	for _, id := range rowIDs {
+		row := rows[id]
 		if reachable[id] || row.dangle != 0 {
 			continue
 		}
@@ -347,7 +379,8 @@ func (rt *Runtime) gcChain(table, key string, rows map[string]daalRow, recyclabl
 
 	// Phase 5: delete rows that have dangled for T and are (still) not
 	// reachable.
-	for id, row := range rows {
+	for _, id := range rowIDs {
+		row := rows[id]
 		if reachable[id] || row.dangle == 0 || now-row.dangle <= tUs {
 			continue
 		}
@@ -438,7 +471,7 @@ func (rt *Runtime) settledClaimants() (map[string]bool, error) {
 // gcTxnRegistries deletes the txCallees/txLocks partitions of settled
 // transactions.
 func (rt *Runtime) gcTxnRegistries(_ map[string]bool, settled map[string]bool, st *GCStats) error {
-	for txnID := range settled {
+	for _, txnID := range sortedIDs(settled) {
 		for _, tbl := range []string{rt.txCallees, rt.txLocks} {
 			n, err := rt.deletePartition(tbl, txnID)
 			if err != nil {
@@ -453,7 +486,7 @@ func (rt *Runtime) gcTxnRegistries(_ map[string]bool, settled map[string]bool, s
 // gcCrossTable prunes the cross-table layout: write-log rows of recyclable
 // intents, and shadow data rows of settled transactions.
 func (rt *Runtime) gcCrossTable(logical string, recyclable, settled map[string]bool, st *GCStats) error {
-	for id := range recyclable {
+	for _, id := range sortedIDs(recyclable) {
 		for _, tbl := range []string{rt.writeLogTable(logical), rt.shadowWriteLogTable(logical)} {
 			n, err := rt.deletePartition(tbl, id)
 			if err != nil {

@@ -98,8 +98,12 @@ func (rt *Runtime) ensureIntent(id string, ev envelope) (*intentRecord, error) {
 // can finish arbitrarily late; the condition turns its late completion into
 // a no-op (the work was already done and collected).
 func (rt *Runtime) markIntentDone(id string, ret Value) error {
+	guard := dynamo.Exists(dynamo.A(attrInstanceID))
+	if FaultUnguardedIntentDone.Load() {
+		guard = nil // reintroduce the zombie-upsert bug (see simfault.go)
+	}
 	err := rt.store.Update(rt.intentTable, dynamo.HK(dynamo.S(id)),
-		dynamo.Exists(dynamo.A(attrInstanceID)),
+		guard,
 		dynamo.Set(dynamo.A(attrDone), dynamo.Bool(true)),
 		dynamo.Set(dynamo.A(attrRet), ret),
 		dynamo.Remove(dynamo.A(attrPending)),

@@ -1,0 +1,16 @@
+package core
+
+import "sync/atomic"
+
+// Protocol fault hooks: switches that deliberately reintroduce historical
+// protocol bugs so the deterministic simulator (internal/sim) can prove its
+// sweeps catch them. They exist for meta-tests only — the simulator enables a
+// hook, runs a sweep, and asserts the sweep fails with a reproducible seed.
+// Production and ordinary test code must never set them.
+
+// FaultUnguardedIntentDone, when true, drops the existence guard on
+// markIntentDone, reintroducing the zombie-upsert bug: a straggler instance
+// that outlives its GC'd intent resurrects a half-formed intent row (Done +
+// Ret, no Args, no start time). Fsck flags such rows, which is how the
+// simulator's sweep detects the regression.
+var FaultUnguardedIntentDone atomic.Bool

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/dynamo"
+	_ "repro/internal/sim" // activates the simulator-backed conformance section
 	"repro/internal/storage"
 	"repro/internal/storage/storagetest"
 )

@@ -87,6 +87,11 @@ type Options struct {
 	// Faults is the crash plan consulted at every CrashPoint; nil disables
 	// injection.
 	Faults FaultPlan
+	// AsyncDispatch, when non-nil, runs asynchronous invocations instead of
+	// `go run()` — the scheduling seam deterministic simulators use to turn
+	// fire-and-forget handoffs into schedulable tasks. run must be called
+	// exactly once (on any goroutine).
+	AsyncDispatch func(run func())
 }
 
 // DefaultConcurrencyLimit mirrors the AWS limit in the paper's evaluation.
@@ -230,10 +235,15 @@ func (p *Platform) invokeAsync(name string, input Value, internal bool) error {
 		return fmt.Errorf("%w: %s", ErrNoSuchFunction, name)
 	}
 	p.wg.Add(1)
-	go func() {
+	run := func() {
 		defer p.wg.Done()
 		p.invoke(context.Background(), name, input, true, internal) //nolint:errcheck // async errors are dropped by design
-	}()
+	}
+	if p.opts.AsyncDispatch != nil {
+		p.opts.AsyncDispatch(run)
+		return nil
+	}
+	go run()
 	return nil
 }
 

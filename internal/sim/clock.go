@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Clock implements clock.Clock over a Scheduler's virtual time, subsuming
+// clock.Manual for simulated components: Now reads the scheduler's clock
+// (plus a fixed per-process skew), and Sleep parks the calling task until
+// the scheduler advances past the deadline.
+//
+// After sleeps first and then returns an already-fired channel, rather than
+// returning a pending channel that fires later: under a cooperative
+// scheduler a task that selects on a pending channel would block while
+// holding the baton and deadlock the run. The visible difference from a
+// real clock is that a select racing After against another channel always
+// waits the full duration — acceptable for the protocol loops this codebase
+// selects in (retry waits and loop timers), which treat the timer case as a
+// pure delay.
+type Clock struct {
+	s    *Scheduler
+	skew time.Duration
+}
+
+// NewClock returns a Clock over s whose Now reads skewed by skew — the
+// lease-protocol stressor: workers whose wall clocks disagree. Skew must
+// stay well under the lease TTL for the cluster protocol's own documented
+// bound to hold.
+func NewClock(s *Scheduler, skew time.Duration) *Clock {
+	return &Clock{s: s, skew: skew}
+}
+
+// Now implements clock.Clock.
+func (c *Clock) Now() time.Time { return c.s.Now().Add(c.skew) }
+
+// Sleep implements clock.Clock.
+func (c *Clock) Sleep(d time.Duration) { c.s.Sleep(d) }
+
+// After implements clock.Clock; see the type comment for its
+// sleep-then-fire semantics.
+func (c *Clock) After(d time.Duration) <-chan time.Time {
+	c.s.Sleep(d)
+	ch := make(chan time.Time, 1)
+	ch <- c.Now()
+	return ch
+}
+
+var _ clock.Clock = (*Clock)(nil)

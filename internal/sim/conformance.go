@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dynamo"
+	"repro/internal/storage"
+	"repro/internal/storage/storagetest"
+)
+
+// This file is the simulator-backed section of storagetest's conformance
+// suite: seeded adversarial interleavings and delay schedules over the
+// operations the protocol leans on hardest — conditional writes racing on
+// one row, and TransactWrite moving value between rows. Every backend that
+// passes storagetest.Run is thereby pinned under the same reordered
+// schedules the full cluster sweeps use, and every schedule must replay
+// bit-identically from its seed.
+//
+// The section registers itself (storagetest cannot import the simulator:
+// several packages' in-package tests import storagetest while the simulator
+// imports those packages), so conformance callers activate it with
+//
+//	import _ "repro/internal/sim"
+
+func init() { storagetest.RegisterSimSection(storageSection) }
+
+func storageSection(t *testing.T, open storagetest.Opener) {
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		policy := Policies()[seed%int64(len(Policies()))]
+		t.Run(fmt.Sprintf("seed=%d_%s", seed, policy), func(t *testing.T) {
+			first := runStorageSchedule(t, seed, policy, open(t))
+			second := runStorageSchedule(t, seed, policy, open(t))
+			if first != second {
+				t.Errorf("seed %d does not replay: %+v then %+v", seed, first, second)
+			}
+		})
+	}
+}
+
+// storageOutcome is everything a schedule observably produced; replay
+// equality compares two runs of the same seed field by field.
+type storageOutcome struct {
+	Trace   uint64
+	Counter int64
+	A, B    int64
+	CASWins int64
+	Moves   int64
+}
+
+const (
+	casTasks      = 3
+	casIncrements = 6
+	moveTasks     = 2
+	moveAttempts  = 8
+	initialFunds  = int64(8)
+)
+
+func runStorageSchedule(t *testing.T, seed int64, policy string, raw storage.Backend) storageOutcome {
+	t.Helper()
+	s := New(Options{Seed: seed, Policy: policy})
+	defer s.Shutdown()
+	faults := &StoreFaults{DelayProb: 0.35, MaxDelay: 2 * time.Millisecond}
+	if err := raw.CreateTable(storage.Schema{Name: "acct", HashKey: "K"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []struct {
+		k string
+		n int64
+	}{{"counter", 0}, {"a", initialFunds}, {"b", initialFunds}} {
+		if err := raw.Put("acct", storage.Item{"K": dynamo.S(row.k), "N": dynamo.NInt(row.n)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := func(k string) storage.Key { return dynamo.HK(dynamo.S(k)) }
+
+	// Mutated only under the scheduler's one-task-at-a-time discipline.
+	var wins, moves int64
+	var tasks []*Task
+	root := s.Go(TaskOpts{Name: "root"}, func() {
+		// CAS workers race read-modify-writes on one row: a stale
+		// conditional write must fail with ErrConditionFailed and only the
+		// winner's increment lands, under every delay schedule.
+		for p := 0; p < casTasks; p++ {
+			name := fmt.Sprintf("cas%d", p)
+			b := WrapBackend(raw, s, name, faults)
+			tasks = append(tasks, s.Go(TaskOpts{Name: name}, func() {
+				for n := 0; n < casIncrements; n++ {
+					for attempt := 0; ; attempt++ {
+						if attempt > 500 {
+							t.Errorf("%s: increment %d starved past 500 attempts", name, n)
+							return
+						}
+						it, ok, err := b.Get("acct", key("counter"))
+						if err != nil || !ok {
+							t.Errorf("%s: read counter: ok=%v err=%v", name, ok, err)
+							return
+						}
+						seen := it["N"].Int()
+						err = b.Update("acct", key("counter"),
+							dynamo.Eq(dynamo.A("N"), dynamo.NInt(seen)),
+							dynamo.Set(dynamo.A("N"), dynamo.NInt(seen+1)))
+						if err == nil {
+							wins++
+							break
+						}
+						if !errors.Is(err, storage.ErrConditionFailed) {
+							t.Errorf("%s: CAS failed outside the condition channel: %v", name, err)
+							return
+						}
+					}
+				}
+			}))
+		}
+		// Movers shuttle funds between two rows atomically: the guarded
+		// debit and the credit commit together or not at all, so the total
+		// is conserved under any interleaving.
+		for p := 0; p < moveTasks; p++ {
+			name := fmt.Sprintf("mover%d", p)
+			b := WrapBackend(raw, s, name, faults)
+			src, dst := "a", "b"
+			if p%2 == 1 {
+				src, dst = dst, src
+			}
+			tasks = append(tasks, s.Go(TaskOpts{Name: name}, func() {
+				for n := 0; n < moveAttempts; n++ {
+					err := b.TransactWrite([]storage.TxOp{
+						{Table: "acct", Key: key(src), Cond: dynamo.Ge(dynamo.A("N"), dynamo.NInt(1)),
+							Updates: []storage.Update{dynamo.Add(dynamo.A("N"), -1)}},
+						{Table: "acct", Key: key(dst), Cond: dynamo.Exists(dynamo.A("K")),
+							Updates: []storage.Update{dynamo.Add(dynamo.A("N"), 1)}},
+					})
+					if err == nil {
+						moves++
+						continue
+					}
+					var tc *storage.TxCanceledError
+					if !errors.As(err, &tc) && !errors.Is(err, storage.ErrConditionFailed) {
+						t.Errorf("%s: transact failed outside the condition channel: %v", name, err)
+						return
+					}
+				}
+			}))
+		}
+		// A reader audits monotonicity live: the counter only ever
+		// increments, so no delay schedule may make a read travel backwards.
+		readerB := WrapBackend(raw, s, "reader", faults)
+		tasks = append(tasks, s.Go(TaskOpts{Name: "reader"}, func() {
+			prev := int64(-1)
+			for n := 0; n < 2*casTasks*casIncrements; n++ {
+				it, ok, err := readerB.Get("acct", key("counter"))
+				if err != nil || !ok {
+					t.Errorf("reader: ok=%v err=%v", ok, err)
+					return
+				}
+				if got := it["N"].Int(); got < prev {
+					t.Errorf("reader: counter went backwards: %d after %d", got, prev)
+					return
+				} else {
+					prev = got
+				}
+				s.Sleep(500 * time.Microsecond)
+			}
+		}))
+		s.Await(tasks...)
+	})
+	if err := s.Run(root); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+
+	out := storageOutcome{Trace: s.TraceHash(), CASWins: wins, Moves: moves}
+	read := func(k string) int64 {
+		it, ok, err := raw.Get("acct", key(k))
+		if err != nil || !ok {
+			t.Fatalf("final read %s: ok=%v err=%v", k, ok, err)
+		}
+		return it["N"].Int()
+	}
+	out.Counter, out.A, out.B = read("counter"), read("a"), read("b")
+	if out.Counter != wins || wins != casTasks*casIncrements {
+		t.Errorf("counter=%d with %d CAS wins (want %d): lost or duplicated increments",
+			out.Counter, wins, casTasks*casIncrements)
+	}
+	if out.A+out.B != 2*initialFunds || out.A < 0 || out.B < 0 {
+		t.Errorf("funds not conserved: a=%d b=%d (want sum %d, both ≥ 0)", out.A, out.B, 2*initialFunds)
+	}
+	return out
+}

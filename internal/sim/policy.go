@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Policy picks the next task to run from the runnable set. Implementations
+// must be deterministic functions of the rng stream and the runnable slice
+// (which the scheduler presents in spawn order).
+type Policy interface {
+	// Name returns the policy's registry name.
+	Name() string
+	// Pick returns the index into runnable of the task to run next.
+	Pick(rng *rand.Rand, runnable []*Task) int
+}
+
+// PolicyByName returns a fresh policy instance: "random" (uniform),
+// "lifo" (favor the most recently spawned task — drives deep chains and
+// starves old work), "sticky" (keep running the same task in bursts —
+// minimizes interleaving, maximizes batch effects), or "starve" (pick a
+// victim process and schedule it only when forced — the slow-node
+// adversary). "" means "random".
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "", "random":
+		return policyRandom{}, nil
+	case "lifo":
+		return policyLIFO{}, nil
+	case "sticky":
+		return &policySticky{}, nil
+	case "starve":
+		return &policyStarve{}, nil
+	}
+	return nil, fmt.Errorf("sim: unknown policy %q", name)
+}
+
+// Policies lists the registered policy names, in scenario-derivation order.
+func Policies() []string { return []string{"random", "lifo", "sticky", "starve"} }
+
+type policyRandom struct{}
+
+func (policyRandom) Name() string { return "random" }
+func (policyRandom) Pick(rng *rand.Rand, runnable []*Task) int {
+	return rng.Intn(len(runnable))
+}
+
+type policyLIFO struct{}
+
+func (policyLIFO) Name() string { return "lifo" }
+func (policyLIFO) Pick(rng *rand.Rand, runnable []*Task) int {
+	if rng.Float64() < 0.75 {
+		return len(runnable) - 1 // newest task (spawn order)
+	}
+	return rng.Intn(len(runnable))
+}
+
+type policySticky struct{ last int }
+
+func (*policySticky) Name() string { return "sticky" }
+func (p *policySticky) Pick(rng *rand.Rand, runnable []*Task) int {
+	if p.last != 0 && rng.Float64() < 0.85 {
+		for i, t := range runnable {
+			if t.ID == p.last {
+				return i
+			}
+		}
+	}
+	i := rng.Intn(len(runnable))
+	p.last = runnable[i].ID
+	return i
+}
+
+type policyStarve struct {
+	victim string
+	chosen bool
+}
+
+func (*policyStarve) Name() string { return "starve" }
+func (p *policyStarve) Pick(rng *rand.Rand, runnable []*Task) int {
+	if !p.chosen {
+		// Choose the victim process from whoever shows up first; clients
+		// and drivers (proc "") are never victims.
+		var procs []string
+		seen := map[string]bool{}
+		for _, t := range runnable {
+			if t.Proc != "" && !seen[t.Proc] {
+				seen[t.Proc] = true
+				procs = append(procs, t.Proc)
+			}
+		}
+		if len(procs) == 0 {
+			return rng.Intn(len(runnable))
+		}
+		p.victim = procs[rng.Intn(len(procs))]
+		p.chosen = true
+	}
+	var other []int
+	for i, t := range runnable {
+		if t.Proc != p.victim {
+			other = append(other, i)
+		}
+	}
+	if len(other) == 0 {
+		return rng.Intn(len(runnable)) // only the victim is runnable: forced
+	}
+	// Starve, don't stall: let the victim through occasionally so the run
+	// terminates.
+	if rng.Float64() < 0.02 && len(other) < len(runnable) {
+		for i, t := range runnable {
+			if t.Proc == p.victim {
+				return i
+			}
+		}
+	}
+	return other[rng.Intn(len(other))]
+}

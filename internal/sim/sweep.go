@@ -1,0 +1,834 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/apps/fanout"
+	"repro/internal/apps/orders"
+	"repro/internal/apps/travel"
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/walstore"
+)
+
+// Protocol parameters every scenario runs under. The TTL is twice the
+// synchrony bound T and pump cadences derive from it (tick = TTL/4, GC
+// every TTL), so the GC horizon trails real completion closely — which is
+// what gives the late-completion fault a wide window to land on a recycled
+// intent.
+const (
+	simLeaseTTL = 60 * time.Millisecond
+	simT        = 30 * time.Millisecond
+)
+
+// Kinds lists the fault-schedule kinds a seed can select, in derivation
+// order: no fault at all, storage-op delays (seeded reordering), random
+// crash points, a worker kill mid-load, a network partition that heals, a
+// stop-the-world pause, lease clock skew, late intent completions past the
+// GC horizon, and a torn WAL write with restart recovery.
+func Kinds() []string {
+	return []string{"clean", "delay", "crash", "kill", "partition", "pause", "skew", "latedone", "torn"}
+}
+
+// WorkloadNames lists the application workloads a seed can select: the
+// travel reservation app (cross-SSF transactions), the event-driven order
+// pipeline (durable queues), and the fan-out word count (async promises).
+// The torn kind overrides the selection with a counter workload on the WAL
+// backend, whose audit is meaningful across a restart.
+func WorkloadNames() []string { return []string{"travel", "orders", "fanout"} }
+
+// Scenario is the seed-derived shape of one simulation run.
+type Scenario struct {
+	// Seed drives the scheduler, the fault schedule and the load.
+	Seed int64
+	// Kind names the fault schedule; see Kinds.
+	Kind string
+	// Workload names the application; see WorkloadNames.
+	Workload string
+	// Policy names the interleaving policy; see Policies.
+	Policy string
+	// Backend is the storage backend the run resolved to ("mem" or "wal");
+	// set by RunSeed.
+	Backend string
+}
+
+// ScenarioFor derives the scenario a seed selects: the kind cycles
+// fastest, then the workload, then the policy, so a contiguous seed range
+// covers the whole matrix.
+func ScenarioFor(seed int64) Scenario {
+	if seed < 0 {
+		seed = -seed
+	}
+	kinds, wls, pols := Kinds(), WorkloadNames(), Policies()
+	sc := Scenario{
+		Seed:     seed,
+		Kind:     kinds[seed%int64(len(kinds))],
+		Workload: wls[(seed/int64(len(kinds)))%int64(len(wls))],
+		Policy:   pols[(seed/int64(len(kinds)*len(wls)))%int64(len(pols))],
+	}
+	if sc.Kind == "torn" {
+		sc.Workload = "counter"
+	}
+	return sc
+}
+
+// RunOpts configure one RunSeed call.
+type RunOpts struct {
+	// Backend selects the storage backend: "mem" (default) or "wal". The
+	// torn kind always runs on "wal".
+	Backend string
+	// Dir is the WAL directory; required whenever the run resolves to the
+	// wal backend. Use a fresh directory per run.
+	Dir string
+}
+
+// Result describes a completed (or failed) run.
+type Result struct {
+	// Scenario is the seed-derived shape the run executed.
+	Scenario Scenario
+	// TraceHash digests every scheduling decision and storage operation;
+	// equal seeds must produce equal hashes.
+	TraceHash uint64
+	// Steps is the number of scheduling decisions the run took.
+	Steps int
+}
+
+// ReproLine returns the command that replays a failing seed.
+func ReproLine(seed int64, backend string) string {
+	return fmt.Sprintf("go test ./internal/sim -run 'TestSimReplaySeed' -sim.seed=%d -sim.backend=%s", seed, backend)
+}
+
+// RunSeed executes the scenario seed selects, end to end: build the
+// cluster, drive the workload while the fault schedule fires, quiesce,
+// audit exactly-once totals and transactional invariants, then advance
+// time through several GC generations with a full Fsck after each step. A
+// nil error means every audit passed; the Result's trace hash is returned
+// either way so replays can be compared.
+func RunSeed(seed int64, opts RunOpts) (Result, error) {
+	sc := ScenarioFor(seed)
+	sc.Backend = opts.Backend
+	if sc.Backend == "" {
+		sc.Backend = "mem"
+	}
+	if sc.Kind == "torn" {
+		sc.Backend = "wal"
+	}
+	res := Result{Scenario: sc}
+	if sc.Backend == "wal" && opts.Dir == "" {
+		return res, fmt.Errorf("sim: scenario %d (%s) needs the wal backend: set RunOpts.Dir", seed, sc.Kind)
+	}
+
+	s := New(Options{Seed: seed, Policy: sc.Policy})
+	// Load parameters draw from their own stream so scenario shape never
+	// perturbs scheduling decisions.
+	prng := rand.New(rand.NewSource(seed*6364136223846793005 + 1442695040888963407))
+
+	var err error
+	if sc.Kind == "torn" {
+		err = runTorn(s, sc, prng, opts.Dir)
+	} else {
+		var store storage.Backend
+		var ws *walstore.Store
+		if sc.Backend == "wal" {
+			// SyncNone: fsync policy is irrelevant to the simulation (no
+			// page-cache loss is modeled outside the torn kind) and real
+			// fsyncs would dominate sweep wall time.
+			ws, err = walstore.Open(opts.Dir, walstore.Options{Sync: walstore.SyncNone})
+			if err != nil {
+				return res, err
+			}
+			store = ws
+		} else {
+			store = dynamo.NewStore()
+		}
+		err = runScenario(s, sc, prng, store)
+		if ws != nil {
+			if cerr := ws.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("sim: closing walstore: %w", cerr)
+			}
+			if ferr := walstore.Fsck(opts.Dir); ferr != nil && err == nil {
+				err = fmt.Errorf("sim: walstore fsck: %w", ferr)
+			}
+		}
+	}
+	res.TraceHash = s.TraceHash()
+	res.Steps = s.Steps()
+	return res, err
+}
+
+// simConfig is the protocol configuration every scenario shares.
+func simConfig() beldi.Config {
+	return beldi.Config{
+		RowCap: 4,
+		T:      simT,
+		// Generous retry budgets: adversarial policies (starve) legally
+		// stretch lock waits and promise awaits far past the defaults, and
+		// a retry exhaustion there would read as a protocol bug.
+		LockRetryMax:  2000,
+		AwaitRetryMax: 20000,
+	}
+}
+
+// runScenario drives every kind except torn: one cluster generation, fault
+// at mid-load where the kind calls for one, quiesce, audit, settle.
+func runScenario(s *Scheduler, sc Scenario, prng *rand.Rand, store storage.Backend) error {
+	wl := newWorkload(sc, prng)
+	cfg := ClusterConfig{
+		Workers:    3,
+		Partitions: 8,
+		LeaseTTL:   simLeaseTTL,
+		Config:     simConfig(),
+		Register:   wl.register,
+	}
+	if wl.durable {
+		cfg.DurableAsync = &beldi.DurableAsyncOptions{
+			VisibilityTimeout: 2 * simT,
+			// No dead-lettering: adversarial schedules legally starve a
+			// consumer past any receive budget, and a dead-lettered message
+			// would fail the exactly-once audit without any protocol bug.
+			MaxReceives:  -1,
+			BatchSize:    1, // one message per poll keeps delivery single-file under the baton
+			PollInterval: time.Millisecond,
+		}
+		if sc.Kind == "latedone" {
+			// Completions stall up to 8T; redelivering before that window
+			// closes is legitimate but noisy, so stretch visibility past it.
+			cfg.DurableAsync.VisibilityTimeout = 10 * simT
+		}
+	}
+	switch sc.Kind {
+	case "delay":
+		cfg.Faults = &StoreFaults{DelayProb: 0.25, MaxDelay: simT / 4}
+	case "latedone":
+		cfg.Faults = &StoreFaults{LateDone: &LateDone{MinDelay: simT, MaxDelay: 8 * simT}}
+	case "skew":
+		skews := []time.Duration{-simLeaseTTL / 8, 0, simLeaseTTL / 8}
+		cfg.Skew = func(i int) time.Duration { return skews[i%len(skews)] }
+	}
+	c, err := NewCluster(s, store, cfg)
+	if err != nil {
+		return err
+	}
+	if err := wl.seed(c); err != nil {
+		return fmt.Errorf("sim: seeding %s: %w", wl.name, err)
+	}
+	if sc.Kind == "crash" {
+		// Armed after seeding so setup load cannot crash.
+		for i, w := range c.Workers {
+			w.CW.Platform().SetFaults(&platform.CrashProb{P: 0.03, Seed: sc.Seed*31 + int64(i) + 1})
+		}
+	}
+	var driveErr error
+	root := s.Go(TaskOpts{Name: "driver"}, func() {
+		driveErr = drive(s, c, sc, prng, wl)
+	})
+	runErr := s.Run(root)
+	s.Shutdown()
+	if runErr != nil {
+		return runErr
+	}
+	return driveErr
+}
+
+// drive is the scenario's root task: spawn one client task per request
+// (staggered, routed around the faulted worker), fire the kind's fault at
+// mid-load, wait, quiesce, audit, settle-and-fsck.
+func drive(s *Scheduler, c *Cluster, sc Scenario, prng *rand.Rand, wl *workload) error {
+	c.StartPumps()
+	victim := prng.Intn(len(c.Workers))
+	epochBefore := c.Workers[victim].CW.Worker().Epoch()
+	avoid := -1 // clients route around this worker once a fault lands
+	errs := make([]error, wl.requests)
+	clients := make([]*Task, 0, wl.requests)
+	for i := 0; i < wl.requests; i++ {
+		if i == wl.requests/2 {
+			switch sc.Kind {
+			case "kill":
+				c.Kill(victim)
+				avoid = victim
+			case "partition":
+				c.Partition(victim)
+				avoid = victim
+			case "pause":
+				c.Pause(victim)
+				avoid = victim
+			}
+		}
+		wi := i % len(c.Workers)
+		if wi == avoid {
+			wi = (wi + 1) % len(c.Workers)
+		}
+		w, i := c.Workers[wi], i
+		clients = append(clients, s.Go(TaskOpts{Name: fmt.Sprintf("client%d", i)}, func() {
+			errs[i] = wl.client(w, i)
+		}))
+		s.Sleep(2 * time.Millisecond)
+	}
+	if sc.Kind == "pause" {
+		// The stall stays under T: past the GC horizon even correct code
+		// may fail audits (the paper's §5 synchrony assumption).
+		s.Sleep(simT / 2)
+		c.Resume(victim)
+	}
+	s.Await(clients...)
+	if sc.Kind == "partition" {
+		// Let the pool declare the victim dead and steal, then heal; the
+		// victim's own heartbeat pump must rejoin at a higher epoch.
+		s.Sleep(3 * simLeaseTTL)
+		c.Unpartition(victim)
+		wk := c.Workers[victim].CW.Worker()
+		deadline := s.Now().Add(30 * simLeaseTTL)
+		for wk.Fenced() || wk.Epoch() <= epochBefore {
+			if s.Now().After(deadline) {
+				return fmt.Errorf("sim: partitioned worker %s never rejoined (fenced=%v, epoch %d -> %d)",
+					c.Workers[victim].Name, wk.Fenced(), epochBefore, wk.Epoch())
+			}
+			s.Sleep(simLeaseTTL / 4)
+		}
+	}
+	// Only kinds that kill instances may fail clients: a kill's in-flight
+	// callers crash, and crash-kind clients die at random crash points.
+	// Everything else must succeed end to end.
+	if sc.Kind != "kill" && sc.Kind != "crash" {
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("sim: client %d failed under kind=%s: %w", i, sc.Kind, err)
+			}
+		}
+	}
+	if sc.Kind == "crash" {
+		// Stop the dice before draining: the audit's own probe invocations
+		// and the collector's recovery re-executions must be able to finish
+		// (the chaos tests disarm their crash plan the same way).
+		for _, w := range c.Workers {
+			w.CW.Platform().SetFaults(nil)
+		}
+	}
+	if err := c.Quiesce(wl.fns, 30*time.Second); err != nil {
+		return err
+	}
+	if err := wl.audit(c, sc, errs); err != nil {
+		return err
+	}
+	if err := c.SettleAndCheck(16); err != nil {
+		return err
+	}
+	if sc.Kind == "kill" {
+		steals := int64(0)
+		for i, w := range c.Workers {
+			if i != victim {
+				steals += w.CW.Worker().Stats().Steals.Load()
+			}
+		}
+		if steals == 0 {
+			return fmt.Errorf("sim: no partitions stolen from the killed worker")
+		}
+	}
+	return nil
+}
+
+// workload bundles one application's registration, load and audit.
+type workload struct {
+	name     string
+	fns      []string // intent tables Quiesce polls
+	requests int
+	durable  bool // wire AsyncInvoke through durable queues
+	register beldi.RegisterApp
+	seed     func(c *Cluster) error
+	client   func(w *Worker, i int) error
+	audit    func(c *Cluster, sc Scenario, errs []error) error
+}
+
+func newWorkload(sc Scenario, prng *rand.Rand) *workload {
+	switch sc.Workload {
+	case "orders":
+		return ordersWorkload(prng)
+	case "fanout":
+		return fanoutWorkload()
+	default:
+		return travelWorkload()
+	}
+}
+
+// travelWorkload books a distinct (hotel, flight) pair per request, so
+// exactly-once is auditable per workflow: both inventories must land at
+// capacity-1 — a lost workflow leaves capacity, a duplicate capacity-2 —
+// and the cross-SSF transaction keeps them in lockstep.
+func travelWorkload() *workload {
+	const capacity = 20
+	wl := &workload{name: "travel", requests: 12}
+	wl.fns = []string{travel.FnFrontend, travel.FnSearch, travel.FnGeo, travel.FnRate, travel.FnRecommend,
+		travel.FnUser, travel.FnProfile, travel.FnReserve, travel.FnReserveHotel, travel.FnReserveFlight}
+	wl.register = func(d *beldi.Deployment) {
+		app := travel.Build(d)
+		app.Capacity = capacity
+	}
+	wl.seed = func(c *Cluster) error {
+		for _, fn := range []string{travel.FnGeo, travel.FnRate, travel.FnRecommend, travel.FnProfile,
+			travel.FnUser, travel.FnReserveHotel, travel.FnReserveFlight} {
+			if _, err := c.Workers[0].CW.Invoke(fn, beldi.Map(map[string]beldi.Value{"op": beldi.Str("seed")})); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	wl.client = func(w *Worker, i int) error {
+		_, err := w.CW.Invoke(travel.FnFrontend, beldi.Map(map[string]beldi.Value{
+			"op":     beldi.Str("reserve"),
+			"hotel":  beldi.Str(fmt.Sprintf("hotel-%03d", i)),
+			"flight": beldi.Str(fmt.Sprintf("flight-%03d", i)),
+		}))
+		return err
+	}
+	wl.audit = func(c *Cluster, sc Scenario, errs []error) error {
+		d := c.Live(0).CW.Deployment()
+		hotelRT := d.Runtime(travel.FnReserveHotel)
+		flightRT := d.Runtime(travel.FnReserveFlight)
+		for i := 0; i < wl.requests; i++ {
+			h, err := beldi.PeekState(hotelRT, "inventory", fmt.Sprintf("hotel-%03d", i))
+			if err != nil {
+				return err
+			}
+			f, err := beldi.PeekState(flightRT, "inventory", fmt.Sprintf("flight-%03d", i))
+			if err != nil {
+				return err
+			}
+			booked := h.Int() == capacity-1 && f.Int() == capacity-1
+			untouched := h.Int() == capacity && f.Int() == capacity
+			switch {
+			case sc.Kind == "crash" && (booked || untouched):
+				// A crash before the intent landed placed nothing; after
+				// it, the collector finishes the booking. Both-or-neither
+				// is the invariant.
+			case sc.Kind != "crash" && booked:
+				// Every other kind preserves the at-entry contract: the
+				// intent lands before the first crash point can fire, so
+				// each request books exactly once even when its caller
+				// died.
+			default:
+				return fmt.Errorf("sim: request %d: hotel=%d flight=%d (capacity %d): not exactly-once",
+					i, h.Int(), f.Int(), capacity)
+			}
+		}
+		hot, err := travel.AuditInventory(d, travel.FnReserveHotel)
+		if err != nil {
+			return err
+		}
+		fl, err := travel.AuditInventory(d, travel.FnReserveFlight)
+		if err != nil {
+			return err
+		}
+		if hot != fl {
+			return fmt.Errorf("sim: inventories diverged: hotel=%d flight=%d", hot, fl)
+		}
+		return nil
+	}
+	return wl
+}
+
+// ordersWorkload drives the event-driven order pipeline over durable
+// queues and audits the per-order counters: every order whose frontend
+// record exists is charged once, reserved once, shipped once and notified
+// once.
+func ordersWorkload(prng *rand.Rand) *workload {
+	type placed struct {
+		order       string
+		qty, amount int64
+	}
+	wl := &workload{name: "orders", requests: 10, durable: true}
+	wl.fns = []string{orders.FnFrontend, orders.FnPayment, orders.FnInventory, orders.FnShipping, orders.FnNotify}
+	reqs := make([]placed, wl.requests)
+	for i := range reqs {
+		reqs[i] = placed{
+			order:  fmt.Sprintf("o-%04d", i),
+			qty:    1 + int64(prng.Intn(3)),
+			amount: 10 + int64(prng.Intn(90)),
+		}
+	}
+	var apps []*orders.App // join order; parallel to Cluster.Workers
+	wl.register = func(d *beldi.Deployment) {
+		apps = append(apps, orders.Build(d))
+	}
+	wl.seed = func(c *Cluster) error {
+		_, err := c.Workers[0].CW.Invoke(orders.FnInventory, beldi.Map(map[string]beldi.Value{"op": beldi.Str("seed")}))
+		return err
+	}
+	wl.client = func(w *Worker, i int) error {
+		r := reqs[i]
+		_, err := w.CW.Invoke(orders.FnFrontend,
+			orders.PlaceRequest(r.order, orders.UserID(i%orders.NumUsers), orders.ItemID(i%orders.NumItems), r.qty, r.amount))
+		return err
+	}
+	wl.audit = func(c *Cluster, sc Scenario, errs []error) error {
+		live := 0
+		for i, w := range c.Workers {
+			if !w.Killed {
+				live = i
+				break
+			}
+		}
+		frontendRT := c.Workers[live].CW.Deployment().Runtime(orders.FnFrontend)
+		var inScope []placed
+		for i, r := range reqs {
+			rec, err := beldi.PeekState(frontendRT, "orders", r.order)
+			if err != nil {
+				return err
+			}
+			if !rec.IsNull() {
+				inScope = append(inScope, r)
+			} else if errs[i] == nil {
+				return fmt.Errorf("sim: order %s acked but its frontend record is missing", r.order)
+			}
+		}
+		var ids []string
+		var wantRevenue, wantStock int64
+		for _, r := range inScope {
+			ids = append(ids, r.order)
+			wantRevenue += r.amount
+			wantStock += r.qty
+		}
+		tot, err := apps[live].Totals(ids)
+		if err != nil {
+			return err
+		}
+		n := len(inScope)
+		if tot.Revenue != wantRevenue || tot.StockSold != wantStock ||
+			tot.PaidOrders != n || tot.Shipments != n || tot.Notifications != int64(n) {
+			return fmt.Errorf("sim: pipeline totals diverged: got %+v, want revenue=%d stock=%d paid=ship=note=%d",
+				tot, wantRevenue, wantStock, n)
+		}
+		return nil
+	}
+	return wl
+}
+
+// fanoutDocs is the word-count corpus; the audit recomputes the expected
+// totals with the mapper's tokenization (lower-case fields, punctuation
+// trimmed).
+func fanoutDocs() []fanout.Doc {
+	return []fanout.Doc{
+		{ID: "d0", Text: "Every workflow registers an intent before its first effect."},
+		{ID: "d1", Text: "The collector finishes what a dead worker started; exactly once, not twice."},
+		{ID: "d2", Text: "Leases expire, partitions move, and the epoch fence stops the zombie."},
+		{ID: "d3", Text: "A torn write poisons the log; recovery truncates the tail and replays the rest."},
+		{ID: "d4", Text: "Same seed, same interleaving, same trace: the failure replays on demand."},
+		{ID: "d5", Text: "The garbage collector reaps a done intent only after the synchrony bound passes."},
+	}
+}
+
+func expectedCounts(docs []fanout.Doc) map[string]int64 {
+	want := map[string]int64{}
+	for _, doc := range docs {
+		for _, w := range strings.Fields(strings.ToLower(doc.Text)) {
+			if w = strings.Trim(w, ".,;:!?\"'()"); w != "" {
+				want[w]++
+			}
+		}
+	}
+	return want
+}
+
+// fanoutWorkload submits one fan-out word-count job (async promises:
+// durable mailboxes, logged awaits) and audits the committed totals
+// against locally computed counts.
+func fanoutWorkload() *workload {
+	wl := &workload{name: "fanout", requests: 1}
+	wl.fns = []string{fanout.FnMap, fanout.FnReduce}
+	wl.register = func(d *beldi.Deployment) { fanout.Build(d) }
+	wl.seed = func(*Cluster) error { return nil }
+	wl.client = func(w *Worker, _ int) error {
+		job, err := beldi.ToValue(fanout.Job{Docs: fanoutDocs()})
+		if err != nil {
+			return err
+		}
+		_, err = w.CW.Invoke(fanout.FnReduce, job)
+		return err
+	}
+	wl.audit = func(c *Cluster, sc Scenario, errs []error) error {
+		d := c.Live(0).CW.Deployment()
+		tot, err := fanout.Totals(d)
+		if err != nil {
+			return err
+		}
+		if len(tot) == 0 {
+			if errs[0] != nil {
+				return nil // the job died before its intent landed: no totals is correct
+			}
+			return fmt.Errorf("sim: fan-out job acked but no totals committed")
+		}
+		want := expectedCounts(fanoutDocs())
+		if len(tot) != len(want) {
+			return fmt.Errorf("sim: fan-out totals have %d distinct words, want %d", len(tot), len(want))
+		}
+		for w, n := range want {
+			if tot[w] != n {
+				return fmt.Errorf("sim: fan-out count for %q = %d, want %d", w, tot[w], n)
+			}
+		}
+		return nil
+	}
+	return wl
+}
+
+// counterRegister registers the restart-auditable workload the torn kind
+// drives: each request increments one shared locked counter and drops a
+// per-request marker row, so after recovery the counter must equal the
+// number of markers — a lost increment or a replayed one breaks the
+// equality.
+func counterRegister(d *beldi.Deployment) {
+	d.Function("counter", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+		key := in.Map()["key"].Str()
+		if err := e.Lock("state", "total"); err != nil {
+			return beldi.Null, err
+		}
+		v, err := e.Read("state", "total")
+		if err != nil {
+			return beldi.Null, err
+		}
+		if err := e.Write("state", "total", beldi.Int(v.Int()+1)); err != nil {
+			return beldi.Null, err
+		}
+		if err := e.Unlock("state", "total"); err != nil {
+			return beldi.Null, err
+		}
+		if err := e.Write("state", "mark."+key, beldi.Int(1)); err != nil {
+			return beldi.Null, err
+		}
+		return beldi.Null, nil
+	}, "state")
+}
+
+// runTorn is the two-generation scenario: generation one runs the counter
+// workload on a WAL store armed with a torn append (the Nth framed record
+// is cut or corrupted, poisoning the store mid-load, like a process dying
+// mid-write); the harness then kills generation one, reopens the
+// directory, and a fresh generation must recover — finish the surviving
+// intents, take the dead generation's partitions, serve new load — with
+// the counter audit and both Fscks clean at the end.
+func runTorn(s *Scheduler, sc Scenario, prng *rand.Rand, dir string) error {
+	tear := TornWrite{
+		// Past any setup append, inside the load phase's range.
+		AppendN: 150 + prng.Intn(150),
+		CutAt:   1 + prng.Intn(64),
+		Flip:    prng.Intn(2) == 0,
+	}
+	ws, err := walstore.Open(dir, walstore.Options{Sync: walstore.SyncNone, Hooks: tear.Hooks()})
+	if err != nil {
+		return err
+	}
+	cfg := ClusterConfig{
+		Workers:    2,
+		Partitions: 8,
+		LeaseTTL:   simLeaseTTL,
+		Config:     simConfig(),
+		Register:   counterRegister,
+	}
+	c, err := NewCluster(s, ws, cfg)
+	if err != nil {
+		return err
+	}
+
+	const phase1, phase2, waves = 6, 6, 6
+	var keys []string
+	phase1Errs := map[string]error{}
+	var driveErr error
+	var c2 *Cluster
+	root := s.Go(TaskOpts{Name: "driver"}, func() {
+		driveErr = func() error {
+			c.StartPumps()
+			// Phase 1: drive waves of increments until the tear poisons the
+			// store (a client error is the signal) or the wave budget runs
+			// out — the tear's append index is seed-chosen, so the wave in
+			// which it fires varies.
+			torn := false
+			for wave := 0; wave < waves && !torn; wave++ {
+				var tasks []*Task
+				waveErrs := make([]error, phase1)
+				for i := 0; i < phase1; i++ {
+					key := fmt.Sprintf("t-%03d", wave*phase1+i)
+					keys = append(keys, key)
+					w, i, key := c.Workers[(wave*phase1+i)%len(c.Workers)], i, key
+					tasks = append(tasks, s.Go(TaskOpts{Name: "client." + key}, func() {
+						_, err := w.CW.Invoke("counter", beldi.Map(map[string]beldi.Value{"key": beldi.Str(key)}))
+						waveErrs[i] = err
+					}))
+					s.Sleep(2 * time.Millisecond)
+				}
+				s.Await(tasks...)
+				for i := 0; i < phase1; i++ {
+					phase1Errs[keys[wave*phase1+i]] = waveErrs[i]
+					if waveErrs[i] != nil {
+						torn = true
+					}
+				}
+			}
+			// Generation one dies; the directory is everything that
+			// survives.
+			for i := range c.Workers {
+				c.Kill(i)
+			}
+			ws.Close() //nolint:errcheck // poisoned stores report the injected tear here
+			ws2, err := walstore.Open(dir, walstore.Options{Sync: walstore.SyncNone})
+			if err != nil {
+				return fmt.Errorf("sim: reopening torn walstore: %w", err)
+			}
+			cfg2 := cfg
+			cfg2.NamePrefix = "r"
+			cfg2.Rejoin = true // generation one's leases are still on record
+			c2, err = NewCluster(s, ws2, cfg2)
+			if err != nil {
+				return fmt.Errorf("sim: rejoining after torn-write restart: %w", err)
+			}
+			c2.StartPumps()
+			// Let the dead generation's leases expire and be stolen.
+			s.Sleep(3 * simLeaseTTL)
+			// Phase 2: new load through the recovered pool must fully
+			// succeed.
+			var tasks []*Task
+			phase2Errs := make([]error, phase2)
+			for i := 0; i < phase2; i++ {
+				key := fmt.Sprintf("u-%03d", i)
+				keys = append(keys, key)
+				w, i, key := c2.Workers[i%len(c2.Workers)], i, key
+				tasks = append(tasks, s.Go(TaskOpts{Name: "client." + key}, func() {
+					_, err := w.CW.Invoke("counter", beldi.Map(map[string]beldi.Value{"key": beldi.Str(key)}))
+					phase2Errs[i] = err
+				}))
+				s.Sleep(2 * time.Millisecond)
+			}
+			s.Await(tasks...)
+			for i, err := range phase2Errs {
+				if err != nil {
+					return fmt.Errorf("sim: post-recovery request %d failed: %w", i, err)
+				}
+			}
+			if err := c2.Quiesce([]string{"counter"}, 30*time.Second); err != nil {
+				return err
+			}
+			// Audit: the counter equals the number of marker rows. A
+			// workflow whose intent survived the tear was finished by
+			// generation two (increment and marker both land, once); one
+			// whose intent was torn away never ran at all.
+			rt := c2.Live(0).CW.Deployment().Runtime("counter")
+			markers := 0
+			for _, key := range keys {
+				m, err := beldi.PeekState(rt, "state", "mark."+key)
+				if err != nil {
+					return err
+				}
+				if !m.IsNull() {
+					markers++
+				} else if err := phase1Errs[key]; err == nil && strings.HasPrefix(key, "t-") {
+					return fmt.Errorf("sim: increment %s acked before the tear but its marker is gone", key)
+				}
+			}
+			total, err := beldi.PeekState(rt, "state", "total")
+			if err != nil {
+				return err
+			}
+			if total.Int() != int64(markers) {
+				return fmt.Errorf("sim: counter=%d but %d markers present: not exactly-once across the restart",
+					total.Int(), markers)
+			}
+			if markers < phase2 {
+				return fmt.Errorf("sim: only %d markers present, phase 2 alone placed %d", markers, phase2)
+			}
+			return c2.SettleAndCheck(8)
+		}()
+	})
+	runErr := s.Run(root)
+	s.Shutdown()
+	if runErr == nil {
+		runErr = driveErr
+	}
+	if c2 != nil {
+		if cerr := c2.Inner.(*walstore.Store).Close(); cerr != nil && runErr == nil {
+			runErr = fmt.Errorf("sim: closing recovered walstore: %w", cerr)
+		}
+	}
+	if runErr == nil {
+		if ferr := walstore.Fsck(dir); ferr != nil {
+			runErr = fmt.Errorf("sim: walstore fsck after torn-write recovery: %w", ferr)
+		}
+	}
+	return runErr
+}
+
+// SweepOptions configure a Sweep.
+type SweepOptions struct {
+	// Seeds are the scenario seeds to run, in order.
+	Seeds []int64
+	// Backend selects the storage backend for non-torn scenarios: "mem"
+	// (default) or "wal".
+	Backend string
+	// TempDir returns a fresh directory for each run that needs the WAL
+	// backend; required when Backend is "wal" or any seed derives the torn
+	// kind.
+	TempDir func() string
+	// Logf receives progress and failure lines (testing.T.Logf-shaped);
+	// nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// SeedResult is one seed's outcome within a sweep.
+type SeedResult struct {
+	Result
+	// Err is the run's failure, nil when every audit passed.
+	Err error
+}
+
+// Report is a sweep's outcome.
+type Report struct {
+	// Results holds every seed's outcome, in input order.
+	Results []SeedResult
+	// Failures holds the failing subset, in input order.
+	Failures []SeedResult
+	// Skipped counts seeds that could not run (no TempDir for a WAL
+	// scenario).
+	Skipped int
+}
+
+// Sweep runs every seed's scenario and reports the failures; each failure
+// logs the exact command that replays it. CI runs a bounded sweep in
+// tier-1 and a deep one nightly (see .github/workflows/ci.yml).
+func Sweep(o SweepOptions) Report {
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	backend := o.Backend
+	if backend == "" {
+		backend = "mem"
+	}
+	var rep Report
+	for _, seed := range o.Seeds {
+		sc := ScenarioFor(seed)
+		dir := ""
+		if backend == "wal" || sc.Kind == "torn" {
+			if o.TempDir == nil {
+				logf("sim: seed %d (%s) skipped: WAL scenario but no TempDir", seed, sc.Kind)
+				rep.Skipped++
+				continue
+			}
+			dir = o.TempDir()
+		}
+		res, err := RunSeed(seed, RunOpts{Backend: backend, Dir: dir})
+		sr := SeedResult{Result: res, Err: err}
+		rep.Results = append(rep.Results, sr)
+		if err != nil {
+			rep.Failures = append(rep.Failures, sr)
+			logf("sim: seed %d FAILED (kind=%s workload=%s policy=%s backend=%s): %v\n  reproduce: %s",
+				seed, res.Scenario.Kind, res.Scenario.Workload, res.Scenario.Policy, res.Scenario.Backend,
+				err, ReproLine(seed, res.Scenario.Backend))
+		} else {
+			logf("sim: seed %d ok (kind=%s workload=%s policy=%s): %d steps, trace %016x",
+				seed, res.Scenario.Kind, res.Scenario.Workload, res.Scenario.Policy, res.Steps, res.TraceHash)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/core"
+	"repro/internal/dynamo"
+	"repro/internal/platform"
+)
+
+var (
+	simSeed    = flag.Int64("sim.seed", -1, "replay this scenario seed (see a failing sweep's reproduce line)")
+	simBackend = flag.String("sim.backend", "mem", "backend for -sim.seed replay: mem or wal")
+	simDeep    = flag.Int("sim.deep", 0, "deep-sweep seed budget (nightly CI); 0 skips the deep sweep")
+)
+
+// TestSimSweepBounded is the tier-1 sweep: one contiguous seed block
+// covering every fault kind and every workload at least once. Every seed
+// must pass — a failure here is a protocol bug with a printed reproduction
+// line.
+func TestSimSweepBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep skipped in -short")
+	}
+	seeds := make([]int64, 0, 27)
+	for seed := int64(0); seed < 27; seed++ {
+		seeds = append(seeds, seed)
+	}
+	rep := Sweep(SweepOptions{Seeds: seeds, TempDir: t.TempDir, Logf: t.Logf})
+	if len(rep.Failures) != 0 {
+		t.Fatalf("%d/%d seeds failed; reproduction lines above", len(rep.Failures), len(rep.Results))
+	}
+	if rep.Skipped != 0 {
+		t.Fatalf("%d seeds skipped; the bounded sweep must run everything", rep.Skipped)
+	}
+}
+
+// TestSimDeepSweep is the nightly sweep: a larger seed budget under
+// -sim.deep=N (see .github/workflows/ci.yml). Skipped when the flag is
+// unset, so tier-1 stays bounded.
+func TestSimDeepSweep(t *testing.T) {
+	if *simDeep <= 0 {
+		t.Skip("deep sweep runs with -sim.deep=N (nightly CI)")
+	}
+	seeds := make([]int64, 0, *simDeep)
+	for seed := int64(0); seed < int64(*simDeep); seed++ {
+		seeds = append(seeds, seed)
+	}
+	rep := Sweep(SweepOptions{Seeds: seeds, Backend: *simBackend, TempDir: t.TempDir, Logf: t.Logf})
+	if len(rep.Failures) != 0 {
+		t.Fatalf("%d/%d seeds failed; reproduction lines above", len(rep.Failures), len(rep.Results))
+	}
+}
+
+// TestSimReplaySeed is the reproduction entry point a failing sweep prints:
+//
+//	go test ./internal/sim -run 'TestSimReplaySeed' -sim.seed=N -sim.backend=B
+//
+// It replays the seed's scenario twice and reports the failure along with
+// both trace hashes, which must be identical — the whole point of
+// replay-from-seed.
+func TestSimReplaySeed(t *testing.T) {
+	seed := *simSeed
+	if seed < 0 {
+		seed = 3 // cheap default so the entry point is exercised in tier-1
+	}
+	first, err1 := RunSeed(seed, RunOpts{Backend: *simBackend, Dir: t.TempDir()})
+	second, err2 := RunSeed(seed, RunOpts{Backend: *simBackend, Dir: t.TempDir()})
+	t.Logf("seed %d (%s/%s/%s on %s): trace %016x / %016x, %d steps",
+		seed, first.Scenario.Kind, first.Scenario.Workload, first.Scenario.Policy, first.Scenario.Backend,
+		first.TraceHash, second.TraceHash, first.Steps)
+	if first.TraceHash != second.TraceHash {
+		t.Errorf("replay diverged: trace %016x then %016x", first.TraceHash, second.TraceHash)
+	}
+	if (err1 == nil) != (err2 == nil) {
+		t.Errorf("replay outcome diverged: %v then %v", err1, err2)
+	}
+	if err1 != nil {
+		t.Errorf("seed %d failed: %v", seed, err1)
+	}
+}
+
+// TestSimReplayIsDeterministic re-runs one seed of every kind and asserts
+// bit-identical trace hashes — the property every reproduction line relies
+// on.
+func TestSimReplayIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation replays skipped in -short")
+	}
+	for seed := int64(0); seed < int64(len(Kinds())); seed++ {
+		sc := ScenarioFor(seed)
+		a, errA := RunSeed(seed, RunOpts{Dir: t.TempDir()})
+		b, errB := RunSeed(seed, RunOpts{Dir: t.TempDir()})
+		if a.TraceHash != b.TraceHash {
+			t.Errorf("seed %d (%s/%s): trace %016x then %016x — not deterministic",
+				seed, sc.Kind, sc.Workload, a.TraceHash, b.TraceHash)
+		}
+		if (errA == nil) != (errB == nil) {
+			t.Errorf("seed %d (%s/%s): outcome diverged: %v then %v", seed, sc.Kind, sc.Workload, errA, errB)
+		}
+	}
+}
+
+// TestSimCatchesUnguardedIntentDone is the sweep's proof of value: it
+// reintroduces a historical protocol bug — markIntentDone without the
+// existence guard, so a straggler's late completion resurrects its GC'd
+// intent as a half-formed zombie row — and asserts that the late-completion
+// fault schedule catches it within the CI seed budget, and that the caught
+// seed replays the identical failing schedule.
+func TestSimCatchesUnguardedIntentDone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep skipped in -short")
+	}
+	core.FaultUnguardedIntentDone.Store(true)
+	defer core.FaultUnguardedIntentDone.Store(false)
+
+	// Seeds deriving the latedone kind (index 7 of Kinds), across
+	// workloads and policies.
+	var seeds []int64
+	for seed := int64(7); len(seeds) < 8; seed += int64(len(Kinds())) {
+		seeds = append(seeds, seed)
+	}
+	var caught *SeedResult
+	rep := Sweep(SweepOptions{Seeds: seeds, TempDir: t.TempDir, Logf: t.Logf})
+	for i := range rep.Failures {
+		caught = &rep.Failures[i]
+		break
+	}
+	if caught == nil {
+		t.Fatalf("the sweep missed the reintroduced zombie-upsert bug across %d latedone seeds", len(seeds))
+	}
+	t.Logf("caught at seed %d: %v", caught.Scenario.Seed, caught.Err)
+
+	// The printed seed must replay the identical failing schedule.
+	r1, err1 := RunSeed(caught.Scenario.Seed, RunOpts{Dir: t.TempDir()})
+	r2, err2 := RunSeed(caught.Scenario.Seed, RunOpts{Dir: t.TempDir()})
+	if err1 == nil || err2 == nil {
+		t.Fatalf("caught seed %d did not fail on replay: %v / %v", caught.Scenario.Seed, err1, err2)
+	}
+	if r1.TraceHash != caught.TraceHash || r2.TraceHash != caught.TraceHash {
+		t.Errorf("caught seed %d replays with trace %016x / %016x, sweep saw %016x — not the same schedule",
+			caught.Scenario.Seed, r1.TraceHash, r2.TraceHash, caught.TraceHash)
+	}
+	if err1.Error() != err2.Error() {
+		t.Errorf("caught seed %d replays with different failures:\n  %v\n  %v", caught.Scenario.Seed, err1, err2)
+	}
+}
+
+// TestSimEverythingAtOnce is the deterministic successor of core's
+// TestIntegrationEverythingAtOnce chaos shape: contended locked
+// read-modify-writes through a cross-SSF call chain while random crash
+// points fire, under the simulator instead of wall-clock goroutines — no
+// retry loops, no sleep margins, and a seed that replays any failure.
+func TestSimEverythingAtOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test skipped in -short")
+	}
+	const seed = 1009
+	const keys, requests = 3, 24
+	s := New(Options{Seed: seed})
+	store := dynamo.NewStore()
+	prng := rand.New(rand.NewSource(seed))
+	type req struct {
+		key string
+		amt int64
+	}
+	reqs := make([]req, requests)
+	for i := range reqs {
+		reqs[i] = req{key: fmt.Sprintf("k%d", prng.Intn(keys)), amt: int64(1 + prng.Intn(9))}
+	}
+	register := func(d *beldi.Deployment) {
+		d.Function("ledger", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+			key := in.Map()["key"].Str()
+			if err := e.Lock("acct", key); err != nil {
+				return beldi.Null, err
+			}
+			v, err := e.Read("acct", key)
+			if err != nil {
+				return beldi.Null, err
+			}
+			if err := e.Write("acct", key, beldi.Int(v.Int()+in.Map()["amt"].Int())); err != nil {
+				return beldi.Null, err
+			}
+			if err := e.Unlock("acct", key); err != nil {
+				return beldi.Null, err
+			}
+			// The marker makes the request auditable: increment and marker
+			// land atomically-exactly-once or not at all.
+			if err := e.Write("acct", "mark."+in.Map()["id"].Str(), in); err != nil {
+				return beldi.Null, err
+			}
+			return beldi.Str("ok"), nil
+		}, "acct")
+		d.Function("front", func(e *beldi.Env, in beldi.Value) (beldi.Value, error) {
+			if _, err := e.SyncInvoke("ledger", in); err != nil {
+				return beldi.Null, err
+			}
+			return beldi.Str("ack"), nil
+		})
+	}
+	c, err := NewCluster(s, store, ClusterConfig{
+		Workers:  3,
+		LeaseTTL: simLeaseTTL,
+		Config:   simConfig(),
+		Register: register,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range c.Workers {
+		w.CW.Platform().SetFaults(&platform.CrashProb{P: 0.02, Seed: seed*7 + int64(i)})
+	}
+	var driveErr error
+	root := s.Go(TaskOpts{Name: "driver"}, func() {
+		driveErr = func() error {
+			c.StartPumps()
+			clients := make([]*Task, requests)
+			for i := 0; i < requests; i++ {
+				w, i := c.Workers[i%len(c.Workers)], i
+				clients[i] = s.Go(TaskOpts{Name: fmt.Sprintf("client%d", i)}, func() {
+					// Client errors are fine: a crashed instance's intent is
+					// the collector's to finish, and the audit below counts
+					// whatever landed.
+					w.CW.Invoke("front", beldi.Map(map[string]beldi.Value{ //nolint:errcheck
+						"key": beldi.Str(reqs[i].key),
+						"amt": beldi.Int(reqs[i].amt),
+						"id":  beldi.Str(fmt.Sprintf("int-%03d", i)),
+					}))
+				})
+				s.Sleep(2 * time.Millisecond)
+			}
+			s.Await(clients...)
+			if err := c.Quiesce([]string{"front", "ledger"}, 30*time.Second); err != nil {
+				return err
+			}
+			rt := c.Live(0).CW.Deployment().Runtime("ledger")
+			expected := make(map[string]int64, keys)
+			landed := 0
+			for i, r := range reqs {
+				m, err := beldi.PeekState(rt, "acct", fmt.Sprintf("mark.int-%03d", i))
+				if err != nil {
+					return err
+				}
+				if !m.IsNull() {
+					expected[r.key] += r.amt
+					landed++
+				}
+			}
+			if landed < requests/2 {
+				return fmt.Errorf("only %d/%d requests landed; the load barely ran", landed, requests)
+			}
+			for k := 0; k < keys; k++ {
+				key := fmt.Sprintf("k%d", k)
+				got, err := beldi.PeekState(rt, "acct", key)
+				if err != nil {
+					return err
+				}
+				if got.Int() != expected[key] {
+					return fmt.Errorf("%s = %d, want %d (per-marker sum): increments not exactly-once",
+						key, got.Int(), expected[key])
+				}
+			}
+			return c.SettleAndCheck(12)
+		}()
+	})
+	runErr := s.Run(root)
+	s.Shutdown()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if driveErr != nil {
+		t.Fatal(driveErr)
+	}
+}

@@ -40,7 +40,24 @@ func Run(t *testing.T, open Opener) {
 	sub("TransactConditionCheck", testTransactConditionCheck)
 	sub("ItemSizeCap", testItemSizeCap)
 	sub("ConcurrentConditional", testConcurrentConditional)
+	if simSection != nil {
+		t.Run("SimInterleavings", func(t *testing.T) { simSection(t, open) })
+	} else {
+		t.Log("simulator conformance section inactive: blank-import repro/internal/sim to enable")
+	}
 }
+
+// simSection is the simulator-backed conformance section: seeded
+// adversarial interleavings and delay schedules over conditional writes and
+// TransactWrite, with replay equality. It is registered by
+// repro/internal/sim's init rather than imported — several packages'
+// in-package tests import storagetest while the simulator imports those
+// packages, so a direct import would cycle. Conformance callers
+// blank-import the simulator to activate it.
+var simSection func(t *testing.T, open Opener)
+
+// RegisterSimSection installs the simulator-backed section Run executes.
+func RegisterSimSection(fn func(t *testing.T, open Opener)) { simSection = fn }
 
 func mustCreate(t *testing.T, b storage.Backend, s storage.Schema) {
 	t.Helper()

@@ -3,6 +3,7 @@ package walstore_test
 import (
 	"testing"
 
+	_ "repro/internal/sim" // activates the simulator-backed conformance section
 	"repro/internal/storage"
 	"repro/internal/storage/storagetest"
 	"repro/internal/walstore"
