@@ -14,6 +14,7 @@ package beldi
 
 import (
 	"repro/internal/dynamo"
+	"repro/internal/remote"
 	"repro/internal/telemetry"
 	"repro/internal/walstore"
 )
@@ -42,6 +43,11 @@ func (d *Deployment) attachInfra() {
 	if s, ok := d.opts.Store.(interface{ Metrics() *dynamo.Metrics }); ok {
 		m := s.Metrics()
 		h.Registry.Register("store", func() any { return m.Snapshot() })
+	}
+	if rc, ok := d.opts.Store.(*remote.Client); ok {
+		stats := rc.Stats()
+		h.Registry.Register("remote.rpc", func() any { return stats.Snapshot() })
+		rc.SetRPCHistogram(h.Registry.Histogram("remote.rpc_latency"))
 	}
 	if ws, ok := d.opts.Store.(*walstore.Store); ok {
 		st := ws.WAL()

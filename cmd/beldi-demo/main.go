@@ -11,6 +11,14 @@
 // With -crash, the named function's first instance dies at its -at'th
 // operation boundary; the demo then drives the intent collectors until the
 // workflow completes and reports what happened.
+//
+// With -worker, the process instead becomes one compute-plane member of a
+// multi-process pool: it dials a beldi-storaged server (-store), joins the
+// named cluster with the shared counter demo app, and serves until
+// signaled (or killed — recovery of whatever it was running is the
+// surviving pool's job):
+//
+//	beldi-demo -worker -store 127.0.0.1:7440 -id w1
 package main
 
 import (
@@ -18,12 +26,16 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/beldi"
+	"repro/internal/apps/counterdemo"
 	"repro/internal/bench"
 	"repro/internal/dynamo"
 	"repro/internal/platform"
+	"repro/internal/remote"
 )
 
 func main() {
@@ -34,8 +46,22 @@ func main() {
 		crashFn  = flag.String("crash", "", "function to kill once (platform fault injection)")
 		crashAt  = flag.Int("at", 3, "operation index to kill at")
 		seed     = flag.Int64("seed", 1, "workload seed")
+
+		worker      = flag.Bool("worker", false, "run as a cluster worker against a remote store instead of driving an app")
+		storeAddr   = flag.String("store", "127.0.0.1:7440", "beldi-storaged address (with -worker)")
+		clusterName = flag.String("cluster", "main", "cluster pool name (with -worker)")
+		workerID    = flag.String("id", "", "worker id; empty auto-generates (with -worker)")
+		leaseTTL    = flag.Duration("lease", time.Second, "worker lease TTL (with -worker)")
 	)
 	flag.Parse()
+
+	if *worker {
+		if err := runWorker(*storeAddr, *clusterName, *workerID, *leaseTTL); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var mode beldi.Mode
 	switch *modeName {
@@ -115,6 +141,41 @@ func main() {
 	s := sys.Store.Metrics().Snapshot()
 	fmt.Printf("store: %d ops (%d conditional failures), %.1f KB read, %.1f KB written\n",
 		s.TotalOps(), s.CondFailures, float64(s.BytesRead)/1024, float64(s.BytesWritten)/1024)
+}
+
+// runWorker is the -worker mode: one compute-plane process of a
+// multi-process pool, all coordination through the remote storage plane.
+// It joins the cluster, starts the background loops (lease heartbeats,
+// failure detection, scoped collection, owned-queue draining), prints
+// "READY <id>" for orchestrating parents, and serves until SIGINT/SIGTERM
+// (graceful leave) or SIGKILL (the failure the pool recovers from).
+func runWorker(storeAddr, clusterName, id string, leaseTTL time.Duration) error {
+	client, err := remote.Dial(storeAddr, remote.Options{})
+	if err != nil {
+		return fmt.Errorf("beldi-demo: dial storaged: %w", err)
+	}
+	defer client.Close()
+	c, err := beldi.OpenCluster(beldi.ClusterOptions{
+		Name:         clusterName,
+		Store:        client,
+		LeaseTTL:     leaseTTL,
+		Config:       beldi.Config{T: 300 * time.Millisecond, ICMinAge: 10 * time.Millisecond},
+		DurableAsync: &beldi.DurableAsyncOptions{VisibilityTimeout: time.Second, PollInterval: 20 * time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	w, err := c.JoinCluster(id, counterdemo.Register)
+	if err != nil {
+		return fmt.Errorf("beldi-demo: join cluster: %w", err)
+	}
+	w.Start()
+	fmt.Printf("READY %s\n", w.Worker().ID())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	return w.Leave()
 }
 
 // pendingIntents counts unfinished intents across all functions.

@@ -1,0 +1,103 @@
+// Command beldi-storaged is the storage plane as a process: a durable
+// walstore served over the internal/remote wire protocol, so any number of
+// worker processes (cmd/beldi-demo -worker, examples/cluster) share one
+// independently-failing store — the deployment split the paper assumes
+// between Lambda workers and DynamoDB.
+//
+// Usage:
+//
+//	beldi-storaged -dir /var/lib/beldi -listen 127.0.0.1:7440
+//	beldi-storaged -dir ./data -sync each        # fsync per record
+//	beldi-storaged -dir ./data -metrics :7441    # telemetry over HTTP
+//
+// The bound address is printed as "LISTEN <addr>" on stdout once the server
+// accepts connections (useful with -listen 127.0.0.1:0). SIGINT/SIGTERM
+// shut down cleanly: stop accepting, hang up, flush and close the store.
+// SIGKILL is survivable too — that is the point of the WAL — but loses
+// nothing more than unacknowledged requests.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/remote"
+	"repro/internal/telemetry"
+	"repro/internal/walstore"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7440", "TCP address to serve the wire protocol on")
+		dir     = flag.String("dir", "", "walstore data directory (required)")
+		sync    = flag.String("sync", "batched", "fsync policy: batched, each, none")
+		metrics = flag.String("metrics", "", "optional HTTP address for telemetry snapshots")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "beldi-storaged: -dir is required")
+		os.Exit(2)
+	}
+	var policy walstore.SyncPolicy
+	switch *sync {
+	case "batched":
+		policy = walstore.SyncBatched
+	case "each":
+		policy = walstore.SyncEach
+	case "none":
+		policy = walstore.SyncNone
+	default:
+		fmt.Fprintf(os.Stderr, "beldi-storaged: unknown -sync %q (want batched, each, none)\n", *sync)
+		os.Exit(2)
+	}
+
+	store, err := walstore.Open(*dir, walstore.Options{Sync: policy})
+	if err != nil {
+		log.Fatalf("beldi-storaged: open %s: %v", *dir, err)
+	}
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("beldi-storaged: listen %s: %v", *listen, err)
+	}
+	srv := remote.NewServer(store, remote.ServeOptions{Logf: log.Printf})
+
+	if *metrics != "" {
+		hub := telemetry.New()
+		m := store.Metrics()
+		hub.Registry.Register("store", func() any { return m.Snapshot() })
+		wal := store.WAL()
+		hub.Registry.Register("wal", func() any { return wal.Snapshot() })
+		stats := srv.Stats()
+		hub.Registry.Register("remote.server", func() any { return stats.Snapshot() })
+		if _, err := telemetry.Serve(*metrics, hub); err != nil {
+			log.Fatalf("beldi-storaged: metrics listener: %v", err)
+		}
+		log.Printf("beldi-storaged: telemetry on http://%s", *metrics)
+	}
+
+	// Announce the bound address (flushes -listen :0 back to the parent).
+	fmt.Printf("LISTEN %s\n", lis.Addr())
+	log.Printf("beldi-storaged: serving %s (sync=%s) on %s", *dir, policy, lis.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+	select {
+	case s := <-sig:
+		log.Printf("beldi-storaged: %v, shutting down", s)
+	case err := <-done:
+		if err != nil {
+			log.Printf("beldi-storaged: serve: %v", err)
+		}
+	}
+	srv.Close()
+	if err := store.Close(); err != nil {
+		log.Fatalf("beldi-storaged: close store: %v", err)
+	}
+}

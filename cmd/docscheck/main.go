@@ -36,6 +36,7 @@ var defaultDirs = []string{
 	"internal/dynamo",
 	"internal/storage",
 	"internal/storage/storagetest",
+	"internal/remote",
 	"internal/sim",
 	"internal/walstore",
 	"internal/queue",
@@ -46,6 +47,7 @@ var defaultDirs = []string{
 	"internal/uuid",
 	"internal/workload",
 	"cmd/beldi-trace",
+	"cmd/beldi-storaged",
 }
 
 func main() {

@@ -21,6 +21,7 @@
 //	figures -fig backend             # storage backends: memory vs durable WAL, fsync batching
 //	figures -fig latency             # request p50/p99 per backend and worker count (§7.2 tails)
 //	figures -fig cluster             # multi-worker scaling, with and without a mid-run worker kill
+//	figures -fig remote              # wire-protocol storage plane vs in-process, at simulated RTTs
 //
 // With -json, every sweep-shaped figure additionally writes its series as
 // machine-readable BENCH_<fig>.json into -out (default "."), so CI can
@@ -69,7 +70,7 @@ func emitJSON(name string, series any) error {
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 13, 14, 15, 15b, 16, 25, 26, costs, ablation, queue, orders, shard, fanout, backend, latency, cluster, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 13, 14, 15, 15b, 16, 25, 26, costs, ablation, queue, orders, shard, fanout, backend, latency, cluster, remote, all")
 		scale    = flag.Float64("scale", 0.1, "latency compression factor (1.0 = DynamoDB-like milliseconds)")
 		duration = flag.Duration("duration", 3*time.Second, "measurement duration per sweep point")
 		minutes  = flag.Int("minutes", 30, "simulated minutes for fig 16")
@@ -112,6 +113,39 @@ func main() {
 	run("backend", func() error { return runBackendSweep(*duration, *seed) })
 	run("latency", func() error { return runLatencySweep(*duration, *seed) })
 	run("cluster", func() error { return runClusterSweep(*duration, *scale, *seed) })
+	run("remote", func() error { return runRemoteSweep(*duration, *seed) })
+}
+
+// runRemoteSweep prints committed steps/s and request p50/p99 for the same
+// closed-loop workload on an in-process walstore versus the same walstore
+// behind the internal/remote wire protocol, at several simulated RTTs — the
+// framing/pipelining overhead at zero delay, and how per-step round trips
+// compound with distance (the paper's DynamoDB regime). Disk- and
+// network-bound, so -scale does not apply.
+func runRemoteSweep(duration time.Duration, seed int64) error {
+	fmt.Println("# Remote sweep — steps/s and latency: in-process walstore vs wire protocol at simulated RTTs")
+	fmt.Printf("%-10s %-10s %14s %10s %10s %10s %10s %10s\n",
+		"store", "rtt", "tput(steps/s)", "steps", "p50(ms)", "p99(ms)", "rpcs", "rpc p99")
+	pts, err := bench.RemoteSweep(bench.RemoteSweepOptions{
+		Duration: duration,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		kind, rtt, rpcs, rpcP99 := "inproc", "-", "-", "-"
+		if p.Remote {
+			kind = "remote"
+			rtt = p.RTT.String()
+			rpcs = fmt.Sprintf("%d", p.RPCs)
+			rpcP99 = fmt.Sprintf("%.3f", ms(p.RPCP99))
+		}
+		fmt.Printf("%-10s %-10s %14.1f %10d %10.2f %10.2f %10s %10s\n",
+			kind, rtt, p.Throughput, p.Steps, ms(p.P50), ms(p.P99), rpcs, rpcP99)
+	}
+	fmt.Println()
+	return emitJSON("remote", pts)
 }
 
 // runClusterSweep prints committed workflow steps per second versus worker

@@ -329,6 +329,45 @@ func TestBackendSweepSmoke(t *testing.T) {
 	}
 }
 
+// TestRemoteSweepSmoke pins the remote figure's shape: every cell commits
+// work, the baseline is local, remote cells carry wire-level RPC counts
+// (several round trips per committed step), and adding simulated RTT can
+// only slow the remote path down.
+func TestRemoteSweepSmoke(t *testing.T) {
+	pts, err := RemoteSweep(RemoteSweepOptions{
+		RTTs:     []time.Duration{0, 2 * time.Millisecond},
+		Duration: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 { // inproc, remote/0, remote/2ms
+		t.Fatalf("%d points: %+v", len(pts), pts)
+	}
+	for _, p := range pts {
+		if p.Steps <= 0 || p.Throughput <= 0 || p.P99 <= 0 {
+			t.Fatalf("empty cell: %+v", p)
+		}
+		if !p.Remote {
+			if p.RPCs != 0 {
+				t.Errorf("in-process cell reports %d RPCs", p.RPCs)
+			}
+			continue
+		}
+		// Each committed step costs multiple store round trips (intent,
+		// log, value); the wire counter must see them.
+		if p.RPCs < p.Steps {
+			t.Errorf("remote cell rtt=%v: %d RPCs for %d steps", p.RTT, p.RPCs, p.Steps)
+		}
+	}
+	// 2ms of injected RTT per op dwarfs loopback framing costs; the delayed
+	// cell cannot out-throughput the zero-delay cell.
+	if pts[2].Throughput >= pts[1].Throughput {
+		t.Errorf("rtt=2ms (%.1f steps/s) not slower than rtt=0 (%.1f)",
+			pts[2].Throughput, pts[1].Throughput)
+	}
+}
+
 // TestClusterSweepSmoke pins the cluster figure's shape: the pool scales —
 // four workers strictly outthroughput one over the same shared store — and
 // the kill cell both commits work and proves recovery (the cell blocks on

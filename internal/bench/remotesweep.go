@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/hist"
+	"repro/internal/platform"
+	"repro/internal/remote"
+	"repro/internal/storage"
+	"repro/internal/uuid"
+	"repro/internal/walstore"
+)
+
+// RemoteSweep measures what the network seam costs on Beldi's hot logging
+// path: committed steps per second and request p99 for the same closed-loop
+// workload with the walstore in-process versus behind the internal/remote
+// wire protocol, at several simulated server-side RTTs. The zero-RTT remote
+// cell isolates the framing/pipelining overhead itself; the delayed cells
+// show how the protocol's per-step round trips compound with distance — the
+// regime the paper's DynamoDB deployment actually runs in, where each store
+// op costs single-digit milliseconds of network before any work happens.
+
+// RemoteSweepOptions configure a remote sweep.
+type RemoteSweepOptions struct {
+	// RTTs are the simulated server-side delays for the remote cells.
+	// nil means {0, 500µs, 2ms}.
+	RTTs []time.Duration
+	// Workers is the fixed offered load of closed-loop invokers. 0 means 32.
+	Workers int
+	// Duration is the measurement window per point. 0 means 400ms.
+	Duration time.Duration
+	// Keys is the number of distinct item keys written. 0 means 256.
+	Keys int
+	Seed int64
+}
+
+func (o RemoteSweepOptions) withDefaults() RemoteSweepOptions {
+	if o.RTTs == nil {
+		o.RTTs = []time.Duration{0, 500 * time.Microsecond, 2 * time.Millisecond}
+	}
+	if o.Workers == 0 {
+		o.Workers = 32
+	}
+	if o.Duration == 0 {
+		o.Duration = 400 * time.Millisecond
+	}
+	if o.Keys == 0 {
+		o.Keys = 256
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// RemoteSweepPoint is one cell of the sweep: the in-process baseline
+// (Remote=false) or the wire protocol at one simulated RTT.
+type RemoteSweepPoint struct {
+	// Remote is false for the in-process walstore baseline.
+	Remote bool
+	// RTT is the simulated server-side delay per request (remote cells).
+	RTT time.Duration
+	// Steps is the number of committed write steps in the window;
+	// Throughput is Steps per second.
+	Steps      int64
+	Throughput float64
+	// P50/P99 are client-observed request latencies.
+	P50, P99 time.Duration
+	// RPCs and RPCP99 are the wire-level op count and per-RPC p99 for
+	// remote cells (zero for the baseline) — the per-request store-op
+	// multiplier is RPCs/Steps.
+	RPCs    int64
+	RPCP99  time.Duration
+	Elapsed time.Duration
+}
+
+// RemoteSweep runs the in-process baseline and one remote cell per RTT,
+// each against a fresh walstore in a fresh temp directory.
+func RemoteSweep(opts RemoteSweepOptions) ([]RemoteSweepPoint, error) {
+	opts = opts.withDefaults()
+	out := make([]RemoteSweepPoint, 0, len(opts.RTTs)+1)
+	pt, err := remoteSweepPoint(opts, false, 0)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, pt)
+	for _, rtt := range opts.RTTs {
+		pt, err := remoteSweepPoint(opts, true, rtt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// remoteSweepPoint measures one cell: a fresh walstore (optionally behind a
+// wire server with a simulated delay), a deployment whose single SSF logs
+// one write step per invocation, and closed-loop invokers.
+func remoteSweepPoint(opts RemoteSweepOptions, viaWire bool, rtt time.Duration) (RemoteSweepPoint, error) {
+	dir, err := os.MkdirTemp("", "beldi-remote-sweep-*")
+	if err != nil {
+		return RemoteSweepPoint{}, err
+	}
+	defer os.RemoveAll(dir)
+	wal, err := walstore.Open(dir, walstore.Options{})
+	if err != nil {
+		return RemoteSweepPoint{}, err
+	}
+	defer wal.Close()
+
+	var store storage.Backend = wal
+	var client *remote.Client
+	if viaWire {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return RemoteSweepPoint{}, err
+		}
+		srv := remote.NewServer(wal, remote.ServeOptions{Delay: rtt})
+		go srv.Serve(lis)
+		defer srv.Close()
+		client, err = remote.Dial(lis.Addr().String(), remote.Options{})
+		if err != nil {
+			return RemoteSweepPoint{}, err
+		}
+		defer client.Close()
+		store = client
+	}
+
+	plat := platform.New(platform.Options{
+		ConcurrencyLimit: opts.Workers * 2,
+		Seed:             opts.Seed,
+		IDs:              &uuid.Seq{Prefix: "req"},
+	})
+	d := beldi.NewDeployment(beldi.DeploymentOptions{
+		Store: store, Platform: plat, Mode: beldi.ModeBeldi,
+		Config: beldi.Config{RowCap: 16},
+	})
+	d.Function("step", func(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
+		m := input.Map()
+		if err := e.Write("state", m["Key"].Str(), m["Val"]); err != nil {
+			return beldi.Null, err
+		}
+		return beldi.Null, nil
+	}, "state")
+
+	var lat hist.Histogram
+	var steps atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	deadline := time.Now().Add(opts.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				key := fmt.Sprintf("k%04d", (w*31+i)%opts.Keys)
+				t0 := time.Now()
+				_, err := d.Invoke("step", beldi.Map(map[string]beldi.Value{
+					"Key": beldi.Str(key),
+					"Val": beldi.Int(int64(i)),
+				}))
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				lat.Record(time.Since(t0))
+				steps.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	d.Stop()
+	if firstErr != nil {
+		return RemoteSweepPoint{}, fmt.Errorf("bench: remote sweep (remote=%v rtt=%v): %w", viaWire, rtt, firstErr)
+	}
+	pt := RemoteSweepPoint{
+		Remote:     viaWire,
+		RTT:        rtt,
+		Steps:      steps.Load(),
+		Throughput: float64(steps.Load()) / elapsed.Seconds(),
+		P50:        lat.Median(),
+		P99:        lat.P99(),
+		Elapsed:    elapsed,
+	}
+	if client != nil {
+		pt.RPCs = client.Stats().Snapshot().RPCs
+		pt.RPCP99 = client.RPCLatency().P99()
+	}
+	return pt, nil
+}

@@ -1,0 +1,117 @@
+package dynamo
+
+import "fmt"
+
+// CondKind discriminates the node type of a CondDesc tree.
+type CondKind uint8
+
+// The condition node kinds.
+const (
+	CondTrue CondKind = iota + 1
+	CondExists
+	CondNotExists
+	CondCmp
+	CondAnd
+	CondOr
+	CondNot
+)
+
+// CondDesc is a serializable description of a Cond expression tree — the
+// form wire protocols (internal/remote) and journaling backends ship
+// conditions in. Path/Op/Value carry a comparison or existence test; Subs
+// carries the children of And/Or/Not.
+type CondDesc struct {
+	Kind  CondKind
+	Path  Path
+	Op    string // CondCmp: "=", "!=", "<", "<=", ">", ">="
+	Value Value
+	Subs  []CondDesc
+}
+
+// DescribeCond decomposes a Cond built by this package's constructors
+// (Exists, NotExists, Eq/Ne/Lt/Le/Gt/Ge, And, Or, Not, True, IsNullOr) into
+// its serializable description. It reports false for foreign Cond
+// implementations, which cannot cross a serialization boundary.
+func DescribeCond(c Cond) (CondDesc, bool) {
+	switch v := c.(type) {
+	case condTrue:
+		return CondDesc{Kind: CondTrue}, true
+	case condExists:
+		return CondDesc{Kind: CondExists, Path: v.p}, true
+	case condNotExists:
+		return CondDesc{Kind: CondNotExists, Path: v.p}, true
+	case condCmp:
+		return CondDesc{Kind: CondCmp, Path: v.p, Op: v.op, Value: v.v}, true
+	case condAnd:
+		subs, ok := describeConds(v.cs)
+		return CondDesc{Kind: CondAnd, Subs: subs}, ok
+	case condOr:
+		subs, ok := describeConds(v.cs)
+		return CondDesc{Kind: CondOr, Subs: subs}, ok
+	case condNot:
+		sub, ok := DescribeCond(v.c)
+		return CondDesc{Kind: CondNot, Subs: []CondDesc{sub}}, ok
+	}
+	return CondDesc{}, false
+}
+
+func describeConds(cs []Cond) ([]CondDesc, bool) {
+	out := make([]CondDesc, len(cs))
+	for i, c := range cs {
+		d, ok := DescribeCond(c)
+		if !ok {
+			return nil, false
+		}
+		out[i] = d
+	}
+	return out, true
+}
+
+// CondFromDesc rebuilds the Cond a CondDesc describes.
+func CondFromDesc(d CondDesc) (Cond, error) {
+	switch d.Kind {
+	case CondTrue:
+		return True(), nil
+	case CondExists:
+		return Exists(d.Path), nil
+	case CondNotExists:
+		return NotExists(d.Path), nil
+	case CondCmp:
+		switch d.Op {
+		case "=", "!=", "<", "<=", ">", ">=":
+			return condCmp{d.Path, d.Op, d.Value}, nil
+		}
+		return nil, fmt.Errorf("dynamo: CondFromDesc: unknown comparison op %q", d.Op)
+	case CondAnd, CondOr:
+		subs, err := condsFromDescs(d.Subs)
+		if err != nil {
+			return nil, err
+		}
+		if d.Kind == CondAnd {
+			return And(subs...), nil
+		}
+		return Or(subs...), nil
+	case CondNot:
+		if len(d.Subs) != 1 {
+			return nil, fmt.Errorf("dynamo: CondFromDesc: NOT wants 1 child, got %d", len(d.Subs))
+		}
+		sub, err := CondFromDesc(d.Subs[0])
+		if err != nil {
+			return nil, err
+		}
+		return Not(sub), nil
+	}
+	return nil, fmt.Errorf("dynamo: CondFromDesc: unknown kind %d", d.Kind)
+}
+
+func condsFromDescs(ds []CondDesc) ([]Cond, error) {
+	out := make([]Cond, len(ds))
+	for i, d := range ds {
+		c, err := CondFromDesc(d)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}

@@ -1,0 +1,719 @@
+package remote
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dynamo"
+	"repro/internal/hist"
+	"repro/internal/storage"
+)
+
+// Options tune a Client. The zero value is usable: Dial fills in the
+// defaults below.
+type Options struct {
+	// PoolSize is the number of TCP connections requests round-robin over
+	// (default 4). Each connection pipelines, so the pool is for bandwidth
+	// and head-of-line isolation, not one-conn-per-request.
+	PoolSize int
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// OpTimeout bounds one RPC attempt end to end (default 5s). A timed-out
+	// attempt counts against the retry budget if the operation is safe to
+	// retry.
+	OpTimeout time.Duration
+	// Retries is how many times an idempotence-safe operation is retried
+	// after its first failed attempt (default 3).
+	Retries int
+	// RetryBackoff is the base sleep between attempts, growing linearly
+	// (default 10ms).
+	RetryBackoff time.Duration
+	// ClientID prefixes TransactWrite request ids so retries from this
+	// client deduplicate server-side. Random when empty.
+	ClientID string
+}
+
+func (o Options) withDefaults() Options {
+	if o.PoolSize <= 0 {
+		o.PoolSize = 4
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 5 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 10 * time.Millisecond
+	}
+	if o.ClientID == "" {
+		var b [8]byte
+		rand.Read(b[:])
+		o.ClientID = hex.EncodeToString(b[:])
+	}
+	return o
+}
+
+// ClientStats counts a client's wire behavior; read a point-in-time copy
+// with Snapshot.
+type ClientStats struct {
+	// RPCs counts attempts put on the wire; Retries the ones beyond an
+	// operation's first.
+	RPCs    atomic.Int64
+	Retries atomic.Int64
+	// Reconnects counts re-dials after a pooled connection broke.
+	Reconnects atomic.Int64
+	// Timeouts counts attempts abandoned at OpTimeout.
+	Timeouts atomic.Int64
+	// Unavailable counts operations that surfaced ErrUnavailable after the
+	// retry budget (or fail-fast rule) gave up.
+	Unavailable atomic.Int64
+	// BytesRead and BytesWritten count frame bodies in each direction.
+	BytesRead    atomic.Int64
+	BytesWritten atomic.Int64
+}
+
+// ClientStatsSnapshot is a point-in-time copy of ClientStats.
+type ClientStatsSnapshot struct {
+	RPCs         int64
+	Retries      int64
+	Reconnects   int64
+	Timeouts     int64
+	Unavailable  int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Snapshot copies the counters.
+func (s *ClientStats) Snapshot() ClientStatsSnapshot {
+	return ClientStatsSnapshot{
+		RPCs:         s.RPCs.Load(),
+		Retries:      s.Retries.Load(),
+		Reconnects:   s.Reconnects.Load(),
+		Timeouts:     s.Timeouts.Load(),
+		Unavailable:  s.Unavailable.Load(),
+		BytesRead:    s.BytesRead.Load(),
+		BytesWritten: s.BytesWritten.Load(),
+	}
+}
+
+// Client is a storage.Backend whose every call is an RPC to a storaged
+// server. Safe for concurrent use; Close releases the pool.
+type Client struct {
+	addr string
+	opts Options
+
+	reqSeq atomic.Uint64 // request ids, per client
+	txSeq  atomic.Uint64 // TransactWrite dedup id suffix
+	rr     atomic.Uint64 // round-robin pool cursor
+
+	pool []*poolConn
+
+	// metrics mirrors the op/failure counters an in-process backend keeps,
+	// counted client-side so metric-delta checks (and the harnesses built
+	// on them) see the same shape either way. ServerMetrics fetches the
+	// server's own counters.
+	metrics dynamo.Metrics
+	latency hist.Histogram
+	extHist atomic.Pointer[hist.Histogram]
+	stats   ClientStats
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Dial connects to a storaged server at addr and returns the client. The
+// pool dials lazily; Dial itself verifies the address with one connection
+// and handshake so a bad address or version skew fails here, not on first
+// use.
+func Dial(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults()}
+	c.pool = make([]*poolConn, c.opts.PoolSize)
+	for i := range c.pool {
+		c.pool[i] = &poolConn{client: c}
+	}
+	// Probe: a Ping over the pool exercises dial + handshake.
+	if err := c.ping(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Addr reports the server address this client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// Stats exposes the client's live wire counters.
+func (c *Client) Stats() *ClientStats { return &c.stats }
+
+// RPCLatency is the per-attempt round-trip latency histogram.
+func (c *Client) RPCLatency() *hist.Histogram { return &c.latency }
+
+// SetRPCHistogram mirrors per-attempt latency recordings into h (the
+// telemetry registry's "remote.rpc_latency" histogram) in addition to the
+// client's own.
+func (c *Client) SetRPCHistogram(h *hist.Histogram) { c.extHist.Store(h) }
+
+// Close hangs up every pooled connection. In-flight RPCs fail with
+// ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, pc := range c.pool {
+		pc.close(ErrClosed)
+	}
+	return nil
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+func (c *Client) ping() error {
+	_, err := c.call(opPing, func(e *encoder) error { return nil })
+	return err
+}
+
+// --- RPC core ---
+
+// rpcResult is what a connection's read loop delivers for one request.
+type rpcResult struct {
+	body []byte // response payload after the id, including the code byte
+	err  error  // connection-level failure
+}
+
+// poolConn is one pooled connection: a lazily-dialed TCP conn, a write
+// lock, and a demultiplexing read loop that routes responses to waiters by
+// request id.
+type poolConn struct {
+	client *Client
+
+	mu      sync.Mutex
+	conn    net.Conn
+	pending map[uint64]chan rpcResult
+	dialed  bool // a connection has succeeded before (re-dials count as reconnects)
+
+	// wmu serializes writers: each frame goes out in one Write call under
+	// this lock, and the write deadline is scoped to it.
+	wmu sync.Mutex
+}
+
+// get returns the live connection, dialing and handshaking if needed.
+func (p *poolConn) get() (net.Conn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		return p.conn, nil
+	}
+	if p.client.isClosed() {
+		return nil, ErrClosed
+	}
+	conn, err := net.DialTimeout("tcp", p.client.addr, p.client.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnavailable, p.client.addr, err)
+	}
+	if err := clientHandshake(conn, p.client.opts.DialTimeout); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if p.dialed {
+		p.client.stats.Reconnects.Add(1)
+	}
+	p.dialed = true
+	p.conn = conn
+	p.pending = make(map[uint64]chan rpcResult)
+	go p.readLoop(conn)
+	return conn, nil
+}
+
+// clientHandshake sends the hello and validates the server's answer.
+func clientHandshake(conn net.Conn, timeout time.Duration) error {
+	conn.SetDeadline(time.Now().Add(timeout))
+	defer conn.SetDeadline(time.Time{})
+	e := &encoder{}
+	e.b = append(e.b, Magic...)
+	e.u16(Version)
+	if err := writeFrame(conn, e.b); err != nil {
+		return fmt.Errorf("%w: handshake write: %v", ErrUnavailable, err)
+	}
+	body, err := readFrame(conn)
+	if err != nil {
+		return fmt.Errorf("%w: handshake read: %v", ErrUnavailable, err)
+	}
+	d := &decoder{b: body}
+	magic := make([]byte, len(Magic))
+	for i := range magic {
+		if magic[i], err = d.u8(); err != nil {
+			return err
+		}
+	}
+	if string(magic) != Magic {
+		return fmt.Errorf("%w: bad magic %q in handshake", ErrProtocol, magic)
+	}
+	ver, err := d.u16()
+	if err != nil {
+		return err
+	}
+	ok, err := d.bool()
+	if err != nil {
+		return err
+	}
+	reason, err := d.str()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: server version %d: %s", ErrVersionMismatch, ver, reason)
+	}
+	return nil
+}
+
+// readLoop demultiplexes responses until the connection dies, then fails
+// every waiter. Responses for abandoned (timed-out) requests are dropped.
+func (p *poolConn) readLoop(conn net.Conn) {
+	for {
+		body, err := readFrame(conn)
+		if err != nil {
+			p.fail(conn, err)
+			return
+		}
+		p.client.stats.BytesRead.Add(int64(len(body)))
+		d := &decoder{b: body}
+		id, err := d.u64()
+		if err != nil {
+			p.fail(conn, err)
+			return
+		}
+		p.mu.Lock()
+		ch := p.pending[id]
+		delete(p.pending, id)
+		p.mu.Unlock()
+		if ch != nil {
+			ch <- rpcResult{body: body[d.off:]}
+		}
+	}
+}
+
+// fail tears down conn (if it is still the live one) and delivers err to
+// every pending waiter.
+func (p *poolConn) fail(conn net.Conn, err error) {
+	p.mu.Lock()
+	if p.conn != conn {
+		p.mu.Unlock()
+		return
+	}
+	p.conn = nil
+	pending := p.pending
+	p.pending = nil
+	p.mu.Unlock()
+	conn.Close()
+	if err == nil || err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	for _, ch := range pending {
+		ch <- rpcResult{err: err}
+	}
+}
+
+// close hangs up the connection and fails waiters with err.
+func (p *poolConn) close(err error) {
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	if conn != nil {
+		p.fail(conn, err)
+	}
+}
+
+// attemptErr classifies one failed RPC attempt.
+type attemptErr struct {
+	err     error
+	written bool // the request may have reached the server
+}
+
+func (a attemptErr) Error() string { return a.err.Error() }
+
+// attempt runs one RPC attempt on this connection: write the request frame,
+// wait for the matching response or the deadline.
+func (p *poolConn) attempt(id uint64, frame []byte, timeout time.Duration) ([]byte, error) {
+	conn, err := p.get()
+	if err != nil {
+		return nil, attemptErr{err: err, written: false}
+	}
+	ch := make(chan rpcResult, 1)
+	p.mu.Lock()
+	if p.conn != conn || p.pending == nil {
+		p.mu.Unlock()
+		return nil, attemptErr{err: io.ErrUnexpectedEOF, written: false}
+	}
+	p.pending[id] = ch
+	p.mu.Unlock()
+
+	// The frame is pre-encoded; serialize writers so records never
+	// interleave. A write deadline keeps a wedged kernel buffer from
+	// blocking past the attempt budget.
+	p.client.stats.RPCs.Add(1)
+	p.wmu.Lock()
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	_, werr := conn.Write(frame)
+	conn.SetWriteDeadline(time.Time{})
+	p.wmu.Unlock()
+	if werr != nil {
+		p.mu.Lock()
+		if p.pending != nil {
+			delete(p.pending, id)
+		}
+		p.mu.Unlock()
+		p.fail(conn, werr)
+		// A failed Write may still have delivered bytes the server acted
+		// on; classify as possibly-written.
+		return nil, attemptErr{err: werr, written: true}
+	}
+	p.client.stats.BytesWritten.Add(int64(len(frame) - frameHeaderLen))
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return nil, attemptErr{err: res.err, written: true}
+		}
+		return res.body, nil
+	case <-timer.C:
+		p.mu.Lock()
+		if p.pending != nil {
+			delete(p.pending, id)
+		}
+		p.mu.Unlock()
+		p.client.stats.Timeouts.Add(1)
+		return nil, attemptErr{err: fmt.Errorf("attempt timed out after %v", timeout), written: true}
+	}
+}
+
+// idempotent reports whether op can be blindly retried after it may have
+// executed. Reads and table-metadata calls always can; TransactWrite can
+// because its request id deduplicates server-side; bare conditional writes
+// cannot — a retry could observe its own first application and double-fire.
+func idempotent(op byte) bool {
+	switch op {
+	case opPing, opGet, opGetProj, opQuery, opQueryIndex, opScan,
+		opTableNames, opTableShards, opTableSchema, opTableBytes,
+		opTableItemCount, opMetrics, opTransactWrite:
+		return true
+	}
+	return false
+}
+
+// call runs one RPC with retries: encode once, then attempt across the pool
+// with linear backoff. Non-idempotent ops retry only while no attempt may
+// have reached the server; exhausting the budget surfaces ErrUnavailable.
+// A decoded server-side error (condition failure, missing table, …) is a
+// result, not a failure — it returns immediately, never retried.
+func (c *Client) call(op byte, enc func(*encoder) error) (*decoder, error) {
+	id := c.reqSeq.Add(1)
+	e := &encoder{b: make([]byte, frameHeaderLen, 128)} // room for framing prefix
+	e.u64(id)
+	e.u8(op)
+	if err := enc(e); err != nil {
+		return nil, err
+	}
+	frame := frameInPlace(e.b)
+
+	var last attemptErr
+	for try := 0; ; try++ {
+		if c.isClosed() {
+			return nil, ErrClosed
+		}
+		if try > 0 {
+			c.stats.Retries.Add(1)
+			time.Sleep(time.Duration(try) * c.opts.RetryBackoff)
+		}
+		pc := c.pool[c.rr.Add(1)%uint64(len(c.pool))]
+		start := time.Now()
+		body, err := pc.attempt(id, frame, c.opts.OpTimeout)
+		elapsed := time.Since(start)
+		c.latency.Record(elapsed)
+		if ext := c.extHist.Load(); ext != nil {
+			ext.Record(elapsed)
+		}
+		if err == nil {
+			d := &decoder{b: body}
+			code, cerr := d.u8()
+			if cerr != nil {
+				return nil, cerr
+			}
+			if code != codeOK {
+				return nil, decodeError(code, d)
+			}
+			return d, nil
+		}
+		last = err.(attemptErr)
+		if errors.Is(last.err, ErrClosed) || errors.Is(last.err, ErrVersionMismatch) {
+			return nil, last.err
+		}
+		retriable := !last.written || idempotent(op)
+		if !retriable || try >= c.opts.Retries {
+			c.stats.Unavailable.Add(1)
+			if errors.Is(last.err, ErrUnavailable) {
+				return nil, last.err
+			}
+			return nil, fmt.Errorf("%w: %s after %d attempt(s): %v", ErrUnavailable, opName(op), try+1, last.err)
+		}
+	}
+}
+
+// frameInPlace frames a body that was encoded with frameHeaderLen bytes of
+// headroom, avoiding a copy of the payload.
+func frameInPlace(b []byte) []byte {
+	body := b[frameHeaderLen:]
+	putFrameHeader(b[:frameHeaderLen], body)
+	return b
+}
+
+// --- storage.Backend surface ---
+
+var _ storage.Backend = (*Client)(nil)
+
+// CreateTable implements storage.Backend.
+func (c *Client) CreateTable(schema storage.Schema) error {
+	_, err := c.call(opCreateTable, func(e *encoder) error {
+		e.schema(schema)
+		return nil
+	})
+	return err
+}
+
+// DeleteTable implements storage.Backend.
+func (c *Client) DeleteTable(name string) error {
+	_, err := c.call(opDeleteTable, func(e *encoder) error {
+		e.str(name)
+		return nil
+	})
+	return err
+}
+
+// TableNames implements storage.Backend; an unreachable server reads as no
+// tables, matching the signature's no-error contract.
+func (c *Client) TableNames() []string {
+	d, err := c.call(opTableNames, func(e *encoder) error { return nil })
+	if err != nil {
+		return nil
+	}
+	n, err := d.count()
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := d.str()
+		if err != nil {
+			return nil
+		}
+		names = append(names, s)
+	}
+	return names
+}
+
+// TableShards implements storage.Backend.
+func (c *Client) TableShards(name string) (int, error) {
+	return c.intRPC(opTableShards, name)
+}
+
+// TableBytes implements storage.Backend.
+func (c *Client) TableBytes(name string) (int, error) {
+	return c.intRPC(opTableBytes, name)
+}
+
+// TableItemCount implements storage.Backend.
+func (c *Client) TableItemCount(name string) (int, error) {
+	return c.intRPC(opTableItemCount, name)
+}
+
+func (c *Client) intRPC(op byte, name string) (int, error) {
+	d, err := c.call(op, func(e *encoder) error {
+		e.str(name)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	n, err := d.uvarint()
+	return int(n), err
+}
+
+// TableSchema implements storage.Backend.
+func (c *Client) TableSchema(name string) (storage.Schema, error) {
+	d, err := c.call(opTableSchema, func(e *encoder) error {
+		e.str(name)
+		return nil
+	})
+	if err != nil {
+		return storage.Schema{}, err
+	}
+	return d.schema()
+}
+
+// Get implements storage.Backend.
+func (c *Client) Get(table string, key storage.Key) (storage.Item, bool, error) {
+	return c.get(opGet, table, key, nil)
+}
+
+// GetProj implements storage.Backend.
+func (c *Client) GetProj(table string, key storage.Key, proj []storage.Path) (storage.Item, bool, error) {
+	return c.get(opGetProj, table, key, proj)
+}
+
+func (c *Client) get(op byte, table string, key storage.Key, proj []storage.Path) (storage.Item, bool, error) {
+	c.metrics.Ops[dynamo.OpGet].Add(1)
+	d, err := c.call(op, func(e *encoder) error {
+		e.str(table)
+		e.key(key)
+		if op == opGetProj {
+			e.paths(proj)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	ok, err := d.bool()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	it, err := d.item()
+	if err != nil {
+		return nil, false, err
+	}
+	return it, true, nil
+}
+
+// Put implements storage.Backend.
+func (c *Client) Put(table string, item storage.Item, cond storage.Cond) error {
+	c.metrics.Ops[dynamo.OpPut].Add(1)
+	_, err := c.call(opPut, func(e *encoder) error {
+		e.str(table)
+		e.item(item)
+		return e.cond(cond)
+	})
+	return c.noteCond(err)
+}
+
+// Update implements storage.Backend.
+func (c *Client) Update(table string, key storage.Key, cond storage.Cond, updates ...storage.Update) error {
+	c.metrics.Ops[dynamo.OpUpdate].Add(1)
+	_, err := c.call(opUpdate, func(e *encoder) error {
+		e.str(table)
+		e.key(key)
+		if err := e.cond(cond); err != nil {
+			return err
+		}
+		return e.updates(updates)
+	})
+	return c.noteCond(err)
+}
+
+// Delete implements storage.Backend.
+func (c *Client) Delete(table string, key storage.Key, cond storage.Cond) error {
+	c.metrics.Ops[dynamo.OpDelete].Add(1)
+	_, err := c.call(opDelete, func(e *encoder) error {
+		e.str(table)
+		e.key(key)
+		return e.cond(cond)
+	})
+	return c.noteCond(err)
+}
+
+// noteCond mirrors condition failures into the client-side metrics.
+func (c *Client) noteCond(err error) error {
+	if err != nil && errors.Is(err, storage.ErrConditionFailed) {
+		c.metrics.CondFailures.Add(1)
+	}
+	return err
+}
+
+// Query implements storage.Backend.
+func (c *Client) Query(table string, hash storage.Value, opts storage.QueryOpts) ([]storage.Item, error) {
+	c.metrics.Ops[dynamo.OpQuery].Add(1)
+	d, err := c.call(opQuery, func(e *encoder) error {
+		e.str(table)
+		e.value(hash)
+		return e.queryOpts(opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d.items()
+}
+
+// QueryIndex implements storage.Backend.
+func (c *Client) QueryIndex(table, index string, hash storage.Value, opts storage.QueryOpts) ([]storage.Item, error) {
+	c.metrics.Ops[dynamo.OpQuery].Add(1)
+	d, err := c.call(opQueryIndex, func(e *encoder) error {
+		e.str(table)
+		e.str(index)
+		e.value(hash)
+		return e.queryOpts(opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d.items()
+}
+
+// Scan implements storage.Backend.
+func (c *Client) Scan(table string, opts storage.QueryOpts) ([]storage.Item, error) {
+	c.metrics.Ops[dynamo.OpScan].Add(1)
+	d, err := c.call(opScan, func(e *encoder) error {
+		e.str(table)
+		return e.queryOpts(opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d.items()
+}
+
+// TransactWrite implements storage.Backend. Every transaction carries a
+// unique request id; the server's dedup window makes retry-after-ambiguity
+// safe, so TransactWrite retries like a read even though it writes.
+func (c *Client) TransactWrite(ops []storage.TxOp) error {
+	c.metrics.Ops[dynamo.OpTxWrite].Add(1)
+	reqID := fmt.Sprintf("%s-%d", c.opts.ClientID, c.txSeq.Add(1))
+	_, err := c.call(opTransactWrite, func(e *encoder) error {
+		e.str(reqID)
+		return e.txOps(ops)
+	})
+	return c.noteCond(err)
+}
+
+// Metrics implements storage.Backend with the client-side mirror counters
+// (ops issued, condition failures observed). ServerMetrics fetches the
+// server's authoritative counters.
+func (c *Client) Metrics() *storage.Metrics { return &c.metrics }
+
+// ServerMetrics fetches the server backend's own metrics snapshot.
+func (c *Client) ServerMetrics() (dynamo.Snapshot, error) {
+	d, err := c.call(opMetrics, func(e *encoder) error { return nil })
+	if err != nil {
+		return dynamo.Snapshot{}, err
+	}
+	return decodeMetrics(d)
+}

@@ -1,0 +1,18 @@
+package remote_test
+
+import (
+	"testing"
+
+	_ "repro/internal/sim" // activates the simulator-backed conformance section
+
+	"repro/internal/storage/storagetest"
+)
+
+// TestRemoteConformance runs the full storage conformance suite (including
+// the simulator section) through the whole remote stack: client → wire →
+// storaged server → walstore. Every semantic the in-process backends pin —
+// condition evaluation, error identities, transaction atomicity, snapshot
+// scans — must survive the network seam unchanged.
+func TestRemoteConformance(t *testing.T) {
+	storagetest.Run(t, storagetest.OpenRemote)
+}

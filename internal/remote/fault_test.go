@@ -1,0 +1,351 @@
+package remote
+
+// Fault-injection tests for the wire: torn and corrupt frames, handshake
+// version skew, mid-RPC server kill and restart, ambiguous TransactWrite
+// retries resolved by request-id dedup, and retry-budget exhaustion
+// surfacing ErrUnavailable. Everything runs over real loopback TCP.
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dynamo"
+	"repro/internal/storage"
+)
+
+// hookBackend wraps a backend with per-op interception hooks.
+type hookBackend struct {
+	storage.Backend
+	txCalls   atomic.Int64
+	beforeTx  func(n int64) // called with the 1-based call number
+	beforeGet func()
+}
+
+func (h *hookBackend) TransactWrite(ops []storage.TxOp) error {
+	n := h.txCalls.Add(1)
+	if h.beforeTx != nil {
+		h.beforeTx(n)
+	}
+	return h.Backend.TransactWrite(ops)
+}
+
+func (h *hookBackend) Get(table string, key storage.Key) (storage.Item, bool, error) {
+	if h.beforeGet != nil {
+		h.beforeGet()
+	}
+	return h.Backend.Get(table, key)
+}
+
+func (h *hookBackend) Put(table string, item storage.Item, cond storage.Cond) error {
+	if h.beforeGet != nil {
+		h.beforeGet()
+	}
+	return h.Backend.Put(table, item, cond)
+}
+
+// startServer serves backend on a fresh loopback listener and returns the
+// server and its address. Cleanup closes the server.
+func startServer(t *testing.T, b storage.Backend, opts ServeOptions) (*Server, string) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(b, opts)
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close() })
+	return srv, lis.Addr().String()
+}
+
+func mustDial(t *testing.T, addr string, opts Options) *Client {
+	t.Helper()
+	c, err := Dial(addr, opts)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func seedTable(t *testing.T, b storage.Backend) {
+	t.Helper()
+	if err := b.CreateTable(storage.Schema{Name: "t", HashKey: "K"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("t", storage.Item{"K": dynamo.S("a"), "V": dynamo.NInt(1)}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerSurvivesGarbage: raw garbage, torn frames, and corrupt CRCs
+// kill only the offending connection; the server keeps serving well-formed
+// clients.
+func TestServerSurvivesGarbage(t *testing.T) {
+	store := dynamo.NewStore()
+	srv, addr := startServer(t, store, ServeOptions{})
+	seedTable(t, store)
+
+	poison := []func(c net.Conn){
+		// Garbage instead of a handshake.
+		func(c net.Conn) { c.Write([]byte("GET / HTTP/1.1\r\n\r\n")) },
+		// A frame with an absurd length prefix.
+		func(c net.Conn) { c.Write([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4}) },
+		// A well-formed header whose body never arrives (torn frame).
+		func(c net.Conn) {
+			var b []byte
+			e := &encoder{}
+			e.b = append(e.b, Magic...)
+			e.u16(Version)
+			hdr := make([]byte, frameHeaderLen)
+			putFrameHeader(hdr, e.b)
+			b = append(append(b, hdr...), e.b[:len(e.b)-2]...)
+			c.Write(b)
+		},
+		// A valid handshake, then a frame whose CRC lies.
+		func(c net.Conn) {
+			e := &encoder{}
+			e.b = append(e.b, Magic...)
+			e.u16(Version)
+			writeFrame(c, e.b)
+			readFrame(c) // server hello
+			body := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+			hdr := make([]byte, frameHeaderLen)
+			putFrameHeader(hdr, body)
+			body[3] ^= 0x80 // corrupt after checksumming
+			c.Write(append(hdr, body...))
+		},
+	}
+	for i, p := range poison {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("poison %d: %v", i, err)
+		}
+		p(conn)
+		conn.Close()
+	}
+
+	// The server must still answer a well-formed client.
+	client := mustDial(t, addr, Options{})
+	it, ok, err := client.Get("t", dynamo.HK(dynamo.S("a")))
+	if err != nil || !ok || it["V"].Int() != 1 {
+		t.Fatalf("Get after poison = %v %v %v", it, ok, err)
+	}
+	if got := srv.Stats().ProtocolErrors.Load(); got < 3 {
+		t.Errorf("ProtocolErrors = %d, want >= 3", got)
+	}
+}
+
+// TestHandshakeVersionMismatch: skewed peers refuse each other with
+// ErrVersionMismatch, in both directions.
+func TestHandshakeVersionMismatch(t *testing.T) {
+	_, addr := startServer(t, dynamo.NewStore(), ServeOptions{})
+
+	// Client from the future: server answers refusal, closes.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	e := &encoder{}
+	e.b = append(e.b, Magic...)
+	e.u16(Version + 7)
+	if err := writeFrame(conn, e.b); err != nil {
+		t.Fatal(err)
+	}
+	body, err := readFrame(conn)
+	if err != nil {
+		t.Fatalf("refusal frame: %v", err)
+	}
+	d := &decoder{b: body[len(Magic):]}
+	if _, err := d.u16(); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := d.bool()
+	if ok {
+		t.Error("server accepted a future protocol version")
+	}
+
+	// Server from the future: Dial fails with ErrVersionMismatch.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		c, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		readFrame(c)
+		e := &encoder{}
+		e.b = append(e.b, Magic...)
+		e.u16(Version + 7)
+		e.u8(0)
+		e.str("too new")
+		writeFrame(c, e.b)
+	}()
+	if _, err := Dial(lis.Addr().String(), Options{Retries: -1}); !errors.Is(err, ErrVersionMismatch) {
+		t.Errorf("dial future server: %v", err)
+	}
+}
+
+// TestClientReconnectAfterServerRestart: killing the server mid-session
+// breaks every pooled connection; a restarted server on the same address is
+// picked up transparently by retryable ops.
+func TestClientReconnectAfterServerRestart(t *testing.T) {
+	store := dynamo.NewStore()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	srv1 := NewServer(store, ServeOptions{})
+	go srv1.Serve(lis)
+	seedTable(t, store)
+
+	// One pooled connection so the restart demonstrably breaks and re-dials
+	// the same slot.
+	client := mustDial(t, addr, Options{PoolSize: 1, Retries: 5, RetryBackoff: 20 * time.Millisecond})
+	if _, ok, err := client.Get("t", dynamo.HK(dynamo.S("a"))); !ok || err != nil {
+		t.Fatalf("pre-restart Get: %v %v", ok, err)
+	}
+
+	// Kill the server (listener and all conns), then restart on the same
+	// address over the same backend — the store surviving is exactly the
+	// independent-failure assumption the paper makes of DynamoDB.
+	srv1.Close()
+	lis2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("re-listen %s: %v", addr, err)
+	}
+	srv2 := NewServer(store, ServeOptions{})
+	go srv2.Serve(lis2)
+	defer srv2.Close()
+
+	it, ok, err := client.Get("t", dynamo.HK(dynamo.S("a")))
+	if err != nil || !ok || it["V"].Int() != 1 {
+		t.Fatalf("post-restart Get = %v %v %v", it, ok, err)
+	}
+	if client.Stats().Reconnects.Load() == 0 {
+		t.Error("no reconnects recorded across a server restart")
+	}
+	// Conditional writes work again too (fresh connection, not ambiguous).
+	if err := client.Put("t", storage.Item{"K": dynamo.S("b")}, dynamo.NotExists(dynamo.A("K"))); err != nil {
+		t.Errorf("post-restart conditional put: %v", err)
+	}
+}
+
+// TestAmbiguousTransactWriteDedup: a TransactWrite whose response is lost
+// to a timeout is retried under the same request id, and the server's
+// dedup window coalesces the retry onto the original execution — applied
+// exactly once, which is what makes fenced claims safe to retry.
+func TestAmbiguousTransactWriteDedup(t *testing.T) {
+	inner := dynamo.NewStore()
+	hb := &hookBackend{Backend: inner}
+	hb.beforeTx = func(n int64) {
+		if n == 1 {
+			// Outlive the client's attempt budget so the first response is
+			// abandoned; the retry arrives while this is still running.
+			time.Sleep(300 * time.Millisecond)
+		}
+	}
+	srv, addr := startServer(t, hb, ServeOptions{})
+	seedTable(t, inner)
+
+	client := mustDial(t, addr, Options{
+		OpTimeout:    200 * time.Millisecond,
+		Retries:      3,
+		RetryBackoff: 10 * time.Millisecond,
+	})
+	err := client.TransactWrite([]storage.TxOp{{
+		Table: "t", Key: dynamo.HK(dynamo.S("a")),
+		Cond:    dynamo.Eq(dynamo.A("V"), dynamo.NInt(1)),
+		Updates: []storage.Update{dynamo.Add(dynamo.A("V"), 1)},
+	}})
+	if err != nil {
+		t.Fatalf("retried TransactWrite: %v", err)
+	}
+	if got := hb.txCalls.Load(); got != 1 {
+		t.Errorf("backend applied the transaction %d times, want 1", got)
+	}
+	if client.Stats().Retries.Load() == 0 {
+		t.Error("no retry recorded for the ambiguous transaction")
+	}
+	if srv.Stats().DedupHits.Load() == 0 {
+		t.Error("no dedup hit recorded server-side")
+	}
+	// The increment landed exactly once.
+	it, _, err := client.Get("t", dynamo.HK(dynamo.S("a")))
+	if err != nil || it["V"].Int() != 2 {
+		t.Errorf("V = %v (%v), want 2", it["V"], err)
+	}
+}
+
+// TestRetryBudgetExhausted: a server that never answers drains the retry
+// budget and surfaces typed ErrUnavailable on reads; a bare conditional
+// write fails fast on its first ambiguous attempt instead of retrying.
+func TestRetryBudgetExhausted(t *testing.T) {
+	inner := dynamo.NewStore()
+	unblock := make(chan struct{})
+	hb := &hookBackend{Backend: inner, beforeGet: func() { <-unblock }}
+	srv, addr := startServer(t, hb, ServeOptions{})
+	seedTable(t, inner)
+	t.Cleanup(func() { close(unblock); srv.Close() })
+
+	client := mustDial(t, addr, Options{
+		OpTimeout:    50 * time.Millisecond,
+		Retries:      2,
+		RetryBackoff: 5 * time.Millisecond,
+	})
+
+	_, _, err := client.Get("t", dynamo.HK(dynamo.S("a")))
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Get against a hung server: %v, want ErrUnavailable", err)
+	}
+	if got := client.Stats().Timeouts.Load(); got != 3 {
+		t.Errorf("Timeouts = %d, want 3 (initial + 2 retries)", got)
+	}
+
+	// Put is not idempotent: one ambiguous attempt, no blind retry.
+	before := client.Stats().RPCs.Load()
+	err = client.Put("t", storage.Item{"K": dynamo.S("x")}, dynamo.NotExists(dynamo.A("K")))
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Put against a hung server: %v, want ErrUnavailable", err)
+	}
+	if attempts := client.Stats().RPCs.Load() - before; attempts != 1 {
+		t.Errorf("conditional Put made %d attempts, want 1 (fail fast)", attempts)
+	}
+}
+
+// TestDialUnreachable: dialing a dead address is typed ErrUnavailable.
+func TestDialUnreachable(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+	if _, err := Dial(addr, Options{Retries: -1, RetryBackoff: time.Millisecond, DialTimeout: 200 * time.Millisecond}); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("dial dead address: %v, want ErrUnavailable", err)
+	}
+}
+
+// TestClosedClient: operations after Close return ErrClosed, not a retry
+// loop.
+func TestClosedClient(t *testing.T) {
+	store := dynamo.NewStore()
+	_, addr := startServer(t, store, ServeOptions{})
+	seedTable(t, store)
+	client, err := Dial(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	if _, _, err := client.Get("t", dynamo.HK(dynamo.S("a"))); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get on closed client: %v", err)
+	}
+}

@@ -1,0 +1,596 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// DefaultDedupWindow is how many TransactWrite request ids the server
+// remembers for retry deduplication. The window only needs to outlive a
+// client's retry budget (a few seconds), so a few thousand entries cover
+// even a hot cluster.
+const DefaultDedupWindow = 4096
+
+// ServeOptions configure a Server.
+type ServeOptions struct {
+	// DedupWindow caps remembered TransactWrite request ids; oldest entries
+	// evict first. 0 means DefaultDedupWindow.
+	DedupWindow int
+	// Delay artificially delays every request before execution — the
+	// simulated network RTT knob bench.RemoteSweep turns to place the
+	// storage plane at cloud distances.
+	Delay time.Duration
+	// Logf, when set, receives connection-level diagnostics (handshake
+	// refusals, protocol errors). Nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// ServerStats counts a server's wire traffic; fields are atomic and may be
+// read live (register Snapshot with the telemetry registry).
+type ServerStats struct {
+	// Conns counts accepted connections; Handshakes counts the ones that
+	// completed version negotiation.
+	Conns      atomic.Int64
+	Handshakes atomic.Int64
+	// RPCs counts requests executed; Errors the ones that returned an error
+	// to the client (condition failures included).
+	RPCs   atomic.Int64
+	Errors atomic.Int64
+	// DedupHits counts TransactWrite retries answered from the dedup
+	// window without re-applying.
+	DedupHits atomic.Int64
+	// ProtocolErrors counts connections killed by framing violations.
+	ProtocolErrors atomic.Int64
+	// BytesRead and BytesWritten count frame bodies in each direction.
+	BytesRead    atomic.Int64
+	BytesWritten atomic.Int64
+}
+
+// ServerStatsSnapshot is a point-in-time copy of ServerStats, in the plain
+// shape the telemetry registry flattens.
+type ServerStatsSnapshot struct {
+	Conns          int64
+	Handshakes     int64
+	RPCs           int64
+	Errors         int64
+	DedupHits      int64
+	ProtocolErrors int64
+	BytesRead      int64
+	BytesWritten   int64
+}
+
+// Snapshot copies the counters.
+func (s *ServerStats) Snapshot() ServerStatsSnapshot {
+	return ServerStatsSnapshot{
+		Conns:          s.Conns.Load(),
+		Handshakes:     s.Handshakes.Load(),
+		RPCs:           s.RPCs.Load(),
+		Errors:         s.Errors.Load(),
+		DedupHits:      s.DedupHits.Load(),
+		ProtocolErrors: s.ProtocolErrors.Load(),
+		BytesRead:      s.BytesRead.Load(),
+		BytesWritten:   s.BytesWritten.Load(),
+	}
+}
+
+// Server exposes one storage.Backend over the wire protocol. Create with
+// NewServer, then Serve one or more listeners; Close stops them all and
+// hangs up every connection.
+type Server struct {
+	backend storage.Backend
+	opts    ServeOptions
+	dedup   *dedupWindow
+	stats   ServerStats
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewServer wraps backend in a wire-protocol server.
+func NewServer(backend storage.Backend, opts ServeOptions) *Server {
+	if opts.DedupWindow <= 0 {
+		opts.DedupWindow = DefaultDedupWindow
+	}
+	return &Server{
+		backend:   backend,
+		opts:      opts,
+		dedup:     newDedupWindow(opts.DedupWindow),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve exposes backend on lis with default options, blocking until the
+// listener fails or is closed — the one-call server the storaged binary and
+// in-test fixtures build on.
+func Serve(backend storage.Backend, lis net.Listener) error {
+	return NewServer(backend, ServeOptions{}).Serve(lis)
+}
+
+// Stats exposes the server's live wire counters.
+func (s *Server) Stats() *ServerStats { return &s.stats }
+
+// Serve accepts connections on lis until the listener errors or the server
+// closes. It returns nil after Close, the accept error otherwise. Multiple
+// listeners may be served concurrently.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return ErrClosed
+	}
+	s.listeners[lis] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, lis)
+		s.mu.Unlock()
+		lis.Close()
+	}()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.stats.Conns.Add(1)
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops every listener, hangs up every connection, and waits for
+// in-flight handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for lis := range s.listeners {
+		lis.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// serveConn handshakes, then reads pipelined requests and dispatches each
+// in its own goroutine; responses interleave in completion order, matched
+// by request id.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	if err := s.handshake(conn); err != nil {
+		s.stats.ProtocolErrors.Add(1)
+		s.logf("remote: handshake with %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	s.stats.Handshakes.Add(1)
+
+	var writeMu sync.Mutex
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		body, err := readFrame(conn)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.stats.ProtocolErrors.Add(1)
+				s.logf("remote: conn %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		s.stats.BytesRead.Add(int64(len(body)))
+		d := &decoder{b: body}
+		id, err := d.u64()
+		if err != nil {
+			s.stats.ProtocolErrors.Add(1)
+			return
+		}
+		op, err := d.u8()
+		if err != nil {
+			s.stats.ProtocolErrors.Add(1)
+			return
+		}
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			if s.opts.Delay > 0 {
+				time.Sleep(s.opts.Delay)
+			}
+			resp := s.dispatch(id, op, d)
+			writeMu.Lock()
+			err := writeFrame(conn, resp)
+			writeMu.Unlock()
+			if err == nil {
+				s.stats.BytesWritten.Add(int64(len(resp)))
+			}
+		}()
+	}
+}
+
+// handshake validates the client hello and answers with the server's
+// version; a mismatch is answered (so the client can report it) and the
+// connection dropped.
+func (s *Server) handshake(conn net.Conn) error {
+	body, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	d := &decoder{b: body}
+	magic := make([]byte, len(Magic))
+	for i := range magic {
+		if magic[i], err = d.u8(); err != nil {
+			return err
+		}
+	}
+	if string(magic) != Magic {
+		return fmt.Errorf("%w: bad magic %q", ErrProtocol, magic)
+	}
+	ver, err := d.u16()
+	if err != nil {
+		return err
+	}
+	e := &encoder{}
+	e.b = append(e.b, Magic...)
+	e.u16(Version)
+	if ver != Version {
+		e.u8(0)
+		e.str(fmt.Sprintf("server speaks version %d, client sent %d", Version, ver))
+		writeFrame(conn, e.b)
+		return fmt.Errorf("%w: client version %d", ErrVersionMismatch, ver)
+	}
+	e.u8(1)
+	e.str("")
+	return writeFrame(conn, e.b)
+}
+
+// dispatch executes one request and returns the encoded response body.
+func (s *Server) dispatch(id uint64, op byte, d *decoder) []byte {
+	s.stats.RPCs.Add(1)
+	e := &encoder{b: make([]byte, 0, 64)}
+	e.u64(id)
+	payload, err := s.handle(op, d)
+	if err != nil {
+		s.stats.Errors.Add(1)
+		if errors.Is(err, ErrProtocol) {
+			s.stats.ProtocolErrors.Add(1)
+			e.u8(codeBadRequest)
+			e.str(err.Error())
+			return e.b
+		}
+		encodeError(e, err)
+		return e.b
+	}
+	e.u8(codeOK)
+	e.b = append(e.b, payload...)
+	return e.b
+}
+
+// handle decodes one request payload, runs it against the backend, and
+// encodes the result payload.
+func (s *Server) handle(op byte, d *decoder) ([]byte, error) {
+	e := &encoder{}
+	switch op {
+	case opPing:
+		return nil, nil
+
+	case opCreateTable:
+		sch, err := d.schema()
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.backend.CreateTable(sch)
+
+	case opDeleteTable:
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.backend.DeleteTable(name)
+
+	case opTableNames:
+		names := s.backend.TableNames()
+		e.uvarint(uint64(len(names)))
+		for _, n := range names {
+			e.str(n)
+		}
+		return e.b, nil
+
+	case opTableShards:
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		n, err := s.backend.TableShards(name)
+		if err != nil {
+			return nil, err
+		}
+		e.uvarint(uint64(n))
+		return e.b, nil
+
+	case opTableSchema:
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		sch, err := s.backend.TableSchema(name)
+		if err != nil {
+			return nil, err
+		}
+		e.schema(sch)
+		return e.b, nil
+
+	case opTableBytes:
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		n, err := s.backend.TableBytes(name)
+		if err != nil {
+			return nil, err
+		}
+		e.uvarint(uint64(n))
+		return e.b, nil
+
+	case opTableItemCount:
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		n, err := s.backend.TableItemCount(name)
+		if err != nil {
+			return nil, err
+		}
+		e.uvarint(uint64(n))
+		return e.b, nil
+
+	case opGet, opGetProj:
+		table, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		key, err := d.key()
+		if err != nil {
+			return nil, err
+		}
+		var it storage.Item
+		var ok bool
+		if op == opGetProj {
+			proj, perr := d.paths()
+			if perr != nil {
+				return nil, perr
+			}
+			it, ok, err = s.backend.GetProj(table, key, proj)
+		} else {
+			it, ok, err = s.backend.Get(table, key)
+		}
+		if err != nil {
+			return nil, err
+		}
+		e.bool(ok)
+		if ok {
+			e.item(it)
+		}
+		return e.b, nil
+
+	case opPut:
+		table, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		it, err := d.item()
+		if err != nil {
+			return nil, err
+		}
+		cond, err := d.cond()
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.backend.Put(table, it, cond)
+
+	case opUpdate:
+		table, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		key, err := d.key()
+		if err != nil {
+			return nil, err
+		}
+		cond, err := d.cond()
+		if err != nil {
+			return nil, err
+		}
+		ups, err := d.updates()
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.backend.Update(table, key, cond, ups...)
+
+	case opDelete:
+		table, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		key, err := d.key()
+		if err != nil {
+			return nil, err
+		}
+		cond, err := d.cond()
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.backend.Delete(table, key, cond)
+
+	case opQuery:
+		table, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		hash, err := d.value()
+		if err != nil {
+			return nil, err
+		}
+		opts, err := d.queryOpts()
+		if err != nil {
+			return nil, err
+		}
+		rows, err := s.backend.Query(table, hash, opts)
+		if err != nil {
+			return nil, err
+		}
+		e.items(rows)
+		return e.b, nil
+
+	case opQueryIndex:
+		table, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		index, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		hash, err := d.value()
+		if err != nil {
+			return nil, err
+		}
+		opts, err := d.queryOpts()
+		if err != nil {
+			return nil, err
+		}
+		rows, err := s.backend.QueryIndex(table, index, hash, opts)
+		if err != nil {
+			return nil, err
+		}
+		e.items(rows)
+		return e.b, nil
+
+	case opScan:
+		table, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		opts, err := d.queryOpts()
+		if err != nil {
+			return nil, err
+		}
+		rows, err := s.backend.Scan(table, opts)
+		if err != nil {
+			return nil, err
+		}
+		e.items(rows)
+		return e.b, nil
+
+	case opTransactWrite:
+		reqID, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		ops, err := d.txOps()
+		if err != nil {
+			return nil, err
+		}
+		if reqID == "" {
+			return nil, s.backend.TransactWrite(ops)
+		}
+		txErr, hit := s.dedup.do(reqID, func() error { return s.backend.TransactWrite(ops) })
+		if hit {
+			s.stats.DedupHits.Add(1)
+		}
+		return nil, txErr
+
+	case opMetrics:
+		encodeMetrics(e, s.backend.Metrics().Snapshot())
+		return e.b, nil
+	}
+	return nil, fmt.Errorf("%w: unknown opcode %d", ErrProtocol, op)
+}
+
+// dedupWindow remembers recent TransactWrite request ids and their
+// outcomes. A retried id returns the recorded outcome without re-applying;
+// a retry racing the original execution waits for it — the property that
+// makes "retry after ambiguous timeout" safe for the conditional
+// transactions every fencing guarantee rides on.
+type dedupWindow struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*dedupEntry
+	order   []string // insertion order, for FIFO eviction
+}
+
+type dedupEntry struct {
+	done chan struct{}
+	err  error
+}
+
+func newDedupWindow(capacity int) *dedupWindow {
+	return &dedupWindow{cap: capacity, entries: make(map[string]*dedupEntry, capacity)}
+}
+
+// do executes fn exactly once per id within the window, returning fn's
+// recorded outcome and whether this call was answered by deduplication.
+func (w *dedupWindow) do(id string, fn func() error) (error, bool) {
+	w.mu.Lock()
+	if ent, ok := w.entries[id]; ok {
+		w.mu.Unlock()
+		<-ent.done
+		return ent.err, true
+	}
+	ent := &dedupEntry{done: make(chan struct{})}
+	w.entries[id] = ent
+	w.order = append(w.order, id)
+	if len(w.order) > w.cap {
+		evict := w.order[0]
+		w.order = w.order[1:]
+		delete(w.entries, evict)
+	}
+	w.mu.Unlock()
+
+	ent.err = fn()
+	close(ent.done)
+	return ent.err, false
+}

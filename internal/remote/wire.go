@@ -1,0 +1,181 @@
+// Package remote puts the storage plane behind a real network seam: Serve
+// exposes a storage.Backend over length-prefixed, CRC-framed request/
+// response records on TCP, and Dial returns a storage.Backend client that
+// speaks the same protocol — so N worker OS processes (each a compute-plane
+// member of the cluster runtime) share one out-of-process, independently
+// failing store, the deployment shape the paper assumes of DynamoDB and
+// Netherite assumes of its partition/storage split.
+//
+// The protocol is stdlib-only and deliberately small:
+//
+//   - Every record is framed [u32 length][u32 crc32c][body] (the walstore
+//     framing idiom), bodies are a deterministic binary encoding of the
+//     storage data model, and a torn or corrupt frame kills only the one
+//     connection — the client reconnects and retries what is safe to retry.
+//   - Connections open with a versioned handshake, then carry pipelined
+//     request/response pairs matched by request id; the server executes
+//     requests concurrently, so one slow Scan never queues behind a Put.
+//   - Errors round-trip exactly: condition failures, canceled transactions
+//     (with per-op reasons), unknown tables/indexes, and size-cap
+//     violations arrive as the same errors.Is/errors.As identities the
+//     in-process backends return, because every fencing and exactly-once
+//     guarantee above the seam branches on them.
+//   - The client retries idempotence-safe operations with bounded backoff
+//     and fails conditional writes fast; TransactWrite carries a
+//     client-supplied request id the server deduplicates in a bounded
+//     window, so a retry after an ambiguous timeout can never double-apply
+//     a fenced claim.
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Protocol constants.
+const (
+	// Magic opens every handshake frame.
+	Magic = "BLDR"
+	// Version is the protocol version this build speaks. Handshakes with a
+	// different version are refused with a structured error.
+	Version uint16 = 1
+)
+
+// maxFrameBody bounds a frame's body; larger length prefixes are treated as
+// protocol corruption (a torn stream read as garbage) and kill the
+// connection rather than the process.
+const maxFrameBody = 64 << 20
+
+// frameHeaderLen is the fixed per-record framing overhead.
+const frameHeaderLen = 8
+
+// castagnoli is the CRC-32C table covering every frame body.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Typed errors the client surfaces. ErrUnavailable wraps every failure to
+// reach or keep a server (dial refused, retry budget exhausted, ambiguous
+// loss of an in-flight conditional write); callers test with errors.Is.
+var (
+	// ErrUnavailable reports that the storage server could not be reached,
+	// or that an operation's retry budget ran out before a response landed.
+	ErrUnavailable = errors.New("remote: storage server unavailable")
+	// ErrProtocol reports a framing or encoding violation on the wire — a
+	// torn frame, a CRC mismatch, an unknown opcode.
+	ErrProtocol = errors.New("remote: protocol error")
+	// ErrVersionMismatch reports a handshake with an incompatible peer.
+	ErrVersionMismatch = errors.New("remote: protocol version mismatch")
+	// ErrClosed reports an operation on a closed client or server.
+	ErrClosed = errors.New("remote: closed")
+)
+
+// Opcodes. The request body is [u64 id][u8 opcode][payload]; the response
+// body is [u64 id][u8 code][payload], where code 0 carries a result payload
+// and anything else carries a structured error.
+const (
+	opPing byte = iota + 1
+	opCreateTable
+	opDeleteTable
+	opTableNames
+	opTableShards
+	opTableSchema
+	opTableBytes
+	opTableItemCount
+	opGet
+	opGetProj
+	opPut
+	opUpdate
+	opDelete
+	opQuery
+	opQueryIndex
+	opScan
+	opTransactWrite
+	opMetrics
+)
+
+// opName names an opcode for diagnostics and metrics.
+func opName(op byte) string {
+	switch op {
+	case opPing:
+		return "ping"
+	case opCreateTable:
+		return "create_table"
+	case opDeleteTable:
+		return "delete_table"
+	case opTableNames:
+		return "table_names"
+	case opTableShards:
+		return "table_shards"
+	case opTableSchema:
+		return "table_schema"
+	case opTableBytes:
+		return "table_bytes"
+	case opTableItemCount:
+		return "table_item_count"
+	case opGet:
+		return "get"
+	case opGetProj:
+		return "get_proj"
+	case opPut:
+		return "put"
+	case opUpdate:
+		return "update"
+	case opDelete:
+		return "delete"
+	case opQuery:
+		return "query"
+	case opQueryIndex:
+		return "query_index"
+	case opScan:
+		return "scan"
+	case opTransactWrite:
+		return "transact_write"
+	case opMetrics:
+		return "metrics"
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// putFrameHeader fills an 8-byte header for body.
+func putFrameHeader(hdr, body []byte) {
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, castagnoli))
+}
+
+// writeFrame frames body and writes it to w in one Write call (so a
+// concurrent writer holding the connection's write lock emits whole
+// records).
+func writeFrame(w io.Writer, body []byte) error {
+	frame := make([]byte, frameHeaderLen+len(body))
+	putFrameHeader(frame[:frameHeaderLen], body)
+	copy(frame[frameHeaderLen:], body)
+	_, err := w.Write(frame)
+	return err
+}
+
+// readFrame reads one framed body from r, verifying the length bound and
+// CRC. Errors other than a clean EOF at a frame boundary wrap ErrProtocol
+// or the underlying I/O failure.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxFrameBody {
+		return nil, fmt.Errorf("%w: frame length %d exceeds %d", ErrProtocol, n, maxFrameBody)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("%w: truncated frame: %v", ErrProtocol, err)
+	}
+	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(hdr[4:8]); got != want {
+		return nil, fmt.Errorf("%w: frame CRC mismatch", ErrProtocol)
+	}
+	return body, nil
+}

@@ -39,6 +39,7 @@ func Run(t *testing.T, open Opener) {
 	sub("TransactWriteAtomicity", testTransactWriteAtomicity)
 	sub("TransactConditionCheck", testTransactConditionCheck)
 	sub("ItemSizeCap", testItemSizeCap)
+	sub("ErrorIdentities", testErrorIdentities)
 	sub("ConcurrentConditional", testConcurrentConditional)
 	if simSection != nil {
 		t.Run("SimInterleavings", func(t *testing.T) { simSection(t, open) })
@@ -484,6 +485,61 @@ func testItemSizeCap(t *testing.T, b storage.Backend) {
 	it, _, _ := b.Get("t", dynamo.HK(dynamo.S("a")))
 	if len(it["B"].BytesVal()) != 8 {
 		t.Errorf("row changed by rejected update: %v", it)
+	}
+}
+
+// testErrorIdentities: every backend returns error *values* that satisfy
+// errors.Is against the shared storage sentinels (and errors.As for
+// TxCanceledError) — not merely errors with similar messages. This pins
+// backends that cross a serialization boundary (the remote client, journal
+// replayers) to exact identity mapping, because callers above the seam
+// branch on these identities for fencing and exactly-once decisions.
+func testErrorIdentities(t *testing.T, b storage.Backend) {
+	mustCreate(t, b, storage.Schema{Name: "t", HashKey: "K", MaxItemSize: 64})
+	put(t, b, "t", storage.Item{"K": dynamo.S("a"), "V": dynamo.NInt(1)})
+
+	check := func(what string, err, sentinel error) {
+		t.Helper()
+		if !errors.Is(err, sentinel) {
+			t.Errorf("%s: got %v (%T), want errors.Is(err, %v)", what, err, err, sentinel)
+		}
+	}
+	check("duplicate CreateTable",
+		b.CreateTable(storage.Schema{Name: "t", HashKey: "K"}), storage.ErrTableExists)
+	check("DeleteTable on missing table",
+		b.DeleteTable("nope"), storage.ErrNoSuchTable)
+	_, _, getErr := b.Get("nope", dynamo.HK(dynamo.S("x")))
+	check("Get on missing table", getErr, storage.ErrNoSuchTable)
+	_, qiErr := b.QueryIndex("t", "nope", dynamo.S("x"), storage.QueryOpts{})
+	check("QueryIndex on missing index", qiErr, storage.ErrNoSuchIndex)
+	check("conditional Put mismatch",
+		b.Put("t", storage.Item{"K": dynamo.S("a")}, dynamo.NotExists(dynamo.A("K"))),
+		storage.ErrConditionFailed)
+	check("conditional Update mismatch",
+		b.Update("t", dynamo.HK(dynamo.S("a")), dynamo.Eq(dynamo.A("V"), dynamo.NInt(9)),
+			dynamo.Add(dynamo.A("V"), 1)),
+		storage.ErrConditionFailed)
+	check("conditional Delete mismatch",
+		b.Delete("t", dynamo.HK(dynamo.S("a")), dynamo.Eq(dynamo.A("V"), dynamo.NInt(9))),
+		storage.ErrConditionFailed)
+	check("oversized Put",
+		b.Put("t", storage.Item{"K": dynamo.S("big"), "B": dynamo.Bytes(make([]byte, 128))}, nil),
+		storage.ErrItemTooLarge)
+
+	// A canceled transaction is all three at once: errors.Is-able as a
+	// condition failure, errors.As-able to TxCanceledError, and carries
+	// positional reasons that are themselves Is-able.
+	txErr := b.TransactWrite([]storage.TxOp{
+		{Table: "t", Key: dynamo.HK(dynamo.S("other")), Updates: []storage.Update{dynamo.Add(dynamo.A("V"), 1)}},
+		{Table: "t", Key: dynamo.HK(dynamo.S("a")), Cond: dynamo.NotExists(dynamo.A("K")), Check: true},
+	})
+	check("canceled TransactWrite", txErr, storage.ErrConditionFailed)
+	var tce *storage.TxCanceledError
+	if !errors.As(txErr, &tce) {
+		t.Fatalf("canceled TransactWrite: got %T, want errors.As TxCanceledError", txErr)
+	}
+	if len(tce.Reasons) != 2 || tce.Reasons[0] != nil || !errors.Is(tce.Reasons[1], storage.ErrConditionFailed) {
+		t.Errorf("canceled TransactWrite reasons = %v, want [nil, ErrConditionFailed]", tce.Reasons)
 	}
 }
 

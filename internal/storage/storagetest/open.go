@@ -3,6 +3,9 @@ package storagetest
 import (
 	"fmt"
 	"os"
+	"sort"
+	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/dynamo"
@@ -13,38 +16,83 @@ import (
 // BackendEnv is the environment variable selecting the test-matrix backend.
 const BackendEnv = "BELDI_BACKEND"
 
-// Backend names accepted in BELDI_BACKEND.
+// Backend names registered by this package. Other packages may register
+// more with RegisterBackend.
 const (
 	BackendMemory = "memory"
 	BackendWAL    = "wal"
+	BackendRemote = "remote"
 )
 
-// BackendName reports the backend the matrix selected: "memory" (default)
-// or "wal".
-func BackendName() string {
-	switch v := os.Getenv(BackendEnv); v {
-	case "", BackendMemory:
-		return BackendMemory
-	case BackendWAL:
-		return BackendWAL
-	default:
-		panic(fmt.Sprintf("storagetest: unknown %s=%q (want %q or %q)", BackendEnv, v, BackendMemory, BackendWAL))
+// Factory builds a fresh, empty backend for one test, cleaned up with the
+// test (via tb.Cleanup).
+type Factory func(tb testing.TB) storage.Backend
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Factory{
+		BackendMemory: OpenMemory,
+		BackendWAL:    OpenWAL,
 	}
+)
+
+// RegisterBackend adds a named backend to the BELDI_BACKEND matrix, so new
+// backends (remote clients, instrumented wrappers) plug into every harness
+// built on Open without touching the harnesses. Registering an existing
+// name replaces its factory.
+func RegisterBackend(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("storagetest: RegisterBackend with empty name or nil factory")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = f
+}
+
+// Backends lists the registered backend names in sorted order.
+func Backends() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BackendName reports the backend the matrix selected ("memory" when
+// BELDI_BACKEND is unset). It panics on a name nothing registered — a
+// misspelled matrix cell should fail loudly, not silently test the default.
+func BackendName() string {
+	v := os.Getenv(BackendEnv)
+	if v == "" {
+		return BackendMemory
+	}
+	regMu.Lock()
+	_, ok := registry[v]
+	regMu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("storagetest: unknown %s=%q (registered: %s)",
+			BackendEnv, v, strings.Join(Backends(), ", ")))
+	}
+	return v
 }
 
 // Open builds a fresh backend of the kind BELDI_BACKEND selects, cleaned up
 // with the test. With "wal" the store lives in a test temp directory, fsyncs
 // for real (group-committed), and is closed — then audited with Fsck — when
 // the test ends, so every test in the matrix also checks that the log it
-// wrote recovers cleanly.
+// wrote recovers cleanly. With "remote" the backend additionally sits
+// behind an in-test storaged server, so every test also crosses the wire
+// protocol.
 func Open(tb testing.TB) storage.Backend {
 	tb.Helper()
-	switch BackendName() {
-	case BackendWAL:
-		return OpenWAL(tb)
-	default:
-		return OpenMemory(tb)
-	}
+	name := BackendName()
+	regMu.Lock()
+	f := registry[name]
+	regMu.Unlock()
+	return f(tb)
 }
 
 // OpenMemory builds the in-memory dynamo backend.

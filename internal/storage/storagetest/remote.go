@@ -1,0 +1,53 @@
+package storagetest
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/remote"
+	"repro/internal/storage"
+	"repro/internal/walstore"
+)
+
+func init() {
+	RegisterBackend(BackendRemote, OpenRemote)
+}
+
+// OpenRemote builds the full out-of-process storage-plane stack inside the
+// test: a walstore in a temp directory, a storaged wire server on a
+// loopback listener, and a remote client dialing it — so every harness
+// that runs with BELDI_BACKEND=remote exercises framing, pipelining, error
+// mapping, and reconnect on its normal workload. Cleanup closes the client
+// and server, then closes and Fsck-audits the store.
+func OpenRemote(tb testing.TB) storage.Backend {
+	tb.Helper()
+	dir := tb.TempDir()
+	ws, err := walstore.Open(dir, walstore.Options{})
+	if err != nil {
+		tb.Fatalf("storagetest: open walstore: %v", err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ws.Close()
+		tb.Fatalf("storagetest: listen: %v", err)
+	}
+	srv := remote.NewServer(ws, remote.ServeOptions{})
+	go srv.Serve(lis)
+	client, err := remote.Dial(lis.Addr().String(), remote.Options{})
+	if err != nil {
+		srv.Close()
+		ws.Close()
+		tb.Fatalf("storagetest: dial storaged: %v", err)
+	}
+	tb.Cleanup(func() {
+		client.Close()
+		srv.Close()
+		if err := ws.Close(); err != nil {
+			tb.Errorf("storagetest: close walstore: %v", err)
+		}
+		if err := walstore.Fsck(dir); err != nil {
+			tb.Errorf("storagetest: walstore fsck: %v", err)
+		}
+	})
+	return client
+}
