@@ -64,6 +64,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/dynamo"
+	"repro/internal/pipeline"
 	"repro/internal/platform"
 	"repro/internal/storage"
 	"repro/internal/uuid"
@@ -218,7 +219,23 @@ type DeploymentOptions struct {
 	// store, WAL, queue, and platform. Nil disables telemetry (near-zero
 	// overhead). See NewTelemetry.
 	Telemetry *Telemetry
+	// Speculation, when non-nil, wraps Store in the commit-pipelining
+	// overlay (internal/pipeline): every function executes speculatively
+	// against a read-your-own-writes shadow while a background committer
+	// group-commits batches of step writes, and externally visible effects
+	// (workflow entry replies above all) are fenced behind the durability
+	// watermark. The zero Options value gives the package defaults; Depth 1
+	// degenerates to today's synchronous behavior. Default off — nil keeps
+	// every existing semantic and test untouched. Single-writer only: do
+	// not share the wrapped store with another process or deployment that
+	// writes it (cluster workers keep it off). See ARCHITECTURE.md
+	// "Speculation & commit pipelining".
+	Speculation *SpeculationOptions
 }
+
+// SpeculationOptions tune the commit-pipelining overlay; see
+// pipeline.Options for the fields (Depth, Batch, Linger).
+type SpeculationOptions = pipeline.Options
 
 // Deployment wires SSFs to their runtimes: the app-developer view of
 // Beldi's architecture (Figure 1).
@@ -226,14 +243,27 @@ type Deployment struct {
 	opts     DeploymentOptions
 	runtimes map[string]*core.Runtime
 	durable  *DurableAsync
+	pipe     *pipeline.Store
 }
 
 // NewDeployment creates an empty deployment.
 func NewDeployment(opts DeploymentOptions) *Deployment {
 	d := &Deployment{opts: opts, runtimes: make(map[string]*core.Runtime)}
+	if opts.Speculation != nil {
+		// Wrap before anything touches the store: runtimes, the durable
+		// async broker, and telemetry all see the overlay, so every step
+		// write speculates and every read is read-your-own-writes.
+		d.pipe = pipeline.MustNew(opts.Store, *opts.Speculation)
+		d.opts.Store = d.pipe
+	}
 	d.attachInfra()
 	return d
 }
+
+// Pipeline returns the speculation overlay when DeploymentOptions.
+// Speculation enabled it, nil otherwise — for stats, fencing, and tests
+// that audit durable state through Pipeline().Base().
+func (d *Deployment) Pipeline() *pipeline.Store { return d.pipe }
 
 // Function registers an SSF with its own runtime and the logical data
 // tables it owns. It panics on misconfiguration (duplicate name, bad
@@ -328,13 +358,20 @@ func (d *Deployment) StartCollectors() {
 }
 
 // Stop halts all collector timers and, when durable async is enabled, the
-// event-source mappers.
+// event-source mappers. With speculation on it then fences and closes the
+// pipeline, so everything speculated before Stop is durable when Stop
+// returns.
 func (d *Deployment) Stop() {
 	if d.durable != nil {
 		d.durable.Stop()
 	}
 	for _, rt := range d.runtimes {
 		rt.Stop()
+	}
+	if d.pipe != nil {
+		// The sticky flush error, if any, already failed the workflows that
+		// depended on it through their fences; Close here only drains.
+		_ = d.pipe.Close()
 	}
 }
 

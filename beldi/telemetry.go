@@ -14,6 +14,7 @@ package beldi
 
 import (
 	"repro/internal/dynamo"
+	"repro/internal/pipeline"
 	"repro/internal/remote"
 	"repro/internal/telemetry"
 	"repro/internal/walstore"
@@ -40,16 +41,28 @@ func (d *Deployment) attachInfra() {
 	if h == nil {
 		return
 	}
-	if s, ok := d.opts.Store.(interface{ Metrics() *dynamo.Metrics }); ok {
+	inner := d.opts.Store
+	if p, ok := inner.(*pipeline.Store); ok {
+		h.Registry.Register("pipeline", func() any { return p.Snapshot() })
+		p.SetHistograms(
+			h.Registry.Histogram("pipeline.depth"),
+			h.Registry.Histogram("pipeline.batch"),
+			h.Registry.Histogram("pipeline.lag"),
+		)
+		// The substrate registrations below describe the durable base, not
+		// the zero-latency shadow.
+		inner = p.Base()
+	}
+	if s, ok := inner.(interface{ Metrics() *dynamo.Metrics }); ok {
 		m := s.Metrics()
 		h.Registry.Register("store", func() any { return m.Snapshot() })
 	}
-	if rc, ok := d.opts.Store.(*remote.Client); ok {
+	if rc, ok := inner.(*remote.Client); ok {
 		stats := rc.Stats()
 		h.Registry.Register("remote.rpc", func() any { return stats.Snapshot() })
 		rc.SetRPCHistogram(h.Registry.Histogram("remote.rpc_latency"))
 	}
-	if ws, ok := d.opts.Store.(*walstore.Store); ok {
+	if ws, ok := inner.(*walstore.Store); ok {
 		st := ws.WAL()
 		h.Registry.Register("wal", func() any { return st.Snapshot() })
 		ws.SetFsyncHistogram(h.Registry.Histogram("wal.fsync"))

@@ -298,6 +298,33 @@ func BenchmarkClusterSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineSweep measures committed logged-step throughput and
+// per-invocation latency versus commit-pipeline depth on the memory
+// substrate (the pipeline figure; full series via `figures -fig pipeline`).
+// Depth 1 is the synchronous baseline; deeper cells run the speculation
+// overlay and fence each reply on the durability watermark.
+func BenchmarkPipelineSweep(b *testing.B) {
+	for _, depth := range []int{1, 32, 256, 1024} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts, err := bench.PipelineSweep(bench.PipelineSweepOptions{
+					Depths:   []int{depth},
+					Duration: 250 * time.Millisecond,
+					Seed:     1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range pts {
+					b.ReportMetric(p.Throughput, "tput-steps/s")
+					b.ReportMetric(ms(p.P50), "p50-ms")
+					b.ReportMetric(p.MeanBatch, "mean-batch")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkBackendSweep measures committed logged-step throughput per
 // storage backend: the in-memory store versus the durable WAL-backed store
 // with fsync batching on and off (the backend figure; full series via

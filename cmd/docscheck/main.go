@@ -36,6 +36,7 @@ var defaultDirs = []string{
 	"internal/dynamo",
 	"internal/storage",
 	"internal/storage/storagetest",
+	"internal/pipeline",
 	"internal/remote",
 	"internal/sim",
 	"internal/walstore",

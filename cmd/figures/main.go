@@ -22,6 +22,7 @@
 //	figures -fig latency             # request p50/p99 per backend and worker count (§7.2 tails)
 //	figures -fig cluster             # multi-worker scaling, with and without a mid-run worker kill
 //	figures -fig remote              # wire-protocol storage plane vs in-process, at simulated RTTs
+//	figures -fig pipeline            # speculation + pipelined commit: steps/s vs pipeline depth
 //
 // With -json, every sweep-shaped figure additionally writes its series as
 // machine-readable BENCH_<fig>.json into -out (default "."), so CI can
@@ -70,7 +71,7 @@ func emitJSON(name string, series any) error {
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 13, 14, 15, 15b, 16, 25, 26, costs, ablation, queue, orders, shard, fanout, backend, latency, cluster, remote, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 13, 14, 15, 15b, 16, 25, 26, costs, ablation, queue, orders, shard, fanout, backend, latency, cluster, remote, pipeline, all")
 		scale    = flag.Float64("scale", 0.1, "latency compression factor (1.0 = DynamoDB-like milliseconds)")
 		duration = flag.Duration("duration", 3*time.Second, "measurement duration per sweep point")
 		minutes  = flag.Int("minutes", 30, "simulated minutes for fig 16")
@@ -114,6 +115,36 @@ func main() {
 	run("latency", func() error { return runLatencySweep(*duration, *seed) })
 	run("cluster", func() error { return runClusterSweep(*duration, *scale, *seed) })
 	run("remote", func() error { return runRemoteSweep(*duration, *seed) })
+	run("pipeline", func() error { return runPipelineSweep(*duration, *scale, *seed) })
+}
+
+// runPipelineSweep prints committed steps/s and per-invocation latency
+// versus commit-pipeline depth on each substrate — the Netherite speculation
+// figure transplanted onto Beldi (see EXPERIMENTS.md, "Speculation & commit
+// pipelining"). Depth 1 is the synchronous baseline; deeper cells overlap
+// workflow progress with group-committed durability and fence each reply on
+// the watermark. -scale compresses the memory substrate's cloud latency;
+// the wal and remote cells are disk- and wire-bound.
+func runPipelineSweep(duration time.Duration, scale float64, seed int64) error {
+	fmt.Println("# Pipeline sweep — committed steps/s vs pipeline depth (depth 1 = synchronous)")
+	fmt.Printf("%-10s %-8s %14s %10s %10s %10s %10s %12s %12s\n",
+		"backend", "depth", "tput(steps/s)", "invokes", "p50(ms)", "p99(ms)", "flushes", "mean batch", "flush ms")
+	pts, err := bench.PipelineSweep(bench.PipelineSweepOptions{
+		Backends: []bench.PipelineBackend{bench.PipelineMemory, bench.PipelineWAL, bench.PipelineRemote},
+		Duration: duration,
+		Scale:    scale,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Printf("%-10s %-8d %14.1f %10d %10.2f %10.2f %10d %12.1f %12.1f\n",
+			p.Backend, p.Depth, p.Throughput, p.Invokes, ms(p.P50), ms(p.P99),
+			p.Flushes, p.MeanBatch, ms(p.ModeledFlushTime))
+	}
+	fmt.Println()
+	return emitJSON("pipeline", pts)
 }
 
 // runRemoteSweep prints committed steps/s and request p50/p99 for the same

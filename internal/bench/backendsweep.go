@@ -50,12 +50,25 @@ type BackendSweepOptions struct {
 	Duration time.Duration
 	// Keys is the number of distinct item keys written. 0 means 256.
 	Keys int
-	Seed int64
+	// Spec selects speculation modes per cell: false = synchronous, true =
+	// the commit-pipelining overlay. nil means synchronous only (the
+	// historical series).
+	Spec []bool
+	// StepsPerInvoke is the number of logged write steps per workflow
+	// invocation. 0 means 1. See ShardSweepOptions.StepsPerInvoke.
+	StepsPerInvoke int
+	Seed           int64
 }
 
 func (o BackendSweepOptions) withDefaults() BackendSweepOptions {
 	if o.Backends == nil {
 		o.Backends = []BackendKind{BackendMemory, BackendWALNoSync, BackendWALBatched, BackendWALEach}
+	}
+	if o.Spec == nil {
+		o.Spec = []bool{false}
+	}
+	if o.StepsPerInvoke == 0 {
+		o.StepsPerInvoke = 1
 	}
 	if o.Workers == 0 {
 		o.Workers = 32
@@ -75,6 +88,8 @@ func (o BackendSweepOptions) withDefaults() BackendSweepOptions {
 // BackendSweepPoint is one backend cell of the sweep.
 type BackendSweepPoint struct {
 	Backend BackendKind
+	// Spec reports whether the commit-pipelining overlay was on.
+	Spec bool
 	// Steps is the number of logged write steps committed in the window;
 	// Throughput is Steps per second.
 	Steps      int64
@@ -86,7 +101,11 @@ type BackendSweepPoint struct {
 	MeanBatch float64
 	// WALBytes is the log volume appended during the window.
 	WALBytes int64
-	Elapsed  time.Duration
+	// PipeFlushes / PipeBatch describe the speculation overlay's
+	// amortization on spec cells (0 when Spec is off).
+	PipeFlushes int64
+	PipeBatch   float64
+	Elapsed     time.Duration
 }
 
 // BackendSweep runs every configured backend cell under the same offered
@@ -96,18 +115,20 @@ func BackendSweep(opts BackendSweepOptions) ([]BackendSweepPoint, error) {
 	opts = opts.withDefaults()
 	var out []BackendSweepPoint
 	for _, kind := range opts.Backends {
-		pt, err := backendSweepPoint(opts, kind)
-		if err != nil {
-			return nil, err
+		for _, spec := range opts.Spec {
+			pt, err := backendSweepPoint(opts, kind, spec)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
 		}
-		out = append(out, pt)
 	}
 	return out, nil
 }
 
 // backendSweepPoint measures one cell: a fresh deployment whose single SSF
 // logs one write step per invocation, hammered by closed-loop invokers.
-func backendSweepPoint(opts BackendSweepOptions, kind BackendKind) (BackendSweepPoint, error) {
+func backendSweepPoint(opts BackendSweepOptions, kind BackendKind, spec bool) (BackendSweepPoint, error) {
 	var store storage.Backend
 	var wal *walstore.Store
 	switch kind {
@@ -141,14 +162,26 @@ func backendSweepPoint(opts BackendSweepOptions, kind BackendKind) (BackendSweep
 		Seed:             opts.Seed,
 		IDs:              &uuid.Seq{Prefix: "req"},
 	})
-	d := beldi.NewDeployment(beldi.DeploymentOptions{
+	dopts := beldi.DeploymentOptions{
 		Store: store, Platform: plat, Mode: beldi.ModeBeldi,
 		Config: beldi.Config{RowCap: 16},
-	})
+	}
+	if spec {
+		dopts.Speculation = &beldi.SpeculationOptions{}
+	}
+	d := beldi.NewDeployment(dopts)
+	stepsPer := opts.StepsPerInvoke
 	d.Function("step", func(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
 		m := input.Map()
-		if err := e.Write("state", m["Key"].Str(), m["Val"]); err != nil {
-			return beldi.Null, err
+		key := m["Key"].Str()
+		for j := 0; j < stepsPer; j++ {
+			k := key
+			if stepsPer > 1 {
+				k = fmt.Sprintf("%s-%d", key, j)
+			}
+			if err := e.Write("state", k, m["Val"]); err != nil {
+				return beldi.Null, err
+			}
 		}
 		return beldi.Null, nil
 	}, "state")
@@ -184,7 +217,7 @@ func backendSweepPoint(opts BackendSweepOptions, kind BackendKind) (BackendSweep
 					errMu.Unlock()
 					return
 				}
-				steps.Add(1)
+				steps.Add(int64(stepsPer))
 			}
 		}(w)
 	}
@@ -192,13 +225,21 @@ func backendSweepPoint(opts BackendSweepOptions, kind BackendKind) (BackendSweep
 	elapsed := time.Since(start)
 	d.Stop()
 	if firstErr != nil {
-		return BackendSweepPoint{}, fmt.Errorf("bench: backend sweep (%s): %w", kind, firstErr)
+		return BackendSweepPoint{}, fmt.Errorf("bench: backend sweep (%s, spec=%v): %w", kind, spec, firstErr)
 	}
 	pt := BackendSweepPoint{
 		Backend:    kind,
+		Spec:       spec,
 		Steps:      steps.Load(),
 		Throughput: float64(steps.Load()) / elapsed.Seconds(),
 		Elapsed:    elapsed,
+	}
+	if p := d.Pipeline(); p != nil {
+		st := p.Snapshot()
+		pt.PipeFlushes = st.Flushes
+		if st.Flushes > 0 {
+			pt.PipeBatch = float64(st.FlushedRows) / float64(st.Flushes)
+		}
 	}
 	if wal != nil {
 		pt.Fsyncs = wal.WAL().Fsyncs.Load() - baseFsyncs

@@ -1,0 +1,314 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/beldi"
+	"repro/internal/dynamo"
+	"repro/internal/hist"
+	"repro/internal/platform"
+	"repro/internal/remote"
+	"repro/internal/storage"
+	"repro/internal/uuid"
+	"repro/internal/walstore"
+)
+
+// PipelineSweep measures what commit pipelining buys Beldi's hot logging
+// path: committed steps per second and per-step latency versus pipeline
+// depth, on each storage substrate. Depth 1 is today's synchronous behavior
+// (no overlay: every logged write pays its own store round trip before the
+// workflow advances); deeper pipelines execute speculatively against the
+// read-your-own-writes overlay while the background committer group-commits
+// batches of post-images, and each workflow's entry reply fences on the
+// durability watermark. The depth axis is Netherite's speculation figure
+// transplanted onto Beldi: throughput climbs until one group commit per
+// fence window carries every concurrent workflow's writes.
+
+// PipelineBackend names one substrate of the pipeline sweep.
+type PipelineBackend string
+
+// The swept substrates.
+const (
+	// PipelineMemory is the in-memory store under the cloud latency model
+	// (per-op RTTs plus a per-batch commit flush) — the paper's DynamoDB
+	// stand-in.
+	PipelineMemory PipelineBackend = "memory"
+	// PipelineWAL is the walstore with group-committed fsyncs on real disk.
+	PipelineWAL PipelineBackend = "wal"
+	// PipelineRemote is the walstore behind the framed TCP wire with a
+	// simulated network delay — the out-of-process storage plane.
+	PipelineRemote PipelineBackend = "remote"
+)
+
+// PipelineSweepOptions configure a pipeline-depth sweep.
+type PipelineSweepOptions struct {
+	// Depths are the pipeline depths to sweep; 1 runs without the overlay
+	// (the synchronous baseline). nil means 1, 32, 256, 1024. Depth bounds
+	// the unflushed write ops across ALL workers, so useful depths sit
+	// well above Workers × StepsPerInvoke — shallower pipelines throttle
+	// every writer to the group-commit cadence.
+	Depths []int
+	// Backends are the substrates to sweep. nil means memory only (the
+	// others pay real disk and wire time; CI's figure job adds them
+	// explicitly).
+	Backends []PipelineBackend
+	// Workers is the fixed offered load of closed-loop invokers. 0 means 32.
+	Workers int
+	// Duration is the measurement window per point. 0 means 400ms.
+	Duration time.Duration
+	// Keys is the number of distinct item keys written. 0 means 256.
+	Keys int
+	// StepsPerInvoke is the number of logged write steps each workflow
+	// performs before replying — the lever speculation amortizes: a
+	// synchronous workflow pays one store round trip per step, a pipelined
+	// one overlaps them all and fences once at the reply. 0 means 16.
+	StepsPerInvoke int
+	// Scale compresses the cloud latency model on the memory substrate;
+	// 0 means 0.02.
+	Scale float64
+	// Flush is the per-batch commit-latch cost on the memory substrate.
+	// 0 means 300µs.
+	Flush time.Duration
+	// RTT is the simulated wire delay per request on the remote substrate.
+	// 0 means 500µs.
+	RTT  time.Duration
+	Seed int64
+}
+
+func (o PipelineSweepOptions) withDefaults() PipelineSweepOptions {
+	if o.Depths == nil {
+		o.Depths = []int{1, 32, 256, 1024}
+	}
+	if o.Backends == nil {
+		o.Backends = []PipelineBackend{PipelineMemory}
+	}
+	if o.Workers == 0 {
+		o.Workers = 32
+	}
+	if o.Duration == 0 {
+		o.Duration = 400 * time.Millisecond
+	}
+	if o.Keys == 0 {
+		o.Keys = 256
+	}
+	if o.StepsPerInvoke == 0 {
+		o.StepsPerInvoke = 16
+	}
+	if o.Scale == 0 {
+		o.Scale = 0.02
+	}
+	if o.Flush == 0 {
+		o.Flush = 300 * time.Microsecond
+	}
+	if o.RTT == 0 {
+		o.RTT = 500 * time.Microsecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// PipelineSweepPoint is one (backend, depth) cell of the sweep.
+type PipelineSweepPoint struct {
+	Backend PipelineBackend
+	// Depth is the pipeline depth; 1 is the synchronous no-overlay baseline.
+	Depth int
+	// Invokes is the number of workflow invocations committed in the
+	// window; Steps the logged write steps they carried
+	// (Invokes × StepsPerInvoke); Throughput is Steps per second.
+	Invokes    int64
+	Steps      int64
+	Throughput float64
+	// P50 and P99 are per-invocation latency quantiles (client call to
+	// durable reply).
+	P50, P99 time.Duration
+	// Flushes / MeanBatch describe the committer's amortization: group
+	// commits and post-image rows per batch (0 when the overlay is off).
+	Flushes   int64
+	MeanBatch float64
+	// ModeledFlushTime is the substrate's modeled per-batch commit cost
+	// summed over the window (memory substrate only) — the simulated cost
+	// the wall-clock amortization is compared against.
+	ModeledFlushTime time.Duration
+	Elapsed          time.Duration
+}
+
+// PipelineSweep runs the full grid: every substrate, every depth, each cell
+// a fresh system under the same closed-loop offered load.
+func PipelineSweep(opts PipelineSweepOptions) ([]PipelineSweepPoint, error) {
+	opts = opts.withDefaults()
+	var out []PipelineSweepPoint
+	for _, backend := range opts.Backends {
+		for _, depth := range opts.Depths {
+			if depth < 1 {
+				return nil, fmt.Errorf("bench: pipeline sweep: invalid depth %d", depth)
+			}
+			pt, err := pipelineSweepPoint(opts, backend, depth)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// pipelineBase builds one substrate instance; the cleanup func tears down
+// whatever it opened.
+func pipelineBase(opts PipelineSweepOptions, kind PipelineBackend) (storage.Backend, func(), error) {
+	switch kind {
+	case PipelineMemory:
+		store := dynamo.NewStore(
+			dynamo.WithGroupCommit(true),
+			dynamo.WithLatency(dynamo.CommitCost{
+				Inner: dynamo.NewCloudLatency(opts.Scale, opts.Seed),
+				Flush: opts.Flush,
+			}),
+		)
+		return store, func() {}, nil
+	case PipelineWAL:
+		dir, err := os.MkdirTemp("", "beldi-pipeline-sweep-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		wal, err := walstore.Open(dir, walstore.Options{Sync: walstore.SyncBatched})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		return wal, func() { wal.Close(); os.RemoveAll(dir) }, nil
+	case PipelineRemote:
+		dir, err := os.MkdirTemp("", "beldi-pipeline-sweep-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		wal, err := walstore.Open(dir, walstore.Options{Sync: walstore.SyncBatched})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			wal.Close()
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		srv := remote.NewServer(wal, remote.ServeOptions{Delay: opts.RTT})
+		go srv.Serve(lis)
+		client, err := remote.Dial(lis.Addr().String(), remote.Options{})
+		if err != nil {
+			srv.Close()
+			wal.Close()
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		return client, func() {
+			client.Close()
+			srv.Close()
+			wal.Close()
+			os.RemoveAll(dir)
+		}, nil
+	default:
+		return nil, nil, fmt.Errorf("bench: pipeline sweep: unknown backend %q", kind)
+	}
+}
+
+// pipelineSweepPoint measures one cell: a fresh deployment whose single SSF
+// logs StepsPerInvoke write steps per invocation, hammered by closed-loop
+// invokers, with the speculation overlay at the given depth (absent at
+// depth 1).
+func pipelineSweepPoint(opts PipelineSweepOptions, kind PipelineBackend, depth int) (PipelineSweepPoint, error) {
+	base, cleanup, err := pipelineBase(opts, kind)
+	if err != nil {
+		return PipelineSweepPoint{}, err
+	}
+	defer cleanup()
+
+	plat := platform.New(platform.Options{
+		ConcurrencyLimit: opts.Workers * 2,
+		Seed:             opts.Seed,
+		IDs:              &uuid.Seq{Prefix: "req"},
+	})
+	dopts := beldi.DeploymentOptions{
+		Store: base, Platform: plat, Mode: beldi.ModeBeldi,
+		Config: beldi.Config{RowCap: 16},
+	}
+	if depth > 1 {
+		dopts.Speculation = &beldi.SpeculationOptions{Depth: depth}
+	}
+	d := beldi.NewDeployment(dopts)
+	steps := opts.StepsPerInvoke
+	d.Function("step", func(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
+		m := input.Map()
+		key := m["Key"].Str()
+		for j := 0; j < steps; j++ {
+			if err := e.Write("state", fmt.Sprintf("%s-%d", key, j), m["Val"]); err != nil {
+				return beldi.Null, err
+			}
+		}
+		return beldi.Null, nil
+	}, "state")
+
+	lat := new(hist.Histogram)
+	var invokes atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	deadline := time.Now().Add(opts.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				key := fmt.Sprintf("k%04d", (w*31+i)%opts.Keys)
+				t0 := time.Now()
+				_, err := d.Invoke("step", beldi.Map(map[string]beldi.Value{
+					"Key": beldi.Str(key),
+					"Val": beldi.Int(int64(i)),
+				}))
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				lat.Record(time.Since(t0))
+				invokes.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	d.Stop()
+	if firstErr != nil {
+		return PipelineSweepPoint{}, fmt.Errorf("bench: pipeline sweep (%s, depth %d): %w", kind, depth, firstErr)
+	}
+	pt := PipelineSweepPoint{
+		Backend:    kind,
+		Depth:      depth,
+		Invokes:    invokes.Load(),
+		Steps:      invokes.Load() * int64(steps),
+		Throughput: float64(invokes.Load()*int64(steps)) / elapsed.Seconds(),
+		P50:        lat.Quantile(0.5),
+		P99:        lat.Quantile(0.99),
+		Elapsed:    elapsed,
+	}
+	if p := d.Pipeline(); p != nil {
+		st := p.Snapshot()
+		pt.Flushes = st.Flushes
+		pt.ModeledFlushTime = st.ModeledFlushTime
+		if st.Flushes > 0 {
+			pt.MeanBatch = float64(st.FlushedRows) / float64(st.Flushes)
+		}
+	}
+	return pt, nil
+}

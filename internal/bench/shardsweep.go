@@ -31,6 +31,17 @@ type ShardSweepOptions struct {
 	// Commit selects the commit modes per shard count: false = plain,
 	// true = group commit. nil means both, plain first.
 	Commit []bool
+	// Spec selects speculation modes per cell: false = synchronous (the
+	// seed's behavior), true = the commit-pipelining overlay
+	// (DeploymentOptions.Speculation) with the entry reply fenced on the
+	// durability watermark. nil means synchronous only, keeping the
+	// figure's historical series unchanged.
+	Spec []bool
+	// StepsPerInvoke is the number of logged write steps per workflow
+	// invocation. 0 means 1 (the historical single-step shape). Speculation
+	// amortizes per-step round trips across one group commit, so its
+	// advantage grows with this knob — the ≥10× demonstration runs 16.
+	StepsPerInvoke int
 	// Workers is the fixed offered load: closed-loop invokers running for
 	// the whole point. 0 means 32.
 	Workers int
@@ -54,6 +65,12 @@ func (o ShardSweepOptions) withDefaults() ShardSweepOptions {
 	}
 	if o.Commit == nil {
 		o.Commit = []bool{false, true}
+	}
+	if o.Spec == nil {
+		o.Spec = []bool{false}
+	}
+	if o.StepsPerInvoke == 0 {
+		o.StepsPerInvoke = 1
 	}
 	if o.Workers == 0 {
 		o.Workers = 32
@@ -80,6 +97,7 @@ func (o ShardSweepOptions) withDefaults() ShardSweepOptions {
 type ShardSweepPoint struct {
 	Shards  int
 	Batched bool // group-commit path on
+	Spec    bool // commit-pipelining overlay on
 	// Steps is the number of logged write steps committed in the window;
 	// Throughput is Steps per second.
 	Steps      int64
@@ -88,7 +106,12 @@ type ShardSweepPoint struct {
 	// committed batches and average writes per batch (1.0 when unbatched).
 	GroupCommits int64
 	MeanBatch    float64
-	Elapsed      time.Duration
+	// PipeFlushes / PipeBatch describe the speculation overlay's
+	// amortization on spec cells: committer group commits and post-image
+	// rows per batch (0 when Spec is off).
+	PipeFlushes int64
+	PipeBatch   float64
+	Elapsed     time.Duration
 }
 
 // ShardSweep runs the full grid: every shard count, group commit off then
@@ -101,11 +124,13 @@ func ShardSweep(opts ShardSweepOptions) ([]ShardSweepPoint, error) {
 			return nil, fmt.Errorf("bench: shard sweep: invalid shard count %d", shards)
 		}
 		for _, batched := range opts.Commit {
-			pt, err := shardSweepPoint(opts, shards, batched)
-			if err != nil {
-				return nil, err
+			for _, spec := range opts.Spec {
+				pt, err := shardSweepPoint(opts, shards, batched, spec)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, pt)
 			}
-			out = append(out, pt)
 		}
 	}
 	return out, nil
@@ -114,7 +139,7 @@ func ShardSweep(opts ShardSweepOptions) ([]ShardSweepPoint, error) {
 // shardSweepPoint measures one cell: a fresh deployment whose single SSF
 // logs one write step per invocation, hammered by Workers closed-loop
 // invokers for Duration.
-func shardSweepPoint(opts ShardSweepOptions, shards int, batched bool) (ShardSweepPoint, error) {
+func shardSweepPoint(opts ShardSweepOptions, shards int, batched, spec bool) (ShardSweepPoint, error) {
 	store := dynamo.NewStore(
 		dynamo.WithShards(shards),
 		dynamo.WithGroupCommit(batched),
@@ -128,14 +153,26 @@ func shardSweepPoint(opts ShardSweepOptions, shards int, batched bool) (ShardSwe
 		Seed:             opts.Seed,
 		IDs:              &uuid.Seq{Prefix: "req"},
 	})
-	d := beldi.NewDeployment(beldi.DeploymentOptions{
+	dopts := beldi.DeploymentOptions{
 		Store: store, Platform: plat, Mode: beldi.ModeBeldi,
 		Config: beldi.Config{RowCap: 16},
-	})
+	}
+	if spec {
+		dopts.Speculation = &beldi.SpeculationOptions{}
+	}
+	d := beldi.NewDeployment(dopts)
+	stepsPer := opts.StepsPerInvoke
 	d.Function("step", func(e *beldi.Env, input beldi.Value) (beldi.Value, error) {
 		m := input.Map()
-		if err := e.Write("state", m["Key"].Str(), m["Val"]); err != nil {
-			return beldi.Null, err
+		key := m["Key"].Str()
+		for j := 0; j < stepsPer; j++ {
+			k := key
+			if stepsPer > 1 {
+				k = fmt.Sprintf("%s-%d", key, j)
+			}
+			if err := e.Write("state", k, m["Val"]); err != nil {
+				return beldi.Null, err
+			}
 		}
 		return beldi.Null, nil
 	}, "state")
@@ -165,7 +202,7 @@ func shardSweepPoint(opts ShardSweepOptions, shards int, batched bool) (ShardSwe
 					errMu.Unlock()
 					return
 				}
-				steps.Add(1)
+				steps.Add(int64(stepsPer))
 			}
 		}(w)
 	}
@@ -173,12 +210,13 @@ func shardSweepPoint(opts ShardSweepOptions, shards int, batched bool) (ShardSwe
 	elapsed := time.Since(start)
 	d.Stop()
 	if firstErr != nil {
-		return ShardSweepPoint{}, fmt.Errorf("bench: shard sweep (%d shards, batched=%v): %w", shards, batched, firstErr)
+		return ShardSweepPoint{}, fmt.Errorf("bench: shard sweep (%d shards, batched=%v, spec=%v): %w", shards, batched, spec, firstErr)
 	}
 	delta := store.Metrics().Snapshot().Sub(before)
 	pt := ShardSweepPoint{
 		Shards:       shards,
 		Batched:      batched,
+		Spec:         spec,
 		Steps:        steps.Load(),
 		Throughput:   float64(steps.Load()) / elapsed.Seconds(),
 		GroupCommits: delta.GroupCommits,
@@ -187,6 +225,13 @@ func shardSweepPoint(opts ShardSweepOptions, shards int, batched bool) (ShardSwe
 	}
 	if delta.GroupCommits > 0 {
 		pt.MeanBatch = float64(delta.GroupCommitOps) / float64(delta.GroupCommits)
+	}
+	if p := d.Pipeline(); p != nil {
+		st := p.Snapshot()
+		pt.PipeFlushes = st.Flushes
+		if st.Flushes > 0 {
+			pt.PipeBatch = float64(st.FlushedRows) / float64(st.Flushes)
+		}
 	}
 	return pt, nil
 }

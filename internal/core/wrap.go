@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dynamo"
 	"repro/internal/platform"
+	"repro/internal/storage"
 	"repro/internal/telemetry"
 )
 
@@ -110,7 +111,19 @@ func (rt *Runtime) handler(inv *platform.Invocation, raw Value) (Value, error) {
 	case kindPromisePost:
 		return rt.handlePromisePost(ev)
 	default:
-		return rt.handleCall(inv, ev)
+		ret, err := rt.handleCall(inv, ev)
+		if err == nil && ev.CallerFn == "" {
+			// Workflow entry reply: the only effect that leaves the store
+			// entirely (every other effect — callbacks, mailbox posts, txn
+			// records, queue acks — is itself a store write and rides the
+			// speculation log in order). Under a speculation overlay the
+			// reply must not be released until the steps it depends on are
+			// durable; on synchronous backends this is a free no-op.
+			if ferr := storage.Fence(rt.store); ferr != nil {
+				return dynamo.Null, ferr
+			}
+		}
+		return ret, err
 	}
 }
 

@@ -1,6 +1,7 @@
 package dynamo
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -99,5 +100,56 @@ func TestGetProjTrafficAccounting(t *testing.T) {
 	fullBytes := s.Metrics().Snapshot().Sub(full).BytesRead
 	if projBytes*10 > fullBytes {
 		t.Errorf("projection read %d bytes, full read %d — projection not cheap", projBytes, fullBytes)
+	}
+}
+
+func TestCommitCostShapeIsPinned(t *testing.T) {
+	c := CommitCost{Flush: 10 * time.Millisecond, PerOp: time.Millisecond}
+	// The shape commit pipelining amortizes: Flush once per batch plus
+	// PerOp per operation. Pinned so the pipeline committer's
+	// ModelCommitLatency accounting and the in-latch commitSleep charge can
+	// never drift apart.
+	for _, tc := range []struct {
+		ops  int
+		want time.Duration
+	}{{1, 11 * time.Millisecond}, {8, 18 * time.Millisecond}, {128, 138 * time.Millisecond}} {
+		if got := c.CommitLatency(tc.ops); got != tc.want {
+			t.Errorf("CommitLatency(%d) = %v, want %v", tc.ops, got, tc.want)
+		}
+	}
+}
+
+func TestModelCommitLatencyExposesTheModel(t *testing.T) {
+	s := NewStore(WithLatency(CommitCost{Flush: 4 * time.Millisecond, PerOp: time.Millisecond}))
+	if got, want := s.ModelCommitLatency(6), 10*time.Millisecond; got != want {
+		t.Errorf("ModelCommitLatency(6) = %v, want %v", got, want)
+	}
+	// Models without a commit cost (the default) report zero.
+	if got := NewStore().ModelCommitLatency(6); got != 0 {
+		t.Errorf("ZeroLatency ModelCommitLatency = %v, want 0", got)
+	}
+}
+
+func TestTransactWriteChargesCommitCostPerBatch(t *testing.T) {
+	// TransactWrite charges CommitLatency once for the whole batch — not
+	// once per op — which is exactly the amortization ModelCommitLatency
+	// lets the pipeline committer account for.
+	const flush = 30 * time.Millisecond
+	s := NewStore(WithLatency(CommitCost{Flush: flush}))
+	s.MustCreateTable(Schema{Name: "kv", HashKey: "K"})
+	ops := make([]TxOp, 8)
+	for i := range ops {
+		ops[i] = TxOp{Table: "kv", Put: Item{"K": S(fmt.Sprintf("k%d", i)), "V": NInt(int64(i))}}
+	}
+	start := time.Now()
+	if err := s.TransactWrite(ops); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < flush {
+		t.Errorf("TransactWrite took %v, want >= one flush (%v)", elapsed, flush)
+	}
+	if elapsed >= time.Duration(len(ops))*flush {
+		t.Errorf("TransactWrite took %v: flush charged per op, not per batch", elapsed)
 	}
 }

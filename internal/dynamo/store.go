@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Store is the in-memory NoSQL service. It is safe for concurrent use; each
@@ -75,6 +76,20 @@ func (s *Store) SetLatency(m LatencyModel) {
 	s.mu.Lock()
 	s.latency = m
 	s.mu.Unlock()
+}
+
+// ModelCommitLatency reports what the installed latency model charges, while
+// the owning shard's write latch is held, for committing a batch of ops
+// operations — the same per-batch cost TransactWrite pays once inside its
+// critical section (see shard.commitSleep). It returns 0 when the model does
+// not implement CommitLatencyModel. Commit-pipelining layers use this to
+// attribute modeled flush time to their batches so simulated and wall-clock
+// sweeps agree on batch-size amortization.
+func (s *Store) ModelCommitLatency(ops int) time.Duration {
+	if m, ok := s.lat().(CommitLatencyModel); ok {
+		return m.CommitLatency(ops)
+	}
+	return 0
 }
 
 // SetGroupCommit toggles the group-commit write path: when on, conditional

@@ -11,6 +11,7 @@ import (
 	"repro/internal/apps/orders"
 	"repro/internal/apps/travel"
 	"repro/internal/dynamo"
+	"repro/internal/pipeline"
 	"repro/internal/platform"
 	"repro/internal/storage"
 	"repro/internal/walstore"
@@ -30,16 +31,18 @@ const (
 // order: no fault at all, storage-op delays (seeded reordering), random
 // crash points, a worker kill mid-load, a network partition that heals, a
 // stop-the-world pause, lease clock skew, late intent completions past the
-// GC horizon, and a torn WAL write with restart recovery.
+// GC horizon, a torn WAL write with restart recovery, and a worker killed
+// between speculative execution and batch durability under the
+// commit-pipelining overlay.
 func Kinds() []string {
-	return []string{"clean", "delay", "crash", "kill", "partition", "pause", "skew", "latedone", "torn"}
+	return []string{"clean", "delay", "crash", "kill", "partition", "pause", "skew", "latedone", "torn", "spec"}
 }
 
 // WorkloadNames lists the application workloads a seed can select: the
 // travel reservation app (cross-SSF transactions), the event-driven order
 // pipeline (durable queues), and the fan-out word count (async promises).
-// The torn kind overrides the selection with a counter workload on the WAL
-// backend, whose audit is meaningful across a restart.
+// The torn and spec kinds override the selection with a counter workload on
+// the WAL backend, whose audit is meaningful across a restart.
 func WorkloadNames() []string { return []string{"travel", "orders", "fanout"} }
 
 // Scenario is the seed-derived shape of one simulation run.
@@ -71,7 +74,7 @@ func ScenarioFor(seed int64) Scenario {
 		Workload: wls[(seed/int64(len(kinds)))%int64(len(wls))],
 		Policy:   pols[(seed/int64(len(kinds)*len(wls)))%int64(len(pols))],
 	}
-	if sc.Kind == "torn" {
+	if sc.Kind == "torn" || sc.Kind == "spec" {
 		sc.Workload = "counter"
 	}
 	return sc
@@ -80,7 +83,7 @@ func ScenarioFor(seed int64) Scenario {
 // RunOpts configure one RunSeed call.
 type RunOpts struct {
 	// Backend selects the storage backend: "mem" (default) or "wal". The
-	// torn kind always runs on "wal".
+	// torn and spec kinds always run on "wal".
 	Backend string
 	// Dir is the WAL directory; required whenever the run resolves to the
 	// wal backend. Use a fresh directory per run.
@@ -115,7 +118,7 @@ func RunSeed(seed int64, opts RunOpts) (Result, error) {
 	if sc.Backend == "" {
 		sc.Backend = "mem"
 	}
-	if sc.Kind == "torn" {
+	if sc.Kind == "torn" || sc.Kind == "spec" {
 		sc.Backend = "wal"
 	}
 	res := Result{Scenario: sc}
@@ -129,9 +132,12 @@ func RunSeed(seed int64, opts RunOpts) (Result, error) {
 	prng := rand.New(rand.NewSource(seed*6364136223846793005 + 1442695040888963407))
 
 	var err error
-	if sc.Kind == "torn" {
+	switch sc.Kind {
+	case "torn":
 		err = runTorn(s, sc, prng, opts.Dir)
-	} else {
+	case "spec":
+		err = runSpec(s, sc, prng, opts.Dir)
+	default:
 		var store storage.Backend
 		var ws *walstore.Store
 		if sc.Backend == "wal" {
@@ -759,6 +765,213 @@ func runTorn(s *Scheduler, sc Scenario, prng *rand.Rand, dir string) error {
 	return runErr
 }
 
+// runSpec is the speculation-crash scenario: generation one is a single
+// worker running the counter workload through the commit-pipelining overlay
+// (internal/pipeline in ManualFlush mode — a scheduled pump task is the
+// committer, so the flush cadence is part of the explored schedule) over a
+// WAL store armed with a seeded torn append. Mid-load, at a seed-chosen
+// wave, the worker is killed with clients in flight and the overlay drops
+// everything above the durability watermark — the crash window between
+// speculative execution and batch durability. The directory then holds a
+// consistent speculation-log prefix, possibly ending in a torn group-commit
+// record the WAL recovery must truncate. A fresh generation reopens the base
+// bare, steals the dead worker's partitions, finishes the surviving intents
+// and serves new load; the audit requires counter == markers (exactly-once
+// across the crash) and that every increment acked before the kill — the
+// reply was fenced on the watermark — kept its marker.
+func runSpec(s *Scheduler, sc Scenario, prng *rand.Rand, dir string) error {
+	tear := TornWrite{
+		// The overlay batches the hot path into few large appends, so the
+		// append index sits lower than runTorn's; the low end lands inside
+		// the load phase's flushes, the high end may never fire — then the
+		// kill+drop alone is the crash.
+		AppendN: 60 + prng.Intn(160),
+		CutAt:   1 + prng.Intn(64),
+		Flip:    prng.Intn(2) == 0,
+	}
+	ws, err := walstore.Open(dir, walstore.Options{Sync: walstore.SyncNone, Hooks: tear.Hooks()})
+	if err != nil {
+		return err
+	}
+	var overlay *pipeline.Store
+	cfg := ClusterConfig{
+		// One worker: the overlay assumes a single writing process (see the
+		// pipeline package comment), which is exactly the deployment model
+		// speculation ships under.
+		Workers:    1,
+		Partitions: 8,
+		LeaseTTL:   simLeaseTTL,
+		Config:     simConfig(),
+		Register:   counterRegister,
+		WrapStore: func(name string, b storage.Backend) (storage.Backend, error) {
+			p, err := pipeline.New(b, pipeline.Options{ManualFlush: true})
+			if err != nil {
+				return nil, err
+			}
+			overlay = p
+			return p, nil
+		},
+	}
+	c, err := NewCluster(s, ws, cfg)
+	if err != nil {
+		return err
+	}
+
+	const phase1, phase2, waves = 6, 6, 5
+	killWave := 1 + prng.Intn(waves-1)
+	var keys []string
+	phase1Errs := map[string]error{}
+	var driveErr error
+	var c2 *Cluster
+	root := s.Go(TaskOpts{Name: "driver"}, func() {
+		driveErr = func() error {
+			c.StartPumps()
+			w0 := c.Workers[0]
+			// The committer as a first-class scheduled task: every flush is a
+			// schedule decision, and killing the worker kills it mid-cadence.
+			s.Go(TaskOpts{Name: w0.Name + ".flush", Proc: w0.Name, Pump: true}, func() {
+				for {
+					s.Sleep(simLeaseTTL / 4)
+					if w0.Killed {
+						return
+					}
+					overlay.FlushStep() //nolint:errcheck // poison surfaces at fences and clients
+				}
+			})
+			// Phase 1: waves of increments until the kill wave (clients still
+			// in flight when the worker dies) or until the tear poisons the
+			// store (a client error is the signal).
+			down := false
+			for wave := 0; wave < waves && !down; wave++ {
+				var tasks []*Task
+				waveKeys := make([]string, phase1)
+				waveErrs := make([]error, phase1)
+				for i := 0; i < phase1; i++ {
+					key := fmt.Sprintf("s-%03d", wave*phase1+i)
+					keys = append(keys, key)
+					waveKeys[i] = key
+					i, key := i, key
+					tasks = append(tasks, s.Go(TaskOpts{Name: "client." + key}, func() {
+						_, err := w0.CW.Invoke("counter", beldi.Map(map[string]beldi.Value{"key": beldi.Str(key)}))
+						waveErrs[i] = err
+					}))
+					s.Sleep(2 * time.Millisecond)
+				}
+				if wave == killWave {
+					// The crash window: this wave's workflows have steps
+					// speculated above the durability watermark.
+					c.Kill(0)
+					down = true
+				}
+				s.Await(tasks...)
+				for i := 0; i < phase1; i++ {
+					phase1Errs[waveKeys[i]] = waveErrs[i]
+					if waveErrs[i] != nil {
+						down = true
+					}
+				}
+			}
+			if !w0.Killed {
+				c.Kill(0)
+			}
+			// The worker dies with its speculation tail: the base keeps only
+			// the flushed prefix.
+			overlay.DropAndClose()
+			if st := overlay.Snapshot(); st.Appended == 0 {
+				return fmt.Errorf("sim: spec scenario speculated nothing; the overlay never saw the load")
+			}
+			ws.Close() //nolint:errcheck // poisoned stores report the injected tear here
+			ws2, err := walstore.Open(dir, walstore.Options{Sync: walstore.SyncNone})
+			if err != nil {
+				return fmt.Errorf("sim: reopening walstore after speculation crash: %w", err)
+			}
+			cfg2 := ClusterConfig{
+				Workers:    2,
+				NamePrefix: "r",
+				Partitions: 8,
+				LeaseTTL:   simLeaseTTL,
+				Config:     simConfig(),
+				Register:   counterRegister,
+				Rejoin:     true, // generation one's lease is still on record
+			}
+			c2, err = NewCluster(s, ws2, cfg2)
+			if err != nil {
+				return fmt.Errorf("sim: rejoining after speculation crash: %w", err)
+			}
+			c2.StartPumps()
+			// Let the dead generation's lease expire and be stolen.
+			s.Sleep(3 * simLeaseTTL)
+			// Phase 2: new load through the recovered pool must fully succeed.
+			var tasks []*Task
+			phase2Errs := make([]error, phase2)
+			for i := 0; i < phase2; i++ {
+				key := fmt.Sprintf("u-%03d", i)
+				keys = append(keys, key)
+				w, i, key := c2.Workers[i%len(c2.Workers)], i, key
+				tasks = append(tasks, s.Go(TaskOpts{Name: "client." + key}, func() {
+					_, err := w.CW.Invoke("counter", beldi.Map(map[string]beldi.Value{"key": beldi.Str(key)}))
+					phase2Errs[i] = err
+				}))
+				s.Sleep(2 * time.Millisecond)
+			}
+			s.Await(tasks...)
+			for i, err := range phase2Errs {
+				if err != nil {
+					return fmt.Errorf("sim: post-recovery request %d failed: %w", i, err)
+				}
+			}
+			if err := c2.Quiesce([]string{"counter"}, 30*time.Second); err != nil {
+				return err
+			}
+			// Audit: the counter equals the number of marker rows, and no
+			// acked increment lost its marker — the reply fence means an ack
+			// implies durability, even though the worker died with unflushed
+			// speculation behind it.
+			rt := c2.Live(0).CW.Deployment().Runtime("counter")
+			markers := 0
+			for _, key := range keys {
+				m, err := beldi.PeekState(rt, "state", "mark."+key)
+				if err != nil {
+					return err
+				}
+				if !m.IsNull() {
+					markers++
+				} else if err := phase1Errs[key]; err == nil && strings.HasPrefix(key, "s-") {
+					return fmt.Errorf("sim: increment %s acked before the speculation crash but its marker is gone", key)
+				}
+			}
+			total, err := beldi.PeekState(rt, "state", "total")
+			if err != nil {
+				return err
+			}
+			if total.Int() != int64(markers) {
+				return fmt.Errorf("sim: counter=%d but %d markers present: not exactly-once across the speculation crash",
+					total.Int(), markers)
+			}
+			if markers < phase2 {
+				return fmt.Errorf("sim: only %d markers present, phase 2 alone placed %d", markers, phase2)
+			}
+			return c2.SettleAndCheck(8)
+		}()
+	})
+	runErr := s.Run(root)
+	s.Shutdown()
+	if runErr == nil {
+		runErr = driveErr
+	}
+	if c2 != nil {
+		if cerr := c2.Inner.(*walstore.Store).Close(); cerr != nil && runErr == nil {
+			runErr = fmt.Errorf("sim: closing recovered walstore: %w", cerr)
+		}
+	}
+	if runErr == nil {
+		if ferr := walstore.Fsck(dir); ferr != nil {
+			runErr = fmt.Errorf("sim: walstore fsck after speculation-crash recovery: %w", ferr)
+		}
+	}
+	return runErr
+}
+
 // SweepOptions configure a Sweep.
 type SweepOptions struct {
 	// Seeds are the scenario seeds to run, in order.
@@ -809,7 +1022,7 @@ func Sweep(o SweepOptions) Report {
 	for _, seed := range o.Seeds {
 		sc := ScenarioFor(seed)
 		dir := ""
-		if backend == "wal" || sc.Kind == "torn" {
+		if backend == "wal" || sc.Kind == "torn" || sc.Kind == "spec" {
 			if o.TempDir == nil {
 				logf("sim: seed %d (%s) skipped: WAL scenario but no TempDir", seed, sc.Kind)
 				rep.Skipped++

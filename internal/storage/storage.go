@@ -146,6 +146,30 @@ func AsDynamo(b Backend) (*dynamo.Store, bool) {
 	return nil, false
 }
 
+// Fencer is an optional Backend extension implemented by speculation
+// overlays (internal/pipeline): Fence blocks until every write issued
+// before the call is durable on the underlying substrate. Externally
+// visible effects — a workflow's entry reply above all — must not be
+// released until the writes they depend on have cleared a fence.
+type Fencer interface {
+	// Fence blocks until the durability watermark catches up with every
+	// previously issued write, returning the overlay's sticky flush error
+	// if the pipeline has failed.
+	Fence() error
+}
+
+// Fence makes b durable up to the current write watermark when it is a
+// Fencer, and is a free no-op for every synchronous backend (the memory
+// store, walstore, and remote client are durable at write return already).
+// Effect-releasing call sites use this helper so the hot path stays
+// overlay-agnostic.
+func Fence(b Backend) error {
+	if f, ok := b.(Fencer); ok {
+		return f.Fence()
+	}
+	return nil
+}
+
 // MustCreateTable is Backend.CreateTable, panicking on error; for setup
 // code (the method-form convenience the concrete stores offer, spelled as a
 // function over the seam).
