@@ -109,6 +109,16 @@ const (
 	ModeBaseline   = core.ModeBaseline
 )
 
+// Change-event payload keys: the Map entries a change handler registered
+// with Deployment.OnTableChange receives as input.
+const (
+	ChangeEvTable    = core.ChangeEvTable
+	ChangeEvKey      = core.ChangeEvKey
+	ChangeEvValue    = core.ChangeEvValue
+	ChangeEvFn       = core.ChangeEvFn
+	ChangeEvInstance = core.ChangeEvInstance
+)
+
 // Errors.
 var (
 	// ErrTxnAborted reports a wait-die death or application abort; see
@@ -296,6 +306,27 @@ func (d *Deployment) Function(name string, body Body, tables ...string) *core.Ru
 
 // Runtime returns a registered function's runtime, or nil.
 func (d *Deployment) Runtime(name string) *core.Runtime { return d.runtimes[name] }
+
+// OnTableChange subscribes handler to committed writes on fn's logical
+// table — a table-change (CDC) event source. After each Env.Write or taken
+// Env.CondWrite by fn outside a transaction, handler is invoked
+// asynchronously with a change-event Map (keys core.ChangeEvTable,
+// ChangeEvKey, ChangeEvValue, ChangeEvFn, ChangeEvInstance), exactly once
+// per committed change: the fire is a logged step of the writing instance,
+// deduplicated through the invoke log across crashes and re-executions.
+// Both functions must already be registered. Call during setup, before
+// workflows run, and identically across restarts. ModeBaseline and
+// transactional writes emit nothing (see internal/core/cdc.go).
+func (d *Deployment) OnTableChange(fn, table, handler string) error {
+	if err := d.known(fn); err != nil {
+		return err
+	}
+	if err := d.known(handler); err != nil {
+		return err
+	}
+	d.runtimes[fn].RegisterChangeHandler(table, handler)
+	return nil
+}
 
 // Invoke calls a function synchronously from outside any workflow (an
 // external client request). Unregistered names fail with

@@ -2,8 +2,10 @@ package beldi
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/queue"
 )
@@ -38,11 +40,13 @@ type DurableAsyncOptions struct {
 }
 
 // DurableAsync is a deployment's event-queue wiring: the broker, the
-// per-function invocation queues, and their event-source mappers.
+// per-function invocation queues, their event-source mappers, and the
+// durable timer service.
 type DurableAsync struct {
 	broker    *queue.Broker
 	transport *queue.Transport
 	mappers   map[string]*platform.Mapper
+	timers    *queue.TimerService
 }
 
 // EnableDurableAsync switches every registered function's AsyncInvoke to
@@ -58,8 +62,20 @@ func (d *Deployment) EnableDurableAsync(opts DurableAsyncOptions) *DurableAsync 
 		MaxReceives:       opts.MaxReceives,
 	})
 	broker.SetTelemetry(d.opts.Telemetry)
-	da := &DurableAsync{broker: broker, transport: transport, mappers: make(map[string]*platform.Mapper)}
-	for name, rt := range d.runtimes {
+	timers, err := queue.NewTimerService(broker, queue.TimerOptions{PollInterval: opts.PollInterval})
+	if err != nil {
+		panic(fmt.Sprintf("beldi: EnableDurableAsync: %v", err))
+	}
+	da := &DurableAsync{broker: broker, transport: transport, mappers: make(map[string]*platform.Mapper), timers: timers}
+	if h := d.opts.Telemetry; h != nil {
+		m := timers.Metrics()
+		h.Registry.Register("timers", func() any { return m.Snapshot() })
+	}
+	// Provision in sorted function order: queue creation issues storage
+	// operations, and a deterministic setup sequence is what lets a
+	// simulation seed replay bit-identically.
+	for _, name := range d.Functions() {
+		rt := d.runtimes[name]
 		if rt.Mode() == ModeBaseline {
 			continue
 		}
@@ -94,25 +110,64 @@ func (da *DurableAsync) Broker() *queue.Broker { return da.broker }
 // Mapper returns the event-source mapping for one function, or nil.
 func (da *DurableAsync) Mapper(fn string) *platform.Mapper { return da.mappers[fn] }
 
-// Start launches every mapping's background poll loop.
+// Timers returns the deployment's durable timer service, backed by the same
+// store as the invocation queues. Registrations survive crashes and broker
+// restarts; fires are exactly-once per occurrence (see queue.TimerService).
+func (da *DurableAsync) Timers() *queue.TimerService { return da.timers }
+
+// ScheduleInvoke durably registers a timer that invokes fn with input after
+// delay, repeating every period when period > 0 (a cron workflow). The fire
+// enqueues a client invocation envelope onto fn's invocation queue with a
+// deterministic per-occurrence instance id stamped in, so each occurrence
+// runs as exactly one workflow instance no matter how often the queue
+// redelivers it. Idempotent per id; cancel with Timers().Cancel(id).
+func (da *DurableAsync) ScheduleInvoke(id, fn string, input Value, delay, period time.Duration) error {
+	if _, ok := da.mappers[fn]; !ok {
+		return fmt.Errorf("beldi: ScheduleInvoke: %q has no durable invocation queue", fn)
+	}
+	return da.timers.Schedule(queue.TimerSpec{
+		ID:       id,
+		Queue:    queue.QueueFor(fn),
+		Body:     core.ClientEnvelope(input),
+		Delay:    delay,
+		Period:   period,
+		StampKey: core.InstanceKey,
+	})
+}
+
+// functions lists the mapped function names in sorted order, so every
+// all-mappers pass issues its storage operations in a replayable sequence.
+func (da *DurableAsync) functions() []string {
+	out := make([]string, 0, len(da.mappers))
+	for name := range da.mappers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Start launches every mapping's background poll loop and the timer pump.
 func (da *DurableAsync) Start() {
-	for _, m := range da.mappers {
-		m.Start()
+	for _, name := range da.functions() {
+		da.mappers[name].Start()
 	}
+	da.timers.Start()
 }
 
-// Stop halts every mapping's poll loop.
+// Stop halts every mapping's poll loop and the timer pump.
 func (da *DurableAsync) Stop() {
-	for _, m := range da.mappers {
-		m.Stop()
+	da.timers.Stop()
+	for _, name := range da.functions() {
+		da.mappers[name].Stop()
 	}
 }
 
-// PollAll runs one poll over every mapping, returning total messages
-// processed successfully and failed — the deterministic drive for tests.
+// PollAll runs one poll over every mapping in sorted function order,
+// returning total messages processed successfully and failed — the
+// deterministic drive for tests.
 func (da *DurableAsync) PollAll() (processed, failed int, err error) {
-	for _, m := range da.mappers {
-		p, f, perr := m.PollOnce()
+	for _, name := range da.functions() {
+		p, f, perr := da.mappers[name].PollOnce()
 		processed += p
 		failed += f
 		if perr != nil && err == nil {

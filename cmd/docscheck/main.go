@@ -47,6 +47,7 @@ var defaultDirs = []string{
 	"internal/clock",
 	"internal/uuid",
 	"internal/workload",
+	"internal/apps/cron",
 	"cmd/beldi-trace",
 	"cmd/beldi-storaged",
 }

@@ -19,7 +19,7 @@
 //	figures -fig shard               # store shard-count scaling, group commit on/off
 //	figures -fig fanout              # durable-promise fan-out/fan-in scaling
 //	figures -fig backend             # storage backends: memory vs durable WAL, fsync batching
-//	figures -fig latency             # request p50/p99 per backend and worker count (§7.2 tails)
+//	figures -fig latency             # request p50/p99 per backend and worker count (§7.2 tails) + push-vs-poll trigger latency
 //	figures -fig cluster             # multi-worker scaling, with and without a mid-run worker kill
 //	figures -fig remote              # wire-protocol storage plane vs in-process, at simulated RTTs
 //	figures -fig pipeline            # speculation + pipelined commit: steps/s vs pipeline depth
@@ -230,7 +230,20 @@ func runLatencySweep(duration time.Duration, seed int64) error {
 			ms(p.StepP50), ms(p.StepP99), ms(p.FsyncP50), ms(p.FsyncP99))
 	}
 	fmt.Println()
-	return emitJSON("latency", pts)
+
+	fmt.Println("# Trigger latency — enqueue→receive on an idle queue, push vs poll")
+	fmt.Printf("%-14s %-6s %10s %10s %10s %10s %10s %9s\n",
+		"backend", "mode", "interval", "p50(ms)", "p90(ms)", "p99(ms)", "max(ms)", "wakeups")
+	tpts, err := bench.TriggerLatencySweep(bench.TriggerLatencySweepOptions{Seed: seed})
+	if err != nil {
+		return err
+	}
+	for _, p := range tpts {
+		fmt.Printf("%-14s %-6s %10s %10.3f %10.3f %10.3f %10.3f %9d\n",
+			p.Backend, p.Mode, p.PollInterval, ms(p.P50), ms(p.P90), ms(p.P99), ms(p.Max), p.Wakeups)
+	}
+	fmt.Println()
+	return emitJSON("latency", map[string]any{"request": pts, "trigger": tpts})
 }
 
 // runBackendSweep prints committed logged-step throughput for the same

@@ -56,7 +56,7 @@ func TestTravelWorkerKillKeepsReservationsExactlyOnce(t *testing.T) {
 // once, reserved once, shipped once and notified once — the killed worker's
 // in-flight consumers and unacked messages included.
 func TestOrdersWorkerKillDrainsPipelineExactlyOnce(t *testing.T) {
-	const seed = 13 // kill/orders under the random policy
+	const seed = 14 // kill/orders under the random policy
 	requireScenario(t, seed, "kill", "orders")
 	if _, err := sim.RunSeed(seed, sim.RunOpts{Dir: t.TempDir()}); err != nil {
 		t.Fatalf("%v\nreproduce: %s", err, sim.ReproLine(seed, "mem"))

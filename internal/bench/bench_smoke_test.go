@@ -263,6 +263,60 @@ func TestFanoutSweepSmoke(t *testing.T) {
 	}
 }
 
+// TestTriggerLatencySweepSmoke pins the push primitive's headline number:
+// with the commit-stream watch on, the p50 enqueue→receive latency of an
+// idle queue is at least 5× better than the PollInterval-bound polling
+// path, and the mapper's Wakeups counter proves which path each cell took.
+func TestTriggerLatencySweepSmoke(t *testing.T) {
+	// Wall-clock latency assertions get one retry against scheduling
+	// hiccups; the expected gap is ~50× (sub-ms push vs a 20ms poll
+	// cadence), which a hiccup essentially never erases twice in a row.
+	var pts []TriggerLatencyPoint
+	for attempt := 0; ; attempt++ {
+		var err error
+		pts, err = TriggerLatencySweep(TriggerLatencySweepOptions{
+			Backends:     []BackendKind{BackendMemory},
+			PollInterval: 20 * time.Millisecond,
+			Messages:     16,
+			Warmup:       4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) == 2 && pts[0].P50*5 <= pts[1].P50 || attempt == 1 {
+			break
+		}
+		t.Log("push p50 not 5x better than poll; retrying once")
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	push, poll := pts[0], pts[1]
+	if push.Mode != TriggerPush || poll.Mode != TriggerPoll {
+		t.Fatalf("unexpected cell order: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.Messages != 16 || p.P50 <= 0 || p.P99 < p.P50 {
+			t.Fatalf("malformed cell: %+v", p)
+		}
+	}
+	// The headline claim: push drops idle-queue p50 by ≥5× against the
+	// same store, same mapper, same messages.
+	if push.P50*5 > poll.P50 {
+		t.Errorf("push p50 %v not 5x better than poll p50 %v",
+			time.Duration(push.P50), time.Duration(poll.P50))
+	}
+	// The mapper's own evidence of the path taken: push cells end idle
+	// waits via subscription events; poll cells never can (the Watcher
+	// capability is stripped, so there is no subscription to fire).
+	if push.Wakeups == 0 {
+		t.Error("push cell recorded no wakeups")
+	}
+	if poll.Wakeups != 0 {
+		t.Errorf("poll cell recorded %d wakeups through a stripped Watcher", poll.Wakeups)
+	}
+}
+
 // shardSweepMonotone reports whether the sweep's plain-commit throughput
 // column rises strictly with the shard count.
 func shardSweepMonotone(pts []ShardSweepPoint) bool {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dynamo"
 	"repro/internal/hist"
 	"repro/internal/platform"
+	"repro/internal/queue"
 	"repro/internal/storage"
 	"repro/internal/uuid"
 	"repro/internal/walstore"
@@ -238,4 +239,185 @@ func latencySweepPoint(opts LatencySweepOptions, kind BackendKind, workers int) 
 		pt.FsyncP99 = int64(fsync.P99())
 	}
 	return pt, nil
+}
+
+// --- push vs poll trigger latency -----------------------------------------
+
+// TriggerLatencySweep measures enqueue→receive latency through the durable
+// queue and its event-source mapper, with the commit-stream push path on
+// ("push": an idle mapper blocks on the queue table's watch subscription and
+// an enqueue wakes it immediately) and off ("poll": the Watcher capability
+// is stripped from the store, so the idle mapper sleeps out PollInterval —
+// the pre-push behavior, whose p50 is bounded below by the poll cadence).
+// The gap between the two cells is what the push primitive buys; the smoke
+// test pins it at ≥5× on the p50.
+
+// Trigger modes.
+const (
+	TriggerPush = "push"
+	TriggerPoll = "poll"
+)
+
+// TriggerLatencySweepOptions configure a push-vs-poll trigger sweep.
+type TriggerLatencySweepOptions struct {
+	// Backends are the storage configurations swept. nil means memory and
+	// wal-batched.
+	Backends []BackendKind
+	// Modes are the trigger modes per backend. nil means push then poll.
+	Modes []string
+	// PollInterval is the mapper's idle poll delay — the latency floor the
+	// poll cells are bounded by. 0 means platform.DefaultPollInterval.
+	PollInterval time.Duration
+	// Messages is the closed-loop message count measured per cell. 0 means
+	// 48.
+	Messages int
+	// Warmup messages run and are discarded before measurement. 0 means
+	// Messages/4.
+	Warmup int
+	Seed   int64
+}
+
+func (o TriggerLatencySweepOptions) withDefaults() TriggerLatencySweepOptions {
+	if o.Backends == nil {
+		o.Backends = []BackendKind{BackendMemory, BackendWALBatched}
+	}
+	if o.Modes == nil {
+		o.Modes = []string{TriggerPush, TriggerPoll}
+	}
+	if o.PollInterval == 0 {
+		o.PollInterval = platform.DefaultPollInterval
+	}
+	if o.Messages == 0 {
+		o.Messages = 48
+	}
+	if o.Warmup == 0 {
+		o.Warmup = o.Messages / 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// TriggerLatencyPoint is one (backend, mode) cell. Latencies are
+// nanoseconds from just before Enqueue to the triggered handler running.
+type TriggerLatencyPoint struct {
+	Backend      BackendKind
+	Mode         string
+	PollInterval time.Duration
+	Messages     int64
+	// Enqueue→receive latency distribution.
+	P50, P90, P99, Max, Mean int64
+	// Wakeups counts idle waits ended by a push event (0 in poll mode) —
+	// the mapper's own evidence of which path it took.
+	Wakeups int64
+	Elapsed time.Duration
+}
+
+// pushless strips every optional capability from a Backend — in particular
+// storage.Watcher — pinning consumers to their poll fallback. Interface
+// embedding promotes only Backend's own methods, so the wrapped store's
+// Watch never reaches the capability probe.
+type pushless struct{ storage.Backend }
+
+// TriggerLatencySweep runs every (backend, mode) cell against a fresh
+// store, queue and mapper.
+func TriggerLatencySweep(opts TriggerLatencySweepOptions) ([]TriggerLatencyPoint, error) {
+	opts = opts.withDefaults()
+	var out []TriggerLatencyPoint
+	for _, kind := range opts.Backends {
+		for _, mode := range opts.Modes {
+			pt, err := triggerLatencyPoint(opts, kind, mode)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// triggerLatencyPoint measures one cell closed-loop: enqueue one message
+// carrying its send time, wait for the triggered handler to report the
+// enqueue→receive gap, repeat. Between messages the mapper is idle — parked
+// on its push subscription or its poll timer — which is exactly the state
+// whose wake latency the cell measures.
+func triggerLatencyPoint(opts TriggerLatencySweepOptions, kind BackendKind, mode string) (TriggerLatencyPoint, error) {
+	var store storage.Backend
+	switch kind {
+	case BackendMemory:
+		store = dynamo.NewStore()
+	case BackendWALBatched, BackendWALEach, BackendWALNoSync:
+		dir, err := os.MkdirTemp("", "beldi-trigger-sweep-*")
+		if err != nil {
+			return TriggerLatencyPoint{}, err
+		}
+		defer os.RemoveAll(dir)
+		policy := walstore.SyncBatched
+		switch kind {
+		case BackendWALEach:
+			policy = walstore.SyncEach
+		case BackendWALNoSync:
+			policy = walstore.SyncNone
+		}
+		wal, err := walstore.Open(dir, walstore.Options{Sync: policy})
+		if err != nil {
+			return TriggerLatencyPoint{}, err
+		}
+		defer wal.Close()
+		store = wal
+	default:
+		return TriggerLatencyPoint{}, fmt.Errorf("bench: trigger sweep: unknown backend %q", kind)
+	}
+	switch mode {
+	case TriggerPush:
+	case TriggerPoll:
+		store = pushless{store}
+	default:
+		return TriggerLatencyPoint{}, fmt.Errorf("bench: trigger sweep: unknown mode %q", mode)
+	}
+
+	broker := queue.NewBroker(queue.BrokerOptions{Store: store, IDs: &uuid.Seq{Prefix: "m"}})
+	broker.MustCreate("lat", queue.Options{VisibilityTimeout: time.Minute})
+	plat := platform.New(platform.Options{Seed: opts.Seed, IDs: &uuid.Seq{Prefix: "req"}})
+	recv := make(chan time.Duration, 16)
+	plat.Register("recv", func(inv *platform.Invocation, input platform.Value) (platform.Value, error) {
+		recv <- time.Since(time.Unix(0, input.Int()))
+		return dynamo.Null, nil
+	}, 0)
+	mapper := platform.MustNewMapper(broker, plat, platform.EventSourceOptions{
+		Queue: "lat", Function: "recv", BatchSize: 1, PollInterval: opts.PollInterval,
+	})
+	mapper.Start()
+	defer mapper.Stop()
+
+	var h hist.Histogram
+	start := time.Now()
+	total := opts.Warmup + opts.Messages
+	for i := 0; i < total; i++ {
+		if _, err := broker.Enqueue("lat", dynamo.NInt(time.Now().UnixNano())); err != nil {
+			return TriggerLatencyPoint{}, err
+		}
+		select {
+		case d := <-recv:
+			if i >= opts.Warmup {
+				h.Record(d)
+			}
+		case <-time.After(10 * time.Second):
+			return TriggerLatencyPoint{}, fmt.Errorf("bench: trigger sweep (%s/%s): message %d never delivered", kind, mode, i)
+		}
+	}
+	return TriggerLatencyPoint{
+		Backend:      kind,
+		Mode:         mode,
+		PollInterval: opts.PollInterval,
+		Messages:     h.Count(),
+		P50:          int64(h.Quantile(0.5)),
+		P90:          int64(h.Quantile(0.9)),
+		P99:          int64(h.P99()),
+		Max:          int64(h.Max()),
+		Mean:         int64(h.Mean()),
+		Wakeups:      mapper.Metrics().Wakeups.Load(),
+		Elapsed:      time.Since(start),
+	}, nil
 }

@@ -234,6 +234,7 @@ func (e *Env) logRead(stepKey string, val Value) (Value, bool, error) {
 // transaction the write goes to the transaction's shadow copy.
 func (e *Env) Write(table, key string, v Value) error {
 	e.rt.stats.Writes.Add(1)
+	logical := table
 	table = e.table(table)
 	if e.rt.mode == ModeBaseline {
 		return e.baselineWrite(table, key, v)
@@ -249,7 +250,10 @@ func (e *Env) Write(table, key string, v Value) error {
 		e.stepMutation(mutation{setVal: &v}, &replay))
 	e.stepSpan(t0, telemetry.KindWrite, stepKey, table+"/"+key, replay, e.rt.histStep, err)
 	e.crash("write:post:" + stepKey)
-	return err
+	if err != nil {
+		return err
+	}
+	return e.emitChanges(logical, key, v)
 }
 
 // CondWrite stores v at key only if cond holds against the item's current
@@ -258,6 +262,7 @@ func (e *Env) Write(table, key string, v Value) error {
 // the write took effect; replays report the originally recorded outcome.
 func (e *Env) CondWrite(table, key string, v Value, cond dynamo.Cond) (bool, error) {
 	e.rt.stats.CondWrites.Add(1)
+	logical := table
 	table = e.table(table)
 	if e.rt.mode == ModeBaseline {
 		return e.baselineCondWrite(table, key, v, cond)
@@ -273,7 +278,12 @@ func (e *Env) CondWrite(table, key string, v Value, cond dynamo.Cond) (bool, err
 		e.stepMutation(mutation{cond: cond, setVal: &v}, &replay))
 	e.stepSpan(t0, telemetry.KindCondWrite, stepKey, table+"/"+key, replay, e.rt.histStep, err)
 	e.crash("condwrite:post:" + stepKey)
-	return ok, err
+	if err != nil || !ok {
+		// An untaken CondWrite changed nothing; no event to emit. The
+		// outcome is logged, so replays repeat the same (non-)emission.
+		return ok, err
+	}
+	return ok, e.emitChanges(logical, key, v)
 }
 
 // lockOwnerValue builds the lock-owner column value: the owning intent and

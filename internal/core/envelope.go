@@ -92,6 +92,13 @@ func (ev envelope) encode() Value {
 	return dynamo.M(m)
 }
 
+// InstanceKey is the envelope map entry carrying the callee's instance id.
+// Fire sources that stamp a deterministic per-occurrence id into a client
+// envelope (durable timers; see queue.TimerSpec.StampKey) name this entry,
+// so every redelivery of the same occurrence runs as the same intent and
+// the intent table deduplicates it.
+const InstanceKey = "InstanceId"
+
 // ClientEnvelope wraps a raw client payload as a call envelope — how
 // external requests enter a workflow. (Raw payloads are also accepted;
 // this just makes the intent explicit.)

@@ -123,7 +123,17 @@ func (p *Promise) Await(e *Env) (Value, error) {
 		return it[attrValue], nil
 	}
 
-	// Poll the mailbox cell until the callee's post lands.
+	// Wait for the callee's post. With a push-capable store the awaiter
+	// subscribes to the cell's commit stream before the first fetch (so a
+	// post landing between fetch and wait still wakes it) and blocks on the
+	// subscription; the exponential-backoff timer stays armed underneath as
+	// the liveness fallback, and each fallback expiry re-fetches — a lost or
+	// coalesced wakeup costs one backoff period, never the result. Without
+	// push the loop is the classic poll-with-backoff.
+	sub, _ := e.rt.mailbox.Watch(p.id)
+	if sub != nil {
+		defer sub.Close()
+	}
 	backoff := e.rt.cfg.LockRetryBase
 	for attempt := 0; attempt < e.rt.cfg.AwaitRetryMax; attempt++ {
 		val, posted, err := e.rt.mailbox.Fetch(p.id)
@@ -138,10 +148,18 @@ func (p *Promise) Await(e *Env) (Value, error) {
 			return out, err
 		}
 		e.crash("await:poll:" + stepKey)
-		if werr := e.waitRetry(backoff); werr != nil {
-			// Canceled mid-poll: nothing was logged for this step, so the
-			// re-execution repeats the await from scratch against the same
-			// cell.
+		if sub != nil {
+			if werr := e.Context().Err(); werr == nil {
+				sub.Wait(backoff, e.Context().Done())
+			}
+			if werr := e.Context().Err(); werr != nil {
+				// Canceled mid-wait: nothing was logged for this step, so the
+				// re-execution repeats the await from scratch against the
+				// same cell.
+				e.awaitSpan(t0, stepKey, p, false, werr)
+				return dynamo.Null, fmt.Errorf("core: await %s (%s): %w", p.id, p.callee, werr)
+			}
+		} else if werr := e.waitRetry(backoff); werr != nil {
 			e.awaitSpan(t0, stepKey, p, false, werr)
 			return dynamo.Null, fmt.Errorf("core: await %s (%s): %w", p.id, p.callee, werr)
 		}

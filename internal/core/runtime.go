@@ -183,6 +183,9 @@ type Runtime struct {
 	dataTables_  []string
 	dataTableSet map[string]bool
 
+	// cdc holds the table-change handler registry (see cdc.go).
+	cdc cdcRegistry
+
 	stats Stats
 
 	// tel is the deployment's telemetry hub, nil when telemetry is off;

@@ -21,6 +21,11 @@ type Stats struct {
 	Awaits       atomic.Int64
 	PromisePosts atomic.Int64
 
+	// ChangeEvents counts table-change (CDC) events emitted: committed
+	// writes to a watched table that fired a registered change handler (one
+	// count per handler invocation issued).
+	ChangeEvents atomic.Int64
+
 	// Replays counts operations resolved from logs instead of executing —
 	// the visible footprint of re-executions (each one is an effect the
 	// protocol deduplicated).
@@ -55,6 +60,7 @@ type Stats struct {
 type StatsView struct {
 	Reads, Writes, CondWrites, SyncCalls, AsyncCalls, Locks, Unlocks int64
 	PromiseCalls, Awaits, PromisePosts                               int64
+	ChangeEvents                                                     int64
 	Replays                                                          int64
 	TxnBegun, TxnCommitted, TxnAborted                               int64
 	IntentsStarted, IntentsCompleted, Restarts                       int64
@@ -84,6 +90,7 @@ func (s *Stats) Snapshot() StatsView {
 		PromiseCalls:     s.PromiseCalls.Load(),
 		Awaits:           s.Awaits.Load(),
 		PromisePosts:     s.PromisePosts.Load(),
+		ChangeEvents:     s.ChangeEvents.Load(),
 		Replays:          s.Replays.Load(),
 		TxnBegun:         s.TxnBegun.Load(),
 		TxnCommitted:     s.TxnCommitted.Load(),

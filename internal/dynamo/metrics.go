@@ -17,6 +17,13 @@ type Metrics struct {
 	// batch size — the amortization factor the ShardSweep figure reports.
 	GroupCommits   atomic.Int64
 	GroupCommitOps atomic.Int64
+	// WatchSubs is the number of live commit-stream subscriptions;
+	// WatchNotifies counts events delivered to subscribers and WatchDrops
+	// counts events coalesced into a full subscription buffer (the
+	// subscriber already has a pending wakeup, so nothing is lost).
+	WatchSubs     atomic.Int64
+	WatchNotifies atomic.Int64
+	WatchDrops    atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -28,6 +35,9 @@ type Snapshot struct {
 	BytesWritten   int64
 	GroupCommits   int64
 	GroupCommitOps int64
+	WatchSubs      int64
+	WatchNotifies  int64
+	WatchDrops     int64
 }
 
 // Snapshot copies the counters.
@@ -42,6 +52,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.BytesWritten = m.BytesWritten.Load()
 	s.GroupCommits = m.GroupCommits.Load()
 	s.GroupCommitOps = m.GroupCommitOps.Load()
+	s.WatchSubs = m.WatchSubs.Load()
+	s.WatchNotifies = m.WatchNotifies.Load()
+	s.WatchDrops = m.WatchDrops.Load()
 	return s
 }
 
@@ -57,6 +70,9 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	d.BytesWritten = s.BytesWritten - o.BytesWritten
 	d.GroupCommits = s.GroupCommits - o.GroupCommits
 	d.GroupCommitOps = s.GroupCommitOps - o.GroupCommitOps
+	d.WatchSubs = s.WatchSubs - o.WatchSubs
+	d.WatchNotifies = s.WatchNotifies - o.WatchNotifies
+	d.WatchDrops = s.WatchDrops - o.WatchDrops
 	return d
 }
 

@@ -27,6 +27,7 @@ type Store struct {
 
 	latency LatencyModel
 	metrics Metrics
+	watch   *WatchHub
 }
 
 // Option configures a Store.
@@ -61,6 +62,7 @@ func NewStore(opts ...Option) *Store {
 		latency:       ZeroLatency{},
 		defaultShards: DefaultShards,
 	}
+	s.watch = NewWatchHub(&s.metrics)
 	for _, o := range opts {
 		o(s)
 	}
@@ -264,6 +266,7 @@ func (s *Store) Put(tableName string, item Item, cond Cond) error {
 		return applyErr
 	}
 	s.metrics.BytesWritten.Add(int64(stored.Size()))
+	s.notifyCommit(tableName, key.Hash)
 	s.charge(OpPut, 1, 0)
 	return nil
 }
@@ -311,6 +314,7 @@ func (s *Store) Update(tableName string, key Key, cond Cond, updates ...Update) 
 		return applyErr
 	}
 	s.metrics.BytesWritten.Add(int64(written))
+	s.notifyCommit(tableName, key.Hash)
 	s.charge(OpUpdate, 1, 0)
 	return nil
 }
@@ -337,6 +341,7 @@ func (s *Store) Delete(tableName string, key Key, cond Cond) error {
 		s.charge(OpDelete, 1, 0)
 		return applyErr
 	}
+	s.notifyCommit(tableName, key.Hash)
 	s.charge(OpDelete, 1, 0)
 	return nil
 }

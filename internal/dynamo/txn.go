@@ -161,6 +161,15 @@ func (s *Store) TransactWrite(ops []TxOp) error {
 	}
 	s.commitSleep(len(ops))
 	unlock()
+	// Notify after the shard locks are released: subscribers woken by these
+	// events re-read through the normal API and must not deadlock on the
+	// transaction's own latches.
+	for _, p := range preps {
+		if p.op.Check {
+			continue
+		}
+		s.notifyCommit(p.op.Table, p.key.Hash)
+	}
 	s.charge(OpTxWrite, len(ops), 0)
 	return nil
 }

@@ -736,7 +736,23 @@ func (p *Store) TransactWrite(ops []storage.TxOp) error {
 // free by design). The overlay's own accounting lives in Snapshot.
 func (p *Store) Metrics() *storage.Metrics { return p.base.Metrics() }
 
+// Watch subscribes to the BASE backend's commit stream — the durability
+// watermark's event source. Speculative writes live only in the shadow and
+// land on the base when their batch flushes, so subscribers wake exactly
+// when a write becomes durable, never while it is still speculative: the
+// overlay gets durable-only watch semantics by delegation. Returns an error
+// when the base backend has no watch support (the capability probe in
+// storage.Watch turns that into a poll fallback).
+func (p *Store) Watch(table string, hash storage.Value) (storage.Subscription, error) {
+	w, ok := p.base.(storage.Watcher)
+	if !ok {
+		return nil, fmt.Errorf("pipeline: base backend %T does not support Watch", p.base)
+	}
+	return w.Watch(table, hash)
+}
+
 // Compile-time seam checks.
 var (
 	_ storage.Backend = (*Store)(nil)
+	_ storage.Watcher = (*Store)(nil)
 )

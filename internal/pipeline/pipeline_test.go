@@ -391,3 +391,61 @@ func TestModeledFlushTimeTracksBaseModel(t *testing.T) {
 		t.Fatalf("ModeledFlushTime = %v, want %v", got, want)
 	}
 }
+
+// TestWatchDeliversOnlyDurableCommits pins the overlay's durable-only watch
+// semantics: a subscription opened through the pipeline must stay silent
+// while a write is merely speculative (visible in the shadow, above the
+// durability watermark) and wake exactly when the flush lands the write on
+// the base — so a consumer woken by the event can re-read durable state and
+// find what woke it.
+func TestWatchDeliversOnlyDurableCommits(t *testing.T) {
+	base := newBase(t)
+	p := manual(t, base)
+
+	sub, ok := storage.Watch(p, "kv", dynamo.Null)
+	if !ok {
+		t.Fatal("pipeline over a watchable base reported no push support")
+	}
+	defer sub.Close()
+
+	if err := p.Put("kv", dynamo.Item{"K": dynamo.S("a"), "V": dynamo.NInt(1)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Speculative: readable through the overlay, but no wakeup yet.
+	if _, ok, _ := p.Get("kv", dynamo.HK(dynamo.S("a"))); !ok {
+		t.Fatal("overlay lost its own write")
+	}
+	if sub.Wait(50*time.Millisecond, nil) {
+		t.Fatal("watch woke for a speculative write before its flush")
+	}
+
+	if _, err := p.FlushStep(); err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Wait(5*time.Second, nil) {
+		t.Fatal("flush landed the write on the base but produced no wakeup")
+	}
+	// The event's promise: the durable view now holds the write.
+	if it, ok, _ := base.Get("kv", dynamo.HK(dynamo.S("a"))); !ok || it["V"].Int() != 1 {
+		t.Fatalf("woken reader found base row %v (ok=%v)", it, ok)
+	}
+}
+
+// TestWatchOverPushlessBaseDegradesToPolling: the overlay refuses Watch when
+// its base cannot push, and the capability probe converts that refusal into
+// the poll fallback.
+func TestWatchOverPushlessBaseDegradesToPolling(t *testing.T) {
+	p := manual(t, pushless{newBase(t)})
+	if _, err := p.Watch("kv", dynamo.Null); err == nil {
+		t.Error("Watch over a push-less base succeeded")
+	}
+	if _, ok := storage.Watch(p, "kv", dynamo.Null); ok {
+		t.Error("capability probe reported push support over a push-less base")
+	}
+}
+
+// pushless hides the dynamo store's Watcher so only the Backend surface
+// remains.
+type pushless struct{ *dynamo.Store }
+
+func (pushless) Watch() {} // shadow the method with a different shape

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/queue"
+	"repro/internal/storage"
 )
 
 // This file is the trigger half of the event-queue subsystem: an event-source
@@ -21,6 +22,13 @@ import (
 // processing. Batch size is the throughput lever (the Netherite observation:
 // fetching and dispatching work in batches is what amortizes per-message
 // round trips).
+//
+// When the backing store supports commit-stream watches (storage.Watcher),
+// an idle mapper blocks on the queue table's push subscription instead of
+// sleeping out its poll interval: an enqueue wakes it immediately, so
+// trigger latency is decoupled from PollInterval. The poll timer stays armed
+// underneath as the liveness fallback — a dropped or coalesced wakeup costs
+// at most one PollInterval, never progress.
 
 // EventSourceOptions configure one queue→function mapping.
 type EventSourceOptions struct {
@@ -72,6 +80,12 @@ type Mapper struct {
 	stopCh  chan struct{}
 	doneCh  chan struct{}
 	started bool
+
+	// subMu guards the lazily acquired push subscription on the source
+	// queue's table (nil when the store has no push support, or after the
+	// subscription died and has not been re-acquired yet).
+	subMu sync.Mutex
+	sub   storage.Subscription
 }
 
 // NewMapper creates an event-source mapping from broker's queue to a
@@ -196,6 +210,7 @@ func (m *Mapper) Start() {
 
 func (m *Mapper) loop(stopCh, doneCh chan struct{}) {
 	defer close(doneCh)
+	defer m.closeSub()
 	for {
 		select {
 		case <-stopCh:
@@ -204,33 +219,94 @@ func (m *Mapper) loop(stopCh, doneCh chan struct{}) {
 		}
 		n, _, err := m.PollOnce()
 		if err != nil || n == 0 {
-			select {
-			case <-stopCh:
-				return
-			case <-time.After(m.opts.PollInterval):
-			}
+			m.idleWait(stopCh)
 		}
 	}
 }
 
 // Run polls until ctx ends — the context-first alternative to Start/Stop for
 // callers that manage lifecycles with contexts. A non-empty batch polls again
-// immediately; an empty poll sleeps PollInterval (or less, if the context
-// ends first). Run returns ctx.Err() once the context is done; messages
-// already claimed keep their visibility timeout, so nothing is lost.
+// immediately; an idle mapper blocks until a commit lands on the queue (when
+// the store pushes) or PollInterval elapses, whichever is first. Run returns
+// ctx.Err() once the context is done; messages already claimed keep their
+// visibility timeout, so nothing is lost.
 func (m *Mapper) Run(ctx context.Context) error {
+	defer m.closeSub()
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		n, _, err := m.PollOnce()
 		if err != nil || n == 0 {
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(m.opts.PollInterval):
-			}
+			m.idleWait(ctx.Done())
 		}
+	}
+}
+
+// idleWait parks the mapper until new work is likely: a commit on the source
+// queue's table (push wakeup), PollInterval elapsing (the liveness fallback
+// that bounds staleness when push is unavailable or a wakeup was lost), or
+// cancel firing. The wait is always interruptible by cancel — Stop and
+// context cancellation return promptly no matter how long PollInterval is.
+func (m *Mapper) idleWait(cancel <-chan struct{}) {
+	sub := m.watchSub()
+	timer := time.NewTimer(m.opts.PollInterval)
+	defer timer.Stop()
+	if sub == nil {
+		select {
+		case <-cancel:
+		case <-timer.C:
+		}
+		return
+	}
+	select {
+	case _, ok := <-sub.Events():
+		if !ok {
+			// The subscription died (store closed, remote connection lost):
+			// drop it so the next idle period resubscribes or falls back.
+			m.dropSub(sub)
+			select {
+			case <-cancel:
+			case <-timer.C:
+			}
+			return
+		}
+		m.metrics.Wakeups.Add(1)
+	case <-timer.C:
+	case <-cancel:
+	}
+}
+
+// watchSub returns the live push subscription, acquiring one lazily; nil
+// when the backing store has no push support.
+func (m *Mapper) watchSub() storage.Subscription {
+	m.subMu.Lock()
+	defer m.subMu.Unlock()
+	if m.sub == nil {
+		m.sub, _ = m.broker.Watch(m.opts.Queue)
+	}
+	return m.sub
+}
+
+// dropSub forgets (and closes) a dead subscription so a fresh one can be
+// acquired.
+func (m *Mapper) dropSub(sub storage.Subscription) {
+	m.subMu.Lock()
+	if m.sub == sub {
+		m.sub = nil
+	}
+	m.subMu.Unlock()
+	sub.Close()
+}
+
+// closeSub releases the push subscription on loop exit.
+func (m *Mapper) closeSub() {
+	m.subMu.Lock()
+	sub := m.sub
+	m.sub = nil
+	m.subMu.Unlock()
+	if sub != nil {
+		sub.Close()
 	}
 }
 
@@ -249,19 +325,23 @@ func (m *Mapper) Stop() {
 	<-doneCh
 }
 
-// MapperMetrics counts one event-source mapping's activity.
+// MapperMetrics counts one event-source mapping's activity. Wakeups counts
+// idle waits ended by a push event rather than the fallback timer — the
+// observable difference between push-triggered and poll-triggered delivery.
 type MapperMetrics struct {
 	Batches         atomic.Int64
 	Delivered       atomic.Int64
 	Failures        atomic.Int64
 	StaleDeliveries atomic.Int64
 	SettleErrors    atomic.Int64
+	Wakeups         atomic.Int64
 }
 
 // MapperMetricsView is a point-in-time copy for reporting.
 type MapperMetricsView struct {
 	Batches, Delivered, Failures  int64
 	StaleDeliveries, SettleErrors int64
+	Wakeups                       int64
 }
 
 // Snapshot copies the counters.
@@ -272,5 +352,6 @@ func (m *MapperMetrics) Snapshot() MapperMetricsView {
 		Failures:        m.Failures.Load(),
 		StaleDeliveries: m.StaleDeliveries.Load(),
 		SettleErrors:    m.SettleErrors.Load(),
+		Wakeups:         m.Wakeups.Load(),
 	}
 }

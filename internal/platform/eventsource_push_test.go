@@ -1,0 +1,91 @@
+package platform
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/dynamo"
+	"repro/internal/queue"
+)
+
+// TestMapperPushWakeupDeliversBeforePollInterval pins the push path: with a
+// deliberately huge PollInterval, an enqueue must still be delivered almost
+// immediately, because the idle mapper blocks on the queue table's commit
+// stream rather than the poll timer.
+func TestMapperPushWakeupDeliversBeforePollInterval(t *testing.T) {
+	broker, plat, m := newMapperRig(t, queue.Options{}, Options{},
+		EventSourceOptions{Queue: "q", Function: "consume", PollInterval: time.Hour})
+	delivered := make(chan string, 1)
+	plat.Register("consume", func(inv *Invocation, input Value) (Value, error) {
+		delivered <- input.Str()
+		return dynamo.Null, nil
+	}, 0)
+
+	m.Start()
+	defer m.Stop()
+	// Let the loop drain its initial poll and park on the subscription.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := broker.Enqueue("q", dynamo.S("pushed")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-delivered:
+		if got != "pushed" {
+			t.Fatalf("delivered %q, want %q", got, "pushed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message not delivered: push wakeup lost and poll fallback is an hour out")
+	}
+	if m.Metrics().Wakeups.Load() == 0 {
+		t.Error("Wakeups = 0, want at least one push wakeup")
+	}
+}
+
+// TestMapperStopInterruptsIdleWait pins that Stop returns promptly while the
+// loop is parked in an idle wait with a long PollInterval — the wait must be
+// interruptible, not slept out.
+func TestMapperStopInterruptsIdleWait(t *testing.T) {
+	_, plat, m := newMapperRig(t, queue.Options{}, Options{},
+		EventSourceOptions{Queue: "q", Function: "consume", PollInterval: time.Hour})
+	plat.Register("consume", func(inv *Invocation, input Value) (Value, error) {
+		return dynamo.Null, nil
+	}, 0)
+
+	m.Start()
+	time.Sleep(20 * time.Millisecond) // park in the idle wait
+	done := make(chan struct{})
+	go func() {
+		m.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not interrupt an idle wait with PollInterval = 1h")
+	}
+}
+
+// TestMapperRunCancelInterruptsIdleWait is the context-first twin: canceling
+// Run's context must end the loop promptly mid-idle-wait.
+func TestMapperRunCancelInterruptsIdleWait(t *testing.T) {
+	_, plat, m := newMapperRig(t, queue.Options{}, Options{},
+		EventSourceOptions{Queue: "q", Function: "consume", PollInterval: time.Hour})
+	plat.Register("consume", func(inv *Invocation, input Value) (Value, error) {
+		return dynamo.Null, nil
+	}, 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- m.Run(ctx) }()
+	time.Sleep(20 * time.Millisecond) // park in the idle wait
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not observe cancellation during an idle wait with PollInterval = 1h")
+	}
+}

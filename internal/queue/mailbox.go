@@ -78,6 +78,14 @@ func (m *Mailbox) Fetch(id string) (Value, bool, error) {
 	return it[attrResult], true, nil
 }
 
+// Watch subscribes to the commit stream of promise id's cell when the
+// backing store supports push, so an awaiter can block until the result is
+// posted instead of polling Fetch. False means no push support — the caller
+// falls back to its poll-with-backoff loop.
+func (m *Mailbox) Watch(id string) (storage.Subscription, bool) {
+	return storage.Watch(m.store, m.table, dynamo.S(id))
+}
+
 // Cell identifies one mailbox cell: the promise id and the caller instance
 // that owns it.
 type Cell struct {

@@ -476,6 +476,18 @@ func (b *Broker) Nack(name, msgID, receipt string) error {
 	return nil
 }
 
+// Watch subscribes to the queue's commit stream when the backing store
+// supports push: every enqueue (and visibility change) wakes the
+// subscription, so consumers can block on arrival instead of polling. The
+// second result is false when the store has no push support or the queue
+// does not exist — callers fall back to their poll timer.
+func (b *Broker) Watch(name string) (storage.Subscription, bool) {
+	if _, err := b.options(name); err != nil {
+		return nil, false
+	}
+	return storage.Watch(b.store, tableOf(name), dynamo.Null)
+}
+
 // Len counts messages currently visible (receivable now).
 func (b *Broker) Len(name string) (int, error) {
 	if _, err := b.options(name); err != nil {

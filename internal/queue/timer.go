@@ -1,0 +1,472 @@
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dynamo"
+	"repro/internal/storage"
+)
+
+// Durable timers: registrations in a store-backed timer table that fire by
+// enqueueing a message onto an ordinary queue when their due time passes —
+// the EventBridge-Scheduler slice of the event subsystem. A fire is one
+// TransactWrite that atomically pairs the message insert with the timer
+// row's advance (periodic) or delete (one-shot), so a firer killed mid-fire
+// leaves either both effects or neither: re-scanning after recovery either
+// sees the timer still due (nothing happened) or already advanced (the
+// message is durably queued). Racing firers collapse the same way — the
+// loser's transaction cancels on the Fires guard — which makes the fire
+// exactly-once per (timer, occurrence) without any coordination beyond the
+// store's conditional writes. Delivery of the fired message is then the
+// queue's ordinary at-least-once contract, and Beldi consumers dedup it
+// through the intent table as usual.
+//
+// The background pump watches the timer table's commit stream when the
+// store pushes (storage.Watcher), so a fresh Schedule with a near due time
+// wakes it immediately; the fallback sleep is min(time to next due, the
+// poll interval), so a pushless store still fires on time.
+
+// Timer table attributes.
+const (
+	attrTimerID = "TimerId"
+	attrTimerQ  = "Queue"
+	attrDue     = "DueAt"  // microseconds, broker clock
+	attrPeriod  = "Period" // microseconds; 0 = one-shot
+	attrFires   = "Fires"  // completed fire count; the advance guard
+	attrGen     = "Gen"    // registration nonce: re-registered ids mint fresh message ids
+	attrStamp   = "StampKey"
+)
+
+// DefaultTimerTable is the timer registration table's name.
+const DefaultTimerTable = "queue.timers"
+
+// DefaultTimerPoll is the pump's fallback poll interval.
+const DefaultTimerPoll = 50 * time.Millisecond
+
+// TimerSpec describes one registration.
+type TimerSpec struct {
+	// ID names the timer; Schedule is idempotent per id (first write wins).
+	ID string
+	// Queue receives the fired message. It must be declared on the broker by
+	// fire time.
+	Queue string
+	// Body is the message payload enqueued on each fire.
+	Body Value
+	// Delay is the time until the first fire, from now on the broker's clock.
+	Delay time.Duration
+	// Period repeats the timer every Period after the first fire; 0 makes it
+	// one-shot. A pump that was down for several periods catches up one fire
+	// per due period, each with its own message.
+	Period time.Duration
+	// StampKey, when non-empty and Body is a map, names a map entry each
+	// fire sets to the occurrence's deterministic message id. Consumers that
+	// dedup on that entry (Beldi adopts it as the instance id when it is
+	// "InstanceId") turn the queue's at-least-once delivery into exactly-once
+	// processing per occurrence.
+	StampKey string
+}
+
+// TimerOptions configure a TimerService.
+type TimerOptions struct {
+	// Table is the registration table name; "" means DefaultTimerTable.
+	Table string
+	// PollInterval is the pump's fallback poll cadence; 0 means
+	// DefaultTimerPoll.
+	PollInterval time.Duration
+}
+
+// TimerService manages durable timer registrations on one broker's store.
+// Create with NewTimerService, then either Start the background pump or
+// drive firing deterministically with FireDue.
+type TimerService struct {
+	b    *Broker
+	tbl  string
+	poll time.Duration
+
+	metrics TimerMetrics
+
+	mu      sync.Mutex
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	started bool
+
+	// subMu guards the lazily acquired push subscription on the timer table
+	// (nil when the store has no push support or the subscription died).
+	subMu sync.Mutex
+	sub   storage.Subscription
+}
+
+// NewTimerService creates (or reopens) the timer table on b's store.
+func NewTimerService(b *Broker, opts TimerOptions) (*TimerService, error) {
+	if opts.Table == "" {
+		opts.Table = DefaultTimerTable
+	}
+	if opts.PollInterval == 0 {
+		opts.PollInterval = DefaultTimerPoll
+	}
+	err := b.store.CreateTable(dynamo.Schema{Name: opts.Table, HashKey: attrTimerID, Shards: 1})
+	if err != nil && !errors.Is(err, dynamo.ErrTableExists) {
+		return nil, err
+	}
+	return &TimerService{b: b, tbl: opts.Table, poll: opts.PollInterval}, nil
+}
+
+// Metrics exposes the service's counters.
+func (ts *TimerService) Metrics() *TimerMetrics { return &ts.metrics }
+
+// Table returns the registration table's name.
+func (ts *TimerService) Table() string { return ts.tbl }
+
+// Schedule durably registers a timer. Idempotent per id: re-scheduling an
+// id that is still registered is a no-op (the durable registration already
+// exists), so workflows can retry Schedule safely.
+func (ts *TimerService) Schedule(spec TimerSpec) error {
+	if spec.ID == "" || spec.Queue == "" {
+		return fmt.Errorf("queue: Schedule: ID and Queue are required")
+	}
+	if spec.Delay < 0 || spec.Period < 0 {
+		return fmt.Errorf("queue: Schedule: negative Delay/Period")
+	}
+	if _, err := ts.b.options(spec.Queue); err != nil {
+		return err
+	}
+	item := dynamo.Item{
+		attrTimerID: dynamo.S(spec.ID),
+		attrTimerQ:  dynamo.S(spec.Queue),
+		attrBody:    spec.Body,
+		attrDue:     dynamo.NInt(ts.b.now() + spec.Delay.Microseconds()),
+		attrPeriod:  dynamo.NInt(spec.Period.Microseconds()),
+		attrFires:   dynamo.NInt(0),
+		attrGen:     dynamo.S(ts.b.ids.NewString()),
+	}
+	if spec.StampKey != "" {
+		item[attrStamp] = dynamo.S(spec.StampKey)
+	}
+	err := ts.b.store.Put(ts.tbl, item, dynamo.NotExists(dynamo.A(attrTimerID)))
+	if err != nil {
+		if errors.Is(err, dynamo.ErrConditionFailed) {
+			return nil // already registered
+		}
+		return err
+	}
+	ts.metrics.Scheduled.Add(1)
+	return nil
+}
+
+// Cancel removes a registration. Unknown ids are a no-op; a fire that
+// already committed is not recalled.
+func (ts *TimerService) Cancel(id string) error {
+	err := ts.b.store.Delete(ts.tbl, dynamo.HK(dynamo.S(id)), nil)
+	if err != nil {
+		return err
+	}
+	ts.metrics.Canceled.Add(1)
+	return nil
+}
+
+// FireDue fires every registration whose due time has passed, returning how
+// many fired. Safe to call concurrently with other firers (races collapse on
+// the store's conditions) and deterministic enough for tests to drive
+// directly. A queue-level error on one timer does not stop the others; the
+// first such error is returned after the pass.
+func (ts *TimerService) FireDue() (int, error) {
+	now := ts.b.now()
+	rows, err := ts.b.store.Scan(ts.tbl, dynamo.QueryOpts{
+		Filter: dynamo.Le(dynamo.A(attrDue), dynamo.NInt(now)),
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Due order, id tiebreak: deterministic fire order for tests and replay.
+	sort.Slice(rows, func(i, j int) bool {
+		if d := rows[i][attrDue].Int() - rows[j][attrDue].Int(); d != 0 {
+			return d < 0
+		}
+		return rows[i][attrTimerID].Str() < rows[j][attrTimerID].Str()
+	})
+	fired := 0
+	var firstErr error
+	for _, row := range rows {
+		ok, err := ts.fireOne(row, now)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if ok {
+			fired++
+		}
+	}
+	return fired, firstErr
+}
+
+// fireOne attempts one timer's fire: a single transaction that inserts the
+// occurrence's message and advances (or deletes) the registration. The
+// message id embeds the registration nonce and fire count, so every
+// occurrence — across crashes, races, and re-registrations — gets a
+// distinct, deterministic id.
+func (ts *TimerService) fireOne(row dynamo.Item, now int64) (bool, error) {
+	id := row[attrTimerID].Str()
+	q := row[attrTimerQ].Str()
+	fires := row[attrFires].Int()
+	period := row[attrPeriod].Int()
+	if _, err := ts.b.options(q); err != nil {
+		// The target queue is not declared on this broker (e.g. a surviving
+		// registration from a prior deployment). Leave the row for an
+		// operator; firing cannot proceed.
+		ts.metrics.Orphaned.Add(1)
+		return false, err
+	}
+	msgID := fmt.Sprintf("timer-%s-%s-%016x", id, row[attrGen].Str(), fires)
+	body := row[attrBody]
+	if sk := row[attrStamp].Str(); sk != "" {
+		if m := body.Map(); m != nil {
+			stamped := make(map[string]dynamo.Value, len(m)+1)
+			for k, v := range m {
+				stamped[k] = v
+			}
+			stamped[sk] = dynamo.S(msgID)
+			body = dynamo.M(stamped)
+		}
+	}
+	msg := dynamo.Item{
+		attrMsgID:   dynamo.S(msgID),
+		attrBody:    body,
+		attrSeq:     dynamo.NInt(ts.b.seq.Add(1)),
+		attrEnq:     dynamo.NInt(now),
+		attrVisible: dynamo.NInt(now),
+		attrRecv:    dynamo.NInt(0),
+	}
+	guard := dynamo.And(
+		dynamo.Exists(dynamo.A(attrTimerID)),
+		dynamo.Eq(dynamo.A(attrFires), dynamo.NInt(fires)),
+	)
+	ops := []dynamo.TxOp{{
+		Table: tableOf(q),
+		Key:   dynamo.HK(dynamo.S(msgID)),
+		Put:   msg,
+		Cond:  dynamo.NotExists(dynamo.A(attrMsgID)),
+	}}
+	if period > 0 {
+		ops = append(ops, dynamo.TxOp{
+			Table: ts.tbl,
+			Key:   dynamo.HK(dynamo.S(id)),
+			Cond:  guard,
+			Updates: []dynamo.Update{
+				dynamo.Set(dynamo.A(attrDue), dynamo.NInt(row[attrDue].Int()+period)),
+				dynamo.Add(dynamo.A(attrFires), 1),
+			},
+		})
+	} else {
+		ops = append(ops, dynamo.TxOp{
+			Table:  ts.tbl,
+			Key:    dynamo.HK(dynamo.S(id)),
+			Cond:   guard,
+			Delete: true,
+		})
+	}
+	if err := ts.b.store.TransactWrite(ops); err != nil {
+		if errors.Is(err, dynamo.ErrConditionFailed) {
+			// Another firer committed this occurrence first (or the timer was
+			// canceled mid-pass). Either way the occurrence is settled.
+			ts.metrics.Races.Add(1)
+			return false, nil
+		}
+		return false, err
+	}
+	ts.metrics.Fired.Add(1)
+	ts.b.metrics.Enqueued.Add(1)
+	return true, nil
+}
+
+// Timers returns the live registrations, sorted by id.
+func (ts *TimerService) Timers() ([]TimerSpec, error) {
+	rows, err := ts.b.store.Scan(ts.tbl, dynamo.QueryOpts{})
+	if err != nil {
+		return nil, err
+	}
+	now := ts.b.now()
+	out := make([]TimerSpec, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, TimerSpec{
+			ID:     row[attrTimerID].Str(),
+			Queue:  row[attrTimerQ].Str(),
+			Body:   row[attrBody],
+			Delay:  time.Duration(row[attrDue].Int()-now) * time.Microsecond,
+			Period: time.Duration(row[attrPeriod].Int()) * time.Microsecond,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// nextDue returns the earliest registered due time; ok is false when no
+// timer is registered.
+func (ts *TimerService) nextDue() (int64, bool) {
+	rows, err := ts.b.store.Scan(ts.tbl, dynamo.QueryOpts{
+		Projection: []dynamo.Path{dynamo.A(attrDue)},
+	})
+	if err != nil || len(rows) == 0 {
+		return 0, false
+	}
+	min := rows[0][attrDue].Int()
+	for _, row := range rows[1:] {
+		if d := row[attrDue].Int(); d < min {
+			min = d
+		}
+	}
+	return min, true
+}
+
+// Start launches the background pump. Idempotent while running.
+func (ts *TimerService) Start() {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.started {
+		return
+	}
+	ts.started = true
+	ts.stopCh = make(chan struct{})
+	ts.doneCh = make(chan struct{})
+	go ts.loop(ts.stopCh, ts.doneCh)
+}
+
+// Stop halts the pump and waits for the in-flight pass to finish.
+func (ts *TimerService) Stop() {
+	ts.mu.Lock()
+	if !ts.started {
+		ts.mu.Unlock()
+		return
+	}
+	ts.started = false
+	stopCh, doneCh := ts.stopCh, ts.doneCh
+	ts.mu.Unlock()
+	close(stopCh)
+	<-doneCh
+}
+
+func (ts *TimerService) loop(stopCh, doneCh chan struct{}) {
+	defer close(doneCh)
+	defer ts.closeSub()
+	for {
+		select {
+		case <-stopCh:
+			return
+		default:
+		}
+		n, err := ts.FireDue()
+		if err != nil {
+			ts.metrics.Errors.Add(1)
+		}
+		if n > 0 {
+			continue // more may already be due
+		}
+		ts.idleWait(stopCh)
+	}
+}
+
+// idleWait parks the pump until a timer is likely due: the earlier of the
+// next registered due time and the fallback poll interval, cut short by a
+// commit on the timer table (a Schedule, Cancel, or another firer's advance)
+// when the store pushes.
+func (ts *TimerService) idleWait(cancel <-chan struct{}) {
+	wait := ts.poll
+	if due, ok := ts.nextDue(); ok {
+		if d := time.Duration(due-ts.b.now()) * time.Microsecond; d < wait {
+			wait = d
+		}
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+	}
+	sub := ts.watchSub()
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	if sub == nil {
+		select {
+		case <-cancel:
+		case <-timer.C:
+		}
+		return
+	}
+	select {
+	case _, ok := <-sub.Events():
+		if !ok {
+			ts.dropSub(sub)
+			select {
+			case <-cancel:
+			case <-timer.C:
+			}
+			return
+		}
+		ts.metrics.Wakeups.Add(1)
+	case <-timer.C:
+	case <-cancel:
+	}
+}
+
+// watchSub returns the live push subscription on the timer table, acquiring
+// one lazily; nil when the store has no push support.
+func (ts *TimerService) watchSub() storage.Subscription {
+	ts.subMu.Lock()
+	defer ts.subMu.Unlock()
+	if ts.sub == nil {
+		ts.sub, _ = storage.Watch(ts.b.store, ts.tbl, dynamo.Null)
+	}
+	return ts.sub
+}
+
+func (ts *TimerService) dropSub(sub storage.Subscription) {
+	ts.subMu.Lock()
+	if ts.sub == sub {
+		ts.sub = nil
+	}
+	ts.subMu.Unlock()
+	sub.Close()
+}
+
+func (ts *TimerService) closeSub() {
+	ts.subMu.Lock()
+	sub := ts.sub
+	ts.sub = nil
+	ts.subMu.Unlock()
+	if sub != nil {
+		sub.Close()
+	}
+}
+
+// TimerMetrics counts timer activity. Races counts fires lost to another
+// firer's committed transaction (the exactly-once guard doing its job);
+// Wakeups counts idle waits ended by a push event rather than the timer.
+type TimerMetrics struct {
+	Scheduled atomic.Int64
+	Canceled  atomic.Int64
+	Fired     atomic.Int64
+	Races     atomic.Int64
+	Orphaned  atomic.Int64
+	Errors    atomic.Int64
+	Wakeups   atomic.Int64
+}
+
+// TimerMetricsView is a point-in-time copy for reporting.
+type TimerMetricsView struct {
+	Scheduled, Canceled, Fired int64
+	Races, Orphaned, Errors    int64
+	Wakeups                    int64
+}
+
+// Snapshot copies the counters.
+func (m *TimerMetrics) Snapshot() TimerMetricsView {
+	return TimerMetricsView{
+		Scheduled: m.Scheduled.Load(),
+		Canceled:  m.Canceled.Load(),
+		Fired:     m.Fired.Load(),
+		Races:     m.Races.Load(),
+		Orphaned:  m.Orphaned.Load(),
+		Errors:    m.Errors.Load(),
+		Wakeups:   m.Wakeups.Load(),
+	}
+}

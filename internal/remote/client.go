@@ -115,9 +115,10 @@ type Client struct {
 	addr string
 	opts Options
 
-	reqSeq atomic.Uint64 // request ids, per client
-	txSeq  atomic.Uint64 // TransactWrite dedup id suffix
-	rr     atomic.Uint64 // round-robin pool cursor
+	reqSeq   atomic.Uint64 // request ids, per client
+	txSeq    atomic.Uint64 // TransactWrite dedup id suffix
+	rr       atomic.Uint64 // round-robin pool cursor
+	watchSeq atomic.Uint64 // watch ids, per client (its own id space)
 
 	pool []*poolConn
 
@@ -209,7 +210,8 @@ type poolConn struct {
 	mu      sync.Mutex
 	conn    net.Conn
 	pending map[uint64]chan rpcResult
-	dialed  bool // a connection has succeeded before (re-dials count as reconnects)
+	watches map[uint64]*clientSub // live watch subscriptions, by watch id
+	dialed  bool                  // a connection has succeeded before (re-dials count as reconnects)
 
 	// wmu serializes writers: each frame goes out in one Write call under
 	// this lock, and the write deadline is scoped to it.
@@ -288,6 +290,8 @@ func clientHandshake(conn net.Conn, timeout time.Duration) error {
 
 // readLoop demultiplexes responses until the connection dies, then fails
 // every waiter. Responses for abandoned (timed-out) requests are dropped.
+// Frames whose code byte is codeEvent are server pushes, routed to the watch
+// subscription the id names instead of a pending request.
 func (p *poolConn) readLoop(conn net.Conn) {
 	for {
 		body, err := readFrame(conn)
@@ -302,13 +306,57 @@ func (p *poolConn) readLoop(conn net.Conn) {
 			p.fail(conn, err)
 			return
 		}
+		off := d.off
+		code, err := d.u8()
+		if err != nil {
+			p.fail(conn, err)
+			return
+		}
+		if code == codeEvent {
+			p.deliverEvent(id, d)
+			continue
+		}
 		p.mu.Lock()
 		ch := p.pending[id]
 		delete(p.pending, id)
 		p.mu.Unlock()
 		if ch != nil {
-			ch <- rpcResult{body: body[d.off:]}
+			ch <- rpcResult{body: body[off:]}
 		}
+	}
+}
+
+// deliverEvent decodes one pushed commit event and hands it to the watch
+// subscription registered under id; events for unknown (already closed)
+// watches are dropped, and a full subscription buffer coalesces the event
+// like the in-process hub does.
+func (p *poolConn) deliverEvent(id uint64, d *decoder) {
+	table, err := d.str()
+	if err != nil {
+		return
+	}
+	hash, err := d.value()
+	if err != nil {
+		return
+	}
+	seq, err := d.u64()
+	if err != nil {
+		return
+	}
+	ev := storage.CommitEvent{Table: table, Hash: hash, Seq: seq}
+	// The send happens under p.mu so it can never race the close(ch) in
+	// dropWatch/fail; it is non-blocking, so holding the lock is cheap.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w := p.watches[id]
+	if w == nil || w.closed {
+		return
+	}
+	select {
+	case w.ch <- ev:
+		p.client.metrics.WatchNotifies.Add(1)
+	default:
+		p.client.metrics.WatchDrops.Add(1)
 	}
 }
 
@@ -323,6 +371,14 @@ func (p *poolConn) fail(conn net.Conn, err error) {
 	p.conn = nil
 	pending := p.pending
 	p.pending = nil
+	// Watch subscriptions die with their connection: closing the event
+	// channel tells the consumer to resubscribe (or fall back to polling).
+	for id, w := range p.watches {
+		delete(p.watches, id)
+		w.closed = true
+		close(w.ch)
+		p.client.metrics.WatchSubs.Add(-1)
+	}
 	p.mu.Unlock()
 	conn.Close()
 	if err == nil || err == io.EOF {

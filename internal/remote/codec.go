@@ -624,6 +624,12 @@ const (
 	codeInternal
 )
 
+// codeEvent marks an unsolicited server-push frame (a watch commit event)
+// rather than a response: the id field carries the client-chosen watch id,
+// and the payload is [str table][value hash][u64 seq]. It lives far from the
+// error codes so a response can never be mistaken for a push.
+const codeEvent byte = 0x80
+
 // encodeError maps a backend error onto the wire: a code, the message, and
 // for canceled transactions the per-op reason list.
 func encodeError(e *encoder, err error) {

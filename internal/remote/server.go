@@ -210,9 +210,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	s.stats.Handshakes.Add(1)
 
-	var writeMu sync.Mutex
-	var handlers sync.WaitGroup
-	defer handlers.Wait()
+	pctx := &pushCtx{conn: conn, watches: make(map[uint64]storage.Subscription)}
+	// LIFO defers: closing the watches first unblocks the pusher goroutines
+	// that handlers.Wait then drains.
+	defer pctx.handlers.Wait()
+	defer pctx.closeAll()
 	for {
 		body, err := readFrame(conn)
 		if err != nil {
@@ -234,20 +236,97 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.stats.ProtocolErrors.Add(1)
 			return
 		}
-		handlers.Add(1)
+		pctx.handlers.Add(1)
 		go func() {
-			defer handlers.Done()
+			defer pctx.handlers.Done()
 			if s.opts.Delay > 0 {
 				time.Sleep(s.opts.Delay)
 			}
-			resp := s.dispatch(id, op, d)
-			writeMu.Lock()
+			resp := s.dispatch(pctx, id, op, d)
+			pctx.writeMu.Lock()
 			err := writeFrame(conn, resp)
-			writeMu.Unlock()
+			pctx.writeMu.Unlock()
 			if err == nil {
 				s.stats.BytesWritten.Add(int64(len(resp)))
 			}
 		}()
+	}
+}
+
+// pushCtx is one connection's server-push state: the write lock every frame
+// (response or event) goes out under, and the live watch subscriptions keyed
+// by the client-chosen watch id.
+type pushCtx struct {
+	conn     net.Conn
+	writeMu  sync.Mutex
+	handlers sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	watches map[uint64]storage.Subscription
+}
+
+// add registers sub under id; false when the connection is shutting down or
+// the id is already taken (the caller closes sub).
+func (p *pushCtx) add(id uint64, sub storage.Subscription) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	if _, dup := p.watches[id]; dup {
+		return false
+	}
+	p.watches[id] = sub
+	return true
+}
+
+// remove unregisters and returns the subscription at id, nil if absent.
+func (p *pushCtx) remove(id uint64) storage.Subscription {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sub := p.watches[id]
+	delete(p.watches, id)
+	return sub
+}
+
+// closeAll tears down every live subscription on connection shutdown,
+// unblocking the pusher goroutines.
+func (p *pushCtx) closeAll() {
+	p.mu.Lock()
+	p.closed = true
+	subs := make([]storage.Subscription, 0, len(p.watches))
+	for _, sub := range p.watches {
+		subs = append(subs, sub)
+	}
+	p.watches = nil
+	p.mu.Unlock()
+	for _, sub := range subs {
+		sub.Close()
+	}
+}
+
+// pushEvents streams one subscription's commit events to the client as
+// codeEvent frames until the subscription closes (unwatch, connection
+// teardown, or backend shutdown) or the connection stops accepting writes.
+func (s *Server) pushEvents(pctx *pushCtx, watchID uint64, sub storage.Subscription) {
+	defer pctx.handlers.Done()
+	for ev := range sub.Events() {
+		e := &encoder{}
+		e.u64(watchID)
+		e.u8(codeEvent)
+		e.str(ev.Table)
+		e.value(ev.Hash)
+		e.u64(ev.Seq)
+		pctx.writeMu.Lock()
+		err := writeFrame(pctx.conn, e.b)
+		pctx.writeMu.Unlock()
+		if err != nil {
+			pctx.remove(watchID)
+			sub.Close()
+			return
+		}
+		s.stats.BytesWritten.Add(int64(len(e.b)))
 	}
 }
 
@@ -288,11 +367,11 @@ func (s *Server) handshake(conn net.Conn) error {
 }
 
 // dispatch executes one request and returns the encoded response body.
-func (s *Server) dispatch(id uint64, op byte, d *decoder) []byte {
+func (s *Server) dispatch(pctx *pushCtx, id uint64, op byte, d *decoder) []byte {
 	s.stats.RPCs.Add(1)
 	e := &encoder{b: make([]byte, 0, 64)}
 	e.u64(id)
-	payload, err := s.handle(op, d)
+	payload, err := s.handle(pctx, op, d)
 	if err != nil {
 		s.stats.Errors.Add(1)
 		if errors.Is(err, ErrProtocol) {
@@ -311,7 +390,7 @@ func (s *Server) dispatch(id uint64, op byte, d *decoder) []byte {
 
 // handle decodes one request payload, runs it against the backend, and
 // encodes the result payload.
-func (s *Server) handle(op byte, d *decoder) ([]byte, error) {
+func (s *Server) handle(pctx *pushCtx, op byte, d *decoder) ([]byte, error) {
 	e := &encoder{}
 	switch op {
 	case opPing:
@@ -546,6 +625,45 @@ func (s *Server) handle(op byte, d *decoder) ([]byte, error) {
 	case opMetrics:
 		encodeMetrics(e, s.backend.Metrics().Snapshot())
 		return e.b, nil
+
+	case opWatch:
+		watchID, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		table, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		hash, err := d.value()
+		if err != nil {
+			return nil, err
+		}
+		w, ok := s.backend.(storage.Watcher)
+		if !ok {
+			return nil, fmt.Errorf("remote: backend %T does not support watch", s.backend)
+		}
+		sub, err := w.Watch(table, hash)
+		if err != nil {
+			return nil, err
+		}
+		if !pctx.add(watchID, sub) {
+			sub.Close()
+			return nil, fmt.Errorf("%w: watch id %d rejected (duplicate or connection closing)", ErrProtocol, watchID)
+		}
+		pctx.handlers.Add(1)
+		go s.pushEvents(pctx, watchID, sub)
+		return nil, nil
+
+	case opUnwatch:
+		watchID, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		if sub := pctx.remove(watchID); sub != nil {
+			sub.Close()
+		}
+		return nil, nil
 	}
 	return nil, fmt.Errorf("%w: unknown opcode %d", ErrProtocol, op)
 }

@@ -93,6 +93,8 @@ const (
 	opScan
 	opTransactWrite
 	opMetrics
+	opWatch
+	opUnwatch
 )
 
 // opName names an opcode for diagnostics and metrics.
@@ -134,6 +136,10 @@ func opName(op byte) string {
 		return "transact_write"
 	case opMetrics:
 		return "metrics"
+	case opWatch:
+		return "watch"
+	case opUnwatch:
+		return "unwatch"
 	}
 	return fmt.Sprintf("op%d", op)
 }

@@ -38,6 +38,12 @@ type StoreFaults struct {
 	// only the write itself is late, exactly like a network-delayed RPC
 	// from a worker that may already be dead.
 	LateDone *LateDone
+	// Wake, when non-nil, arms commit-stream push for every wrapper sharing
+	// this schedule — the wrappers become storage.Watchers — and perturbs
+	// the wakeups with seeded drops, delays and duplicates; see wake.go.
+	// When nil, Watch reports no push support and consumers poll, exactly
+	// as before push existed.
+	Wake *WakeFaults
 }
 
 // LateDone configures intent-completion delays; see StoreFaults.LateDone.
@@ -145,7 +151,11 @@ func (b *Backend) GetProj(table string, key storage.Key, proj []storage.Path) (s
 // Put implements storage.Backend.
 func (b *Backend) Put(table string, item storage.Item, cond storage.Cond) error {
 	b.step("Put", table, nil)
-	return b.inner.Put(table, item, cond)
+	err := b.inner.Put(table, item, cond)
+	if err == nil {
+		b.wakeForItem(table, item)
+	}
+	return err
 }
 
 // Update implements storage.Backend.
@@ -171,6 +181,9 @@ func (b *Backend) Update(table string, key storage.Key, cond storage.Cond, updat
 	b.step("Update", table, updates)
 	err := b.inner.Update(table, key, cond, updates...)
 	b.debug("upd", table, key, err, updates)
+	if err == nil {
+		b.wake(table, key.Hash)
+	}
 	return err
 }
 
@@ -200,7 +213,11 @@ var debugTable = os.Getenv("SIM_DEBUG_TABLE")
 // Delete implements storage.Backend.
 func (b *Backend) Delete(table string, key storage.Key, cond storage.Cond) error {
 	b.step("Delete", table, nil)
-	return b.inner.Delete(table, key, cond)
+	err := b.inner.Delete(table, key, cond)
+	if err == nil {
+		b.wake(table, key.Hash)
+	}
+	return err
 }
 
 // Query implements storage.Backend.
@@ -228,7 +245,37 @@ func (b *Backend) TransactWrite(ops []storage.TxOp) error {
 		tables = append(tables, op.Table)
 	}
 	b.step("Tx", strings.Join(tables, ","), nil)
-	return b.inner.TransactWrite(ops)
+	err := b.inner.TransactWrite(ops)
+	if err == nil {
+		for _, op := range ops {
+			if op.Check {
+				continue
+			}
+			if op.Put != nil {
+				b.wakeForItem(op.Table, op.Put)
+			} else {
+				b.wake(op.Table, op.Key.Hash)
+			}
+		}
+	}
+	return err
+}
+
+// Fence implements storage.Fencer by delegation when the wrapped store is
+// itself a Fencer (the speculation overlay sits beneath this wrapper in the
+// spec scenario): the fence is one scheduling point, and the delegated
+// flush runs atomically inside it. Keeping the overlay under the wrapper is
+// what makes its real mutex safe here — no task can park while holding it,
+// so a contending task never blocks the baton (the deadlock a wrapped-
+// overlay-on-top arrangement exhibited under rare schedules). For every
+// other inner store Fence is a free no-op with no scheduling point, leaving
+// those scenarios' schedules untouched.
+func (b *Backend) Fence() error {
+	if _, ok := b.inner.(storage.Fencer); !ok {
+		return nil
+	}
+	b.step("Fence", "fence", nil)
+	return storage.Fence(b.inner)
 }
 
 // Metrics implements storage.Backend (no scheduling point: counters).

@@ -39,11 +39,6 @@ type ClusterConfig struct {
 	Skew func(i int) time.Duration
 	// Register installs the application on each joining worker.
 	Register beldi.RegisterApp
-	// WrapStore, when non-nil, wraps each worker's fault-wrapped store view
-	// before the worker joins — the seam the spec scenario uses to put the
-	// commit-pipelining overlay (internal/pipeline, ManualFlush mode) under
-	// one worker's runtime while the shared base stays bare.
-	WrapStore func(name string, b storage.Backend) (storage.Backend, error)
 	// Rejoin marks a later generation joining a store with earlier workers'
 	// unexpired leases still on record (the torn-write restart): ownership
 	// cannot settle by rebalancing alone, so the owns-something assertion is
@@ -132,13 +127,13 @@ func NewCluster(s *Scheduler, inner storage.Backend, cfg ClusterConfig) (*Cluste
 		if cfg.CrashProb > 0 {
 			popts.Faults = &platform.CrashProb{P: cfg.CrashProb, Seed: cfg.CrashSeed*31 + int64(i) + 1}
 		}
+		// Layering invariant: the sim wrapper is the TOP of each worker's
+		// store stack. Anything with its own cross-task locking (the
+		// speculation overlay above all) must sit beneath it, where its
+		// operations run atomically inside one scheduling point — a lock
+		// held above the wrapper would be held across parks, and a task
+		// contending for it would block the baton (deadlock).
 		var wstore storage.Backend = WrapBackend(inner, s, name, cfg.Faults)
-		if cfg.WrapStore != nil {
-			wstore, err = cfg.WrapStore(name, wstore)
-			if err != nil {
-				return nil, fmt.Errorf("sim: wrapping %s's store: %w", name, err)
-			}
-		}
 		cw, err := bc.JoinClusterWith(name, cfg.Register, beldi.WorkerOptions{
 			Clock:    w.Clock,
 			IDs:      &uuid.Seq{Prefix: name + "c"},

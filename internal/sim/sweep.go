@@ -31,11 +31,12 @@ const (
 // order: no fault at all, storage-op delays (seeded reordering), random
 // crash points, a worker kill mid-load, a network partition that heals, a
 // stop-the-world pause, lease clock skew, late intent completions past the
-// GC horizon, a torn WAL write with restart recovery, and a worker killed
+// GC horizon, a torn WAL write with restart recovery, a worker killed
 // between speculative execution and batch durability under the
-// commit-pipelining overlay.
+// commit-pipelining overlay, and commit-stream wakeups armed but perturbed
+// (seeded drops, delays and duplicates of push notifications).
 func Kinds() []string {
-	return []string{"clean", "delay", "crash", "kill", "partition", "pause", "skew", "latedone", "torn", "spec"}
+	return []string{"clean", "delay", "crash", "kill", "partition", "pause", "skew", "latedone", "torn", "spec", "wake"}
 }
 
 // WorkloadNames lists the application workloads a seed can select: the
@@ -210,6 +211,15 @@ func runScenario(s *Scheduler, sc Scenario, prng *rand.Rand, store storage.Backe
 	switch sc.Kind {
 	case "delay":
 		cfg.Faults = &StoreFaults{DelayProb: 0.25, MaxDelay: simT / 4}
+	case "wake":
+		// Push armed, notification fabric hostile: wakeups drop (the
+		// subscriber's poll-cadence timeout is the liveness floor), arrive
+		// late (in-flight packets), or arrive twice (hints re-read, never
+		// re-execute). Audits are unchanged: perturbed wakeups may cost
+		// latency only.
+		cfg.Faults = &StoreFaults{Wake: &WakeFaults{
+			DropProb: 0.25, DupProb: 0.15, DelayProb: 0.25, MaxDelay: simT / 4,
+		}}
 	case "latedone":
 		cfg.Faults = &StoreFaults{LateDone: &LateDone{MinDelay: simT, MaxDelay: 8 * simT}}
 	case "skew":
@@ -793,7 +803,17 @@ func runSpec(s *Scheduler, sc Scenario, prng *rand.Rand, dir string) error {
 	if err != nil {
 		return err
 	}
-	var overlay *pipeline.Store
+	// The overlay sits UNDER the worker's sim wrapper (the wrapper's inner
+	// store), not above it: every overlay operation — a speculative append,
+	// a fence's inline flush — then runs atomically inside one scheduling
+	// point, so the overlay's real mutex is never held across a park. The
+	// inverted arrangement (overlay wrapping the sim backend) let a fence
+	// park mid-flush with the mutex held while the flush pump blocked on
+	// that same mutex with the baton — a schedule-dependent deadlock.
+	overlay, err := pipeline.New(ws, pipeline.Options{ManualFlush: true})
+	if err != nil {
+		return err
+	}
 	cfg := ClusterConfig{
 		// One worker: the overlay assumes a single writing process (see the
 		// pipeline package comment), which is exactly the deployment model
@@ -803,16 +823,8 @@ func runSpec(s *Scheduler, sc Scenario, prng *rand.Rand, dir string) error {
 		LeaseTTL:   simLeaseTTL,
 		Config:     simConfig(),
 		Register:   counterRegister,
-		WrapStore: func(name string, b storage.Backend) (storage.Backend, error) {
-			p, err := pipeline.New(b, pipeline.Options{ManualFlush: true})
-			if err != nil {
-				return nil, err
-			}
-			overlay = p
-			return p, nil
-		},
 	}
-	c, err := NewCluster(s, ws, cfg)
+	c, err := NewCluster(s, overlay, cfg)
 	if err != nil {
 		return err
 	}
@@ -835,6 +847,10 @@ func runSpec(s *Scheduler, sc Scenario, prng *rand.Rand, dir string) error {
 					if w0.Killed {
 						return
 					}
+					// The overlay is beneath the sim wrapper, so the flush's
+					// base write is not a wrapped operation — note it here to
+					// keep flush rounds in the trace.
+					s.Note("flushstep @" + w0.Name)
 					overlay.FlushStep() //nolint:errcheck // poison surfaces at fences and clients
 				}
 			})

@@ -27,8 +27,8 @@ func TestSimSweepBounded(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation sweep skipped in -short")
 	}
-	seeds := make([]int64, 0, 27)
-	for seed := int64(0); seed < 27; seed++ {
+	seeds := make([]int64, 0, 33)
+	for seed := int64(0); seed < 33; seed++ {
 		seeds = append(seeds, seed)
 	}
 	rep := Sweep(SweepOptions{Seeds: seeds, TempDir: t.TempDir, Logf: t.Logf})
@@ -120,7 +120,7 @@ func TestSimSpecCrashRecovery(t *testing.T) {
 	}
 	// Spec seeds across both policies the tier-1 sweep reaches (kind index
 	// 9 of Kinds, stride len(Kinds)).
-	for _, seed := range []int64{9, 19, 39} {
+	for _, seed := range []int64{9, 20, 42} {
 		sc := ScenarioFor(seed)
 		if sc.Kind != "spec" || sc.Workload != "counter" {
 			t.Fatalf("seed %d derives %s/%s, this test needs spec/counter — re-pin the seed", seed, sc.Kind, sc.Workload)
@@ -128,6 +128,36 @@ func TestSimSpecCrashRecovery(t *testing.T) {
 		a, errA := RunSeed(seed, RunOpts{Dir: t.TempDir()})
 		if errA != nil {
 			t.Errorf("seed %d (policy=%s) failed: %v\nreproduce: %s", seed, sc.Policy, errA, ReproLine(seed, "wal"))
+			continue
+		}
+		b, errB := RunSeed(seed, RunOpts{Dir: t.TempDir()})
+		if errB != nil || a.TraceHash != b.TraceHash {
+			t.Errorf("seed %d replay diverged: trace %016x then %016x (err %v)", seed, a.TraceHash, b.TraceHash, errB)
+		}
+	}
+}
+
+// TestSimWakeFaultsPreserveLiveness pins the wake kind: commit-stream push
+// is armed across the cluster while the notification fabric drops, delays
+// and duplicates wakeups. Subscribing consumers (promise awaits above all)
+// must stay live through their poll-cadence fallback, every exactly-once
+// audit must hold unchanged — a wakeup is a hint, never the data — and the
+// pinned seeds must replay bit-identically, fault dice included. One seed
+// per workload (kind index 10 of Kinds, stride len(Kinds)); the fanout seed
+// is the load-bearing one, since async promises are the heaviest
+// subscription consumers.
+func TestSimWakeFaultsPreserveLiveness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation scenario skipped in -short")
+	}
+	for _, seed := range []int64{10, 21, 32} {
+		sc := ScenarioFor(seed)
+		if sc.Kind != "wake" {
+			t.Fatalf("seed %d derives %s/%s, this test needs the wake kind — re-pin the seed", seed, sc.Kind, sc.Workload)
+		}
+		a, errA := RunSeed(seed, RunOpts{Dir: t.TempDir()})
+		if errA != nil {
+			t.Errorf("seed %d (%s/%s) failed: %v\nreproduce: %s", seed, sc.Kind, sc.Workload, errA, ReproLine(seed, "mem"))
 			continue
 		}
 		b, errB := RunSeed(seed, RunOpts{Dir: t.TempDir()})

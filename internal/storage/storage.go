@@ -170,6 +170,58 @@ func Fence(b Backend) error {
 	return nil
 }
 
+// DefaultWatchBuffer is the per-subscription event buffer shared by every
+// backend's watch implementation.
+const DefaultWatchBuffer = dynamo.DefaultWatchBuffer
+
+// CommitEvent is one committed write observed through a watch subscription
+// (a wakeup hint carrying the table, the row's hash-key value, and the
+// table's notification sequence number).
+type CommitEvent = dynamo.CommitEvent
+
+// Subscription is a live handle on a table's commit stream. Events is the
+// channel form for select-based consumers; Wait is the timer-bounded
+// blocking form used inside retry loops (and the form deterministic
+// simulation wrappers reimplement over virtual time). Delivery is
+// at-least-one-wakeup per commit: events may be coalesced when a subscriber
+// lags, so consumers treat an event as "re-read the table now", never as
+// the data itself.
+type Subscription = dynamo.Subscription
+
+// Watcher is an optional Backend extension: commit-stream subscriptions per
+// table (and optionally per partition). The memory store notifies when a
+// write's group-commit batch completes; walstore notifies after the WAL
+// fsync that made the write durable; the pipeline overlay delegates to its
+// base so only durable (flushed) commits notify; the remote client streams
+// the server's events over a push frame. Registration is synchronous:
+// every commit that completes after Watch returns produces a wakeup.
+type Watcher interface {
+	// Watch subscribes to table's commit stream; a Null hash watches every
+	// partition, otherwise only rows whose hash-key value equals hash.
+	Watch(table string, hash Value) (Subscription, error)
+}
+
+// Watch subscribes to table's commit stream when b supports it, returning
+// (nil, false) for backends without push — the capability-probe helper
+// every consumer uses so poll loops degrade gracefully (the same pattern as
+// Fence over Fencer). Errors from a supporting backend (unknown table, lost
+// connection) also report (nil, false): the caller's fallback is polling,
+// which surfaces real errors on its own.
+func Watch(b Backend, table string, hash Value) (Subscription, bool) {
+	w, ok := b.(Watcher)
+	if !ok {
+		return nil, false
+	}
+	sub, err := w.Watch(table, hash)
+	if err != nil || sub == nil {
+		return nil, false
+	}
+	return sub, true
+}
+
+// Compile-time check: the in-memory dynamo store is a Watcher.
+var _ Watcher = (*dynamo.Store)(nil)
+
 // MustCreateTable is Backend.CreateTable, panicking on error; for setup
 // code (the method-form convenience the concrete stores offer, spelled as a
 // function over the seam).

@@ -2,7 +2,8 @@
 // same observable semantics: Run is the conformance suite (condition
 // evaluation and failure identities, upsert behavior, query/scan ordering
 // and snapshot consistency, secondary-index ordering, TransactWrite
-// atomicity, size caps, and concurrent conditional safety), and Open is the
+// atomicity, size caps, concurrent conditional safety, and commit-stream
+// watch semantics — see watch.go), and Open is the
 // backend-matrix seam — test harnesses build their stores through it, and
 // the BELDI_BACKEND environment variable swaps the in-memory dynamo store
 // for the durable walstore, turning every existing crash-sweep test into a
@@ -41,6 +42,11 @@ func Run(t *testing.T, open Opener) {
 	sub("ItemSizeCap", testItemSizeCap)
 	sub("ErrorIdentities", testErrorIdentities)
 	sub("ConcurrentConditional", testConcurrentConditional)
+	sub("WatchWakeOnCommit", testWatchWakeOnCommit)
+	sub("WatchNoMissedCommit", testWatchNoMissedCommit)
+	sub("WatchHashFilter", testWatchHashFilter)
+	sub("WatchWaitSemantics", testWatchWaitSemantics)
+	sub("WatchCloseSemantics", testWatchCloseSemantics)
 	if simSection != nil {
 		t.Run("SimInterleavings", func(t *testing.T) { simSection(t, open) })
 	} else {

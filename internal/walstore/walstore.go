@@ -183,9 +183,17 @@ type Store struct {
 
 	w     *walWriter
 	stats Stats
+
+	// watch is this backend's commit-stream hub. Notifications fire after
+	// waitDurable returns — the post-fsync point — never at memtable apply:
+	// a subscriber of a durable backend must not wake for a write that a
+	// crash could still erase. (The memtable's own hub has no subscribers;
+	// consumers hold the walstore Backend and Watch through it.)
+	watch *dynamo.WatchHub
 }
 
 var _ storage.Backend = (*Store)(nil)
+var _ storage.Watcher = (*Store)(nil)
 
 // Open opens (creating if needed) the store rooted at dir, recovering the
 // newest snapshot plus the WAL tail. Torn or corrupt tail records — a
@@ -198,6 +206,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s := &Store{dir: dir, opts: opts}
 	s.w = newWALWriter(dir, opts, &s.stats)
+	s.watch = dynamo.NewWatchHub(nil)
 
 	snapSeq, schemas, mem, _, err := loadNewestSnapshot(dir, opts.Shards)
 	if err != nil {
@@ -336,6 +345,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.watch.CloseAll()
 	return s.w.close()
 }
 
@@ -381,7 +391,56 @@ func (s *Store) mutate(apply func() error, mkRec func(seq uint64) record) error 
 		return err
 	}
 	s.seq++
-	return s.logAndWait(mkRec(s.seq))
+	rec := mkRec(s.seq)
+	notes := s.watchNotesLocked(rec)
+	if err := s.logAndWait(rec); err != nil {
+		return err
+	}
+	for _, n := range notes {
+		s.watch.Notify(n.table, n.hash)
+	}
+	return nil
+}
+
+// watchNote is one pending commit notification, resolved under logMu (the
+// schema map is needed to find a put's hash-key value) and fired after the
+// record's fsync.
+type watchNote struct {
+	table string
+	hash  dynamo.Value
+}
+
+// watchNotesLocked extracts the commit notifications a record will owe once
+// durable. Caller holds logMu. Returns nil (no allocation) when nobody
+// watches.
+func (s *Store) watchNotesLocked(rec record) []watchNote {
+	if !s.watch.Active() || rec.typ != recCommit {
+		return nil
+	}
+	notes := make([]watchNote, 0, len(rec.ops))
+	for _, o := range rec.ops {
+		switch o.kind {
+		case opPut:
+			sch, ok := s.schemas[o.table]
+			if !ok {
+				continue
+			}
+			notes = append(notes, watchNote{table: o.table, hash: o.item[sch.HashKey]})
+		default:
+			notes = append(notes, watchNote{table: o.table, hash: o.key.Hash})
+		}
+	}
+	return notes
+}
+
+// Watch subscribes to table's commit stream; events fire only after the
+// write that caused them is durable on disk (post-fsync), so a wakeup never
+// precedes the durability the backend's write return promises.
+func (s *Store) Watch(table string, hash dynamo.Value) (dynamo.Subscription, error) {
+	if _, err := s.mem.TableSchema(table); err != nil {
+		return nil, err
+	}
+	return s.watch.Subscribe(table, hash), nil
 }
 
 // CreateTable registers a new table.
